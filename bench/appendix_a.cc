@@ -1,0 +1,66 @@
+/// \file appendix_a.cc
+/// \brief APPA: the Morris+ tweak is necessary (Appendix A).
+///
+/// For a sweep of δ, derive a = ε²/(8 ln(1/δ)) and the adversarial count
+/// N'_a = ceil(c ε^{4/3}/a), then compute *exactly* (forward DP):
+///   * the failure probability of vanilla Morris(a) at N'_a, and
+///   * the ratio against δ — the paper's claim is that it is >> 1 once
+///     δ < ε^{8/3} c²/16, growing as δ shrinks;
+/// Morris+ answers from its deterministic prefix there (failure exactly 0).
+/// A Monte-Carlo cross-check column is included where MC has power.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "sim/appendix_a.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace {
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags("appendix_a: vanilla Morris(a) vs Morris+ at N'_a");
+  flags.AddDouble("epsilon", 0.1, "epsilon (< 1/4)");
+  flags.AddDouble("c", 1.0 / 256.0, "the appendix constant c (<= 2^-8)");
+  flags.AddUint64("mc_trials", 100000, "Monte-Carlo cross-check trials");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+  const double eps = flags.GetDouble("epsilon");
+  const double c = flags.GetDouble("c");
+  const uint64_t mc_trials = flags.GetUint64("mc_trials");
+
+  std::printf("# APPA: eps=%.3f c=%.6f; threshold for the claim: delta < "
+              "eps^{8/3} c^2 / 16 = %.3e\n",
+              eps, c, std::pow(eps, 8.0 / 3.0) * c * c / 16.0);
+  TableWriter table(&std::cout,
+                    {"delta", "a", "N_prime", "prefix_limit_Na",
+                     "vanilla_failure_exact", "failure_over_delta",
+                     "analytic_event_lb", "plus_failure", "mc_cross_check"});
+  for (double delta : {1e-3, 1e-4, 1e-6, 1e-9, 1e-12}) {
+    auto row = sim::RunAppendixAExact(eps, delta, c).ValueOrDie();
+    double mc = -1.0;
+    if (row.vanilla_failure_exact * static_cast<double>(mc_trials) > 20.0) {
+      mc = sim::AppendixAVanillaFailureMc(eps, delta, c, mc_trials, 77)
+               .ValueOrDie();
+    }
+    table.BeginRow() << delta << row.a << row.n << row.prefix_limit
+                     << row.vanilla_failure_exact << row.ratio_vs_delta
+                     << row.analytic_event_prob << row.plus_failure_exact << mc;
+    COUNTLIB_CHECK_OK(table.EndRow());
+  }
+  std::printf("# paper: failure_over_delta >> 1 (and growing) below the "
+              "threshold; Morris+ column identically 0 — the deterministic "
+              "prefix is necessary, and N_a = 8/a is near-optimal\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace countlib
+
+int main(int argc, char** argv) { return countlib::Main(argc, argv); }

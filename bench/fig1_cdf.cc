@@ -1,0 +1,96 @@
+/// \file fig1_cdf.cc
+/// \brief Reproduces Figure 1 of the paper (§4).
+///
+/// For each algorithm — the Morris Counter and the simplified Algorithm 1
+/// (sampling counter), both parameterized to 17 bits of state — run 5,000
+/// trials; each trial draws N ~ Uniform[500000, 999999] and performs N
+/// increments, recording the relative error |N-hat - N| / N. The output is
+/// the empirical CDF of the relative error per algorithm: a row (x, y)
+/// means "in x% of trials the relative error was y% or less" (the paper's
+/// dot semantics).
+///
+/// Paper-expected shape: the two CDFs nearly coincide; max observed
+/// relative error on the order of 2.4%.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/counter_factory.h"
+#include "stats/ecdf.h"
+#include "stream/stream_runner.h"
+#include "stream/workload.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace {
+
+stream::TrialReport RunArm(CounterKind kind, int state_bits, uint64_t lo,
+                           uint64_t hi, uint64_t trials, uint64_t seed) {
+  stream::CounterFactory factory = [=](uint64_t trial) {
+    return MakeCounterForBits(kind, state_bits, hi,
+                              seed + 0x9E3779B97F4A7C15ull * trial);
+  };
+  auto workload = stream::UniformCountWorkload::Make(lo, hi).ValueOrDie();
+  stream::CountSampler sampler = [=](uint64_t trial) {
+    Rng rng(seed ^ (trial * 0xD1B54A32D192ED03ull + 1));
+    return workload.Sample(&rng);
+  };
+  return stream::RunTrials(factory, sampler, trials).ValueOrDie();
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags(
+      "fig1_cdf: reproduce Figure 1 (empirical CDFs of relative error, "
+      "Morris vs simplified Nelson-Yu at 17 bits)");
+  flags.AddUint64("trials", 5000, "trials per algorithm (paper: 5000)");
+  flags.AddUint64("lo", 500000, "minimum N (paper: 500000)");
+  flags.AddUint64("hi", 999999, "maximum N (paper: 999999)");
+  flags.AddInt64("bits", 17, "state budget in bits (paper: 17)");
+  flags.AddUint64("seed", 20201006, "base RNG seed");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+  const uint64_t trials = flags.GetUint64("trials");
+  const int bits = static_cast<int>(flags.GetInt64("bits"));
+  const uint64_t lo = flags.GetUint64("lo");
+  const uint64_t hi = flags.GetUint64("hi");
+  const uint64_t seed = flags.GetUint64("seed");
+
+  std::printf("# FIG1: Morris vs simplified Nelson-Yu, %d-bit state, "
+              "N ~ U[%llu, %llu], %llu trials/arm\n",
+              bits, static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi),
+              static_cast<unsigned long long>(trials));
+
+  auto morris = RunArm(CounterKind::kMorris, bits, lo, hi, trials, seed);
+  auto sampling = RunArm(CounterKind::kSampling, bits, lo, hi, trials, seed + 1);
+  auto morris_ecdf = stats::Ecdf::Make(morris.relative_errors).ValueOrDie();
+  auto sampling_ecdf = stats::Ecdf::Make(sampling.relative_errors).ValueOrDie();
+
+  TableWriter table(&std::cout,
+                    {"percentile", "morris_rel_err_pct", "simplified_ny_rel_err_pct"});
+  for (int pct = 1; pct <= 100; ++pct) {
+    const double q = pct / 100.0;
+    table.BeginRow() << pct << 100.0 * morris_ecdf.Quantile(q)
+                     << 100.0 * sampling_ecdf.Quantile(q);
+    COUNTLIB_CHECK_OK(table.EndRow());
+  }
+
+  std::printf("# summary: morris max=%.3f%% median=%.3f%% | simplified-ny "
+              "max=%.3f%% median=%.3f%% | KS distance=%.4f\n",
+              100 * morris_ecdf.Max(), 100 * morris_ecdf.Quantile(0.5),
+              100 * sampling_ecdf.Max(), 100 * sampling_ecdf.Quantile(0.5),
+              morris_ecdf.KsDistance(sampling_ecdf));
+  std::printf("# paper: curves nearly identical; max rel err ~2.37%% over "
+              "5000 trials\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace countlib
+
+int main(int argc, char** argv) { return countlib::Main(argc, argv); }

@@ -1,0 +1,138 @@
+/// \file throughput.cc
+/// \brief PERF: increment throughput microbenchmarks (google-benchmark).
+///
+/// Measures the per-increment path and the geometric fast-forward path of
+/// every counter, plus merge and the analytics store's
+/// deserialize-update-serialize cycle. Not a paper artifact — it quantifies
+/// the engineering claim in Remark 2.2 that queries/updates can use cheap
+/// scratch registers.
+
+#include <benchmark/benchmark.h>
+
+#include "analytics/counter_store.h"
+#include "baselines/csuros.h"
+#include "baselines/exact_counter.h"
+#include "core/merge.h"
+#include "core/morris.h"
+#include "core/morris_plus.h"
+#include "core/nelson_yu.h"
+#include "core/sampling_counter.h"
+
+namespace countlib {
+namespace {
+
+const Accuracy kAcc{0.1, 0.01, uint64_t{1} << 30};
+
+void BM_ExactIncrement(benchmark::State& state) {
+  auto counter = ExactCounter::Make(uint64_t{1} << 40).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ExactIncrement);
+
+void BM_MorrisIncrement(benchmark::State& state) {
+  auto counter = MorrisCounter::FromAccuracy(kAcc, 42).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MorrisIncrement);
+
+void BM_MorrisPlusIncrement(benchmark::State& state) {
+  auto counter = MorrisPlusCounter::FromAccuracy(kAcc, 42).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MorrisPlusIncrement);
+
+void BM_NelsonYuIncrement(benchmark::State& state) {
+  auto counter = NelsonYuCounter::FromAccuracy(kAcc, 42).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_NelsonYuIncrement);
+
+void BM_SamplingIncrement(benchmark::State& state) {
+  auto counter = SamplingCounter::FromAccuracy(kAcc, 42).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_SamplingIncrement);
+
+void BM_CsurosIncrement(benchmark::State& state) {
+  auto counter = CsurosCounter::FromAccuracy(kAcc, 42).ValueOrDie();
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CsurosIncrement);
+
+// Fast-forward: items/sec processed via IncrementMany (batch of 2^16).
+template <typename CounterT>
+void FastForwardLoop(benchmark::State& state, CounterT counter) {
+  const uint64_t batch = uint64_t{1} << 16;
+  for (auto _ : state) {
+    counter.Reset();
+    counter.IncrementMany(batch);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+
+void BM_MorrisFastForward(benchmark::State& state) {
+  FastForwardLoop(state, MorrisCounter::FromAccuracy(kAcc, 42).ValueOrDie());
+}
+BENCHMARK(BM_MorrisFastForward);
+
+void BM_NelsonYuFastForward(benchmark::State& state) {
+  FastForwardLoop(state, NelsonYuCounter::FromAccuracy(kAcc, 42).ValueOrDie());
+}
+BENCHMARK(BM_NelsonYuFastForward);
+
+void BM_SamplingFastForward(benchmark::State& state) {
+  FastForwardLoop(state, SamplingCounter::FromAccuracy(kAcc, 42).ValueOrDie());
+}
+BENCHMARK(BM_SamplingFastForward);
+
+void BM_SamplingMerge(benchmark::State& state) {
+  auto a = SamplingCounter::FromAccuracy(kAcc, 1).ValueOrDie();
+  auto b = SamplingCounter::FromAccuracy(kAcc, 2).ValueOrDie();
+  a.IncrementMany(1u << 20);
+  b.IncrementMany(1u << 20);
+  for (auto _ : state) {
+    auto merged = Merge(a, b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_SamplingMerge);
+
+void BM_CounterStoreUpdate(benchmark::State& state) {
+  auto store = analytics::CounterStore::MakeWithBitBudget(
+                   CounterKind::kSampling, 18, uint64_t{1} << 24, 7)
+                   .ValueOrDie();
+  // Pre-create 4096 keys.
+  for (uint64_t key = 0; key < 4096; ++key) {
+    benchmark::DoNotOptimize(store.Increment(key, 1));
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Increment(key & 4095, 1));
+    ++key;
+  }
+}
+BENCHMARK(BM_CounterStoreUpdate);
+
+}  // namespace
+}  // namespace countlib
+
+BENCHMARK_MAIN();

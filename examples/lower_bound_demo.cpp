@@ -1,0 +1,69 @@
+/// \file lower_bound_demo.cpp
+/// \brief Watch the Theorem 3.1 lower bound happen: squeeze a Morris
+/// counter into a handful of bits, derandomize it the way the proof does
+/// (always take the most likely transition), and exhibit two counts — a
+/// factor 4+ apart — that land in the same state and therefore get the
+/// same answer.
+///
+///   ./build/examples/lower_bound_demo [--bits=6]
+
+#include <cstdio>
+
+#include "sim/derandomizer.h"
+#include "sim/lower_bound.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace countlib;
+
+  FlagParser flags("lower_bound_demo: the Section-3 pumping argument, live");
+  flags.AddInt64("bits", 6, "state budget S for the counter (4..12)");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+  const int bits = static_cast<int>(flags.GetInt64("bits"));
+
+  auto row_or = sim::PumpMorris(bits, 1u << 20, 0);
+  if (!row_or.ok()) {
+    std::fprintf(stderr, "no pumping witness: %s\n",
+                 row_or.status().ToString().c_str());
+    return 1;
+  }
+  const sim::PumpingRow& row = *row_or;
+  const auto& w = row.witness;
+
+  std::printf("A Morris counter squeezed into S = %d bits has %llu states.\n",
+              row.state_bits, static_cast<unsigned long long>(row.num_states));
+  std::printf("Derandomize it as in the proof of Theorem 3.1: from every "
+              "state, always take the most probable transition.\n\n");
+  std::printf("Walk the deterministic counter and record states:\n");
+  std::printf("  after N1 = %llu increments -> state %llu\n",
+              static_cast<unsigned long long>(w.n1),
+              static_cast<unsigned long long>(w.state));
+  std::printf("  after N2 = %llu increments -> the same state (pigeonhole "
+              "within T/2 = %llu counts)\n",
+              static_cast<unsigned long long>(w.n2),
+              static_cast<unsigned long long>(row.promise_t / 2));
+  std::printf("  so the walk is periodic with period %llu from N1 on, and\n",
+              static_cast<unsigned long long>(w.period));
+  std::printf("  after N3 = %llu increments (in [2T, 4T]) -> the same state "
+              "again.\n\n",
+              static_cast<unsigned long long>(w.n3));
+  std::printf("The counter answers %.6g for BOTH N1 = %llu and N3 = %llu — "
+              "counts %.1fx apart.\n",
+              w.estimate_small, static_cast<unsigned long long>(w.n1),
+              static_cast<unsigned long long>(w.n3),
+              static_cast<double>(w.n3) /
+                  static_cast<double>(std::max<uint64_t>(1, w.n1)));
+  std::printf("Whatever that answer is, its relative error on one of them is "
+              ">= %.4f (>= 3/5 always).\n\n",
+              row.forced_relative_error);
+  std::printf("This is why S >= Omega(min{log n, log log n + log 1/eps + "
+              "log log 1/delta}): derandomization costs a factor the failure "
+              "probability cannot absorb unless S was already that large "
+              "(Theorem 3.1).\n");
+  return 0;
+}

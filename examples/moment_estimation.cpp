@@ -1,0 +1,68 @@
+/// \file moment_estimation.cpp
+/// \brief Using approximate counters inside a bigger streaming algorithm:
+/// F_p frequency-moment estimation (the [JW19]/[GS09] application from §1
+/// of the paper). The AMS-style sampler needs many occurrence counters —
+/// swapping exact registers for approximate ones shrinks them from
+/// log(n) to log log(n) + log(1/eps) bits each.
+///
+///   ./build/examples/moment_estimation [--p=0.5]
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "apps/frequency_moments.h"
+#include "random/distributions.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace countlib;
+
+  FlagParser flags("moment_estimation: F_p on a Zipf stream");
+  flags.AddDouble("p", 0.5, "moment order in (0, 2]");
+  flags.AddUint64("stream", 100000, "stream length");
+  flags.AddUint64("estimators", 500, "parallel AMS samplers");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+  const double p = flags.GetDouble("p");
+  const uint64_t stream_len = flags.GetUint64("stream");
+  const uint64_t estimators = flags.GetUint64("estimators");
+
+  // Zipf item stream.
+  auto zipf = ZipfDistribution::Make(512, 1.1).ValueOrDie();
+  Rng rng(2022);
+  std::unordered_map<uint64_t, uint64_t> freq;
+  std::vector<uint64_t> items(stream_len);
+  for (auto& item : items) {
+    item = zipf.Sample(&rng);
+    ++freq[item];
+  }
+  const double truth = apps::ExactFp(freq, p);
+  std::printf("stream: %llu items, %zu distinct; exact F_%.2f = %.1f\n",
+              static_cast<unsigned long long>(stream_len), freq.size(), p, truth);
+
+  // Provision the occurrence counters for counts up to 2^40 — the regime a
+  // long-lived stream would need, and where the log n vs log log n gap
+  // shows (an exact register would cost 41 bits here).
+  const Accuracy counter_acc{0.05, 0.01, uint64_t{1} << 40};
+  for (CounterKind kind : {CounterKind::kExact, CounterKind::kSampling,
+                           CounterKind::kMorrisPlus}) {
+    auto est =
+        apps::FpMomentEstimator::Make(p, estimators, kind, counter_acc, 7)
+            .ValueOrDie();
+    for (uint64_t item : items) COUNTLIB_CHECK_OK(est.Add(item));
+    const double got = est.Estimate().ValueOrDie();
+    std::printf("%-16s occurrence counters: F_p-hat = %10.1f (%+.2f%%), "
+                "counter state = %llu bits total\n",
+                CounterKindToString(kind), got, 100.0 * (got / truth - 1.0),
+                static_cast<unsigned long long>(est.CounterStateBits()));
+  }
+  std::printf("\nthe approximate-counter versions match the exact-register "
+              "version's accuracy while spending fewer bits per occurrence "
+              "counter (log log n + log 1/eps vs log n) — the [GS09]/[JW19] "
+              "trick; the gap widens as the provisioned n_max grows\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "analytics/concurrent_store.h"
+
+namespace countlib {
+namespace analytics {
+
+Result<ConcurrentCounterStore> ConcurrentCounterStore::Make(
+    uint64_t stripes, CounterKind kind, int state_bits, uint64_t n_max,
+    uint64_t seed) {
+  if (stripes < 1 || stripes > 4096) {
+    return Status::InvalidArgument("ConcurrentCounterStore: stripes in [1, 4096]");
+  }
+  std::vector<std::unique_ptr<Stripe>> out;
+  out.reserve(stripes);
+  for (uint64_t i = 0; i < stripes; ++i) {
+    COUNTLIB_ASSIGN_OR_RETURN(
+        CounterStore store,
+        CounterStore::MakeWithBitBudget(kind, state_bits, n_max,
+                                        seed + i * 0x9E3779B97F4A7C15ull));
+    auto stripe = std::make_unique<Stripe>();
+    stripe->store = std::make_unique<CounterStore>(std::move(store));
+    out.push_back(std::move(stripe));
+  }
+  return ConcurrentCounterStore(std::move(out));
+}
+
+ConcurrentCounterStore::Stripe& ConcurrentCounterStore::StripeFor(
+    uint64_t key) const {
+  // SplitMix-style mix so adjacent keys spread across stripes.
+  uint64_t z = key + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return *stripes_[z % stripes_.size()];
+}
+
+Status ConcurrentCounterStore::Increment(uint64_t key, uint64_t weight) {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.store->Increment(key, weight);
+}
+
+Result<double> ConcurrentCounterStore::Estimate(uint64_t key) const {
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.store->Estimate(key);
+}
+
+uint64_t ConcurrentCounterStore::NumKeys() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->store->num_keys();
+  }
+  return total;
+}
+
+uint64_t ConcurrentCounterStore::TotalStateBits() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->store->TotalStateBits();
+  }
+  return total;
+}
+
+}  // namespace analytics
+}  // namespace countlib

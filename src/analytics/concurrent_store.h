@@ -1,0 +1,62 @@
+/// \file concurrent_store.h
+/// \brief Thread-safe multi-counter store: stripes of bit-packed
+/// `CounterStore`s, each guarded by its own mutex, with keys routed by
+/// hash. Ingest threads in a real analytics pipeline (the §1 motivation)
+/// can call `Increment` concurrently; stripes keep contention low while
+/// preserving the per-key bit packing.
+
+#ifndef COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_
+#define COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analytics/counter_store.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace analytics {
+
+/// \brief Striped, mutex-guarded collection of CounterStores.
+class ConcurrentCounterStore {
+ public:
+  /// `stripes` should be ~2-4x the ingest thread count; per-key counters
+  /// are `kind` calibrated to `state_bits` for counts up to `n_max`.
+  static Result<ConcurrentCounterStore> Make(uint64_t stripes, CounterKind kind,
+                                             int state_bits, uint64_t n_max,
+                                             uint64_t seed);
+
+  /// Thread-safe: adds `weight` increments to `key`.
+  Status Increment(uint64_t key, uint64_t weight = 1);
+
+  /// Thread-safe: the key's estimate (NotFound if never incremented).
+  Result<double> Estimate(uint64_t key) const;
+
+  /// Total distinct keys across stripes (takes all locks; O(stripes)).
+  uint64_t NumKeys() const;
+
+  /// Total packed counter bits across stripes.
+  uint64_t TotalStateBits() const;
+
+  uint64_t num_stripes() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unique_ptr<CounterStore> store;
+  };
+
+  explicit ConcurrentCounterStore(std::vector<std::unique_ptr<Stripe>> stripes)
+      : stripes_(std::move(stripes)) {}
+
+  Stripe& StripeFor(uint64_t key) const;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace analytics
+}  // namespace countlib
+
+#endif  // COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_

@@ -1,0 +1,112 @@
+/// \file counter_store.h
+/// \brief The paper's motivating application (§1): an analytics system
+/// maintaining a very large number of per-key approximate counters
+/// ("the number of visits to each page on Wikipedia"), where shaving bits
+/// per counter is the whole game.
+///
+/// `CounterStore` keeps per-key counter *state* bit-packed in a dense pool:
+/// each key owns exactly `StateBits()` bits (the provisioned program state
+/// of the chosen algorithm — e.g. 18 bits for a sampling counter at
+/// ε=10%, δ=1%, n_max=2^24, vs 64 for a naive machine counter). Updates
+/// deserialize the slot into a scratch counter, apply the increment, and
+/// serialize back — mirroring the paper's model where O(log N)-bit scratch
+/// registers are free but *stored* state is precious.
+///
+/// The key→slot index is kept separately and its memory is reported
+/// separately: it is the same for any counter algorithm and so cancels in
+/// comparisons.
+
+#ifndef COUNTLIB_ANALYTICS_COUNTER_STORE_H_
+#define COUNTLIB_ANALYTICS_COUNTER_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace analytics {
+
+/// \brief Bit-packed pool of many per-key approximate counters.
+class CounterStore {
+ public:
+  /// Builds a store whose per-key counters are `kind` calibrated to
+  /// `state_bits` bits for counts up to `n_max` (kinds supported by
+  /// `MakeCounterForBits`).
+  static Result<CounterStore> MakeWithBitBudget(CounterKind kind, int state_bits,
+                                                uint64_t n_max, uint64_t seed);
+
+  /// Builds a store whose per-key counters achieve the accuracy target.
+  /// Pass δ ≪ 1/expected_keys so all counters are simultaneously correct
+  /// with high probability (the paper's δ ≪ 1/M discussion).
+  static Result<CounterStore> MakeWithAccuracy(CounterKind kind, const Accuracy& acc,
+                                               uint64_t seed);
+
+  /// Adds `weight` increments to `key`'s counter (creating it on first use).
+  Status Increment(uint64_t key, uint64_t weight = 1);
+
+  /// The key's current estimate; NotFound if never incremented.
+  Result<double> Estimate(uint64_t key) const;
+
+  /// Number of distinct keys.
+  uint64_t num_keys() const { return index_.size(); }
+
+  /// Bits of counter state per key (the pool stride).
+  int bits_per_key() const { return stride_bits_; }
+
+  /// Total bits of packed counter state (stride * keys).
+  uint64_t TotalStateBits() const {
+    return static_cast<uint64_t>(stride_bits_) * index_.size();
+  }
+
+  /// Approximate bits of index overhead per key (hash-map bookkeeping;
+  /// algorithm-independent).
+  double IndexBitsPerKey() const;
+
+  /// The algorithm's display name.
+  std::string AlgorithmName() const { return scratch_->Name(); }
+
+  /// Persists the store (key index + packed counter pool) to a binary
+  /// file. The counter algorithm and calibration are NOT stored — the
+  /// loader must construct a store with identical parameters first (they
+  /// are program constants in the paper's model); a stride checksum guards
+  /// against mismatches.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Restores a store previously saved with `SaveToFile` into this
+  /// (identically-configured) store, replacing its contents.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  CounterStore(std::unique_ptr<Counter> scratch, std::vector<uint8_t> zero_state,
+               int stride_bits)
+      : scratch_(std::move(scratch)),
+        zero_state_(std::move(zero_state)),
+        stride_bits_(stride_bits) {}
+
+  static Result<CounterStore> FromScratchCounter(std::unique_ptr<Counter> scratch);
+
+  /// Loads slot bits into the scratch counter.
+  Status LoadSlot(uint64_t slot) const;
+  /// Stores the scratch counter's state back into the slot.
+  Status StoreSlot(uint64_t slot);
+
+  Result<uint64_t> GetOrCreateSlot(uint64_t key);
+
+  std::unique_ptr<Counter> scratch_;
+  std::vector<uint8_t> zero_state_;  // serialized fresh state (stride bits)
+  int stride_bits_;
+  std::vector<uint8_t> pool_;        // bit-packed states, stride per slot
+  uint64_t num_slots_ = 0;
+  std::unordered_map<uint64_t, uint64_t> index_;  // key -> slot
+};
+
+}  // namespace analytics
+}  // namespace countlib
+
+#endif  // COUNTLIB_ANALYTICS_COUNTER_STORE_H_

@@ -1,0 +1,94 @@
+#include "analytics/sharded_store.h"
+
+#include <algorithm>
+
+#include "core/merge.h"
+#include "random/rng.h"
+
+namespace countlib {
+namespace analytics {
+
+Result<ShardedStore> ShardedStore::Make(uint64_t num_shards,
+                                        const SamplingCounterParams& params,
+                                        uint64_t seed) {
+  if (num_shards < 1 || num_shards > (uint64_t{1} << 20)) {
+    return Status::InvalidArgument("ShardedStore: num_shards in [1, 2^20]");
+  }
+  // Validate params by constructing a probe counter.
+  COUNTLIB_RETURN_NOT_OK(SamplingCounter::Make(params, seed).status());
+  std::vector<std::unordered_map<uint64_t, SamplingCounter>> shards(num_shards);
+  return ShardedStore(std::move(shards), params, seed);
+}
+
+Status ShardedStore::Increment(uint64_t shard, uint64_t key, uint64_t weight) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  auto& map = shards_[shard];
+  auto it = map.find(key);
+  if (it == map.end()) {
+    // Derive an independent per-counter seed stream.
+    SplitMix64 mix(seed_mix_ ^ (0x9E3779B97F4A7C15ull * (++next_counter_id_)));
+    COUNTLIB_ASSIGN_OR_RETURN(SamplingCounter counter,
+                              SamplingCounter::Make(params_, mix.Next()));
+    it = map.emplace(key, std::move(counter)).first;
+  }
+  it->second.IncrementMany(weight);
+  return Status::OK();
+}
+
+Result<double> ShardedStore::MergedEstimate(uint64_t key) const {
+  const SamplingCounter* first = nullptr;
+  std::vector<const SamplingCounter*> rest;
+  for (const auto& shard : shards_) {
+    auto it = shard.find(key);
+    if (it == shard.end()) continue;
+    if (first == nullptr) {
+      first = &it->second;
+    } else {
+      rest.push_back(&it->second);
+    }
+  }
+  if (first == nullptr) {
+    return Status::NotFound("key " + std::to_string(key) + " absent in all shards");
+  }
+  SamplingCounter merged = *first;
+  for (const SamplingCounter* c : rest) {
+    COUNTLIB_RETURN_NOT_OK(MergeInto(&merged, *c));
+  }
+  return merged.Estimate();
+}
+
+Result<double> ShardedStore::ShardEstimate(uint64_t shard, uint64_t key) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  auto it = shards_[shard].find(key);
+  if (it == shards_[shard].end()) {
+    return Status::NotFound("key absent in shard");
+  }
+  return it->second.Estimate();
+}
+
+std::vector<uint64_t> ShardedStore::Keys() const {
+  std::vector<uint64_t> keys;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, counter] : shard) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+uint64_t ShardedStore::TotalStateBits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& [key, counter] : shard) {
+      total += static_cast<uint64_t>(counter.StateBits());
+    }
+  }
+  return total;
+}
+
+}  // namespace analytics
+}  // namespace countlib

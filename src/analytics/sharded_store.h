@@ -1,0 +1,66 @@
+/// \file sharded_store.h
+/// \brief Distributed-aggregation flavor of the analytics store: several
+/// shards (servers) each count their own sub-stream, and per-key counters
+/// are later combined with the *mergeability* of Remark 2.4 — the merged
+/// counter's distribution is exactly that of a single counter that saw the
+/// whole stream, so nothing is lost in (ε, δ).
+///
+/// Shards hold typed `SamplingCounter`s (mergeable, compact); the exact
+/// same pattern applies to `NelsonYuCounter` via `core/merge.h`.
+
+#ifndef COUNTLIB_ANALYTICS_SHARDED_STORE_H_
+#define COUNTLIB_ANALYTICS_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "core/sampling_counter.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace analytics {
+
+/// \brief Per-key sampling counters across multiple shards with merge-based
+/// global queries.
+class ShardedStore {
+ public:
+  /// `num_shards >= 1`; all per-key counters share `params`.
+  static Result<ShardedStore> Make(uint64_t num_shards,
+                                   const SamplingCounterParams& params,
+                                   uint64_t seed);
+
+  /// Adds `weight` increments for `key` on `shard`.
+  Status Increment(uint64_t shard, uint64_t key, uint64_t weight = 1);
+
+  /// Global estimate for `key`: merges the key's counters across all
+  /// shards (Remark 2.4). NotFound if the key appears nowhere.
+  Result<double> MergedEstimate(uint64_t key) const;
+
+  /// Estimate for `key` restricted to one shard (NotFound if absent).
+  Result<double> ShardEstimate(uint64_t shard, uint64_t key) const;
+
+  /// All keys present in any shard.
+  std::vector<uint64_t> Keys() const;
+
+  uint64_t num_shards() const { return shards_.size(); }
+
+  /// Total provisioned counter bits across all shards.
+  uint64_t TotalStateBits() const;
+
+ private:
+  ShardedStore(std::vector<std::unordered_map<uint64_t, SamplingCounter>> shards,
+               SamplingCounterParams params, uint64_t seed)
+      : shards_(std::move(shards)), params_(params), seed_mix_(seed) {}
+
+  std::vector<std::unordered_map<uint64_t, SamplingCounter>> shards_;
+  SamplingCounterParams params_;
+  uint64_t seed_mix_;
+  uint64_t next_counter_id_ = 0;
+};
+
+}  // namespace analytics
+}  // namespace countlib
+
+#endif  // COUNTLIB_ANALYTICS_SHARDED_STORE_H_

@@ -1,0 +1,77 @@
+#include "apps/frequency_moments.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace countlib {
+namespace apps {
+
+double ExactFp(const std::unordered_map<uint64_t, uint64_t>& frequencies, double p) {
+  KahanSum sum;
+  for (const auto& [item, freq] : frequencies) {
+    if (freq > 0) sum.Add(std::pow(static_cast<double>(freq), p));
+  }
+  return sum.Total();
+}
+
+Result<FpMomentEstimator> FpMomentEstimator::Make(double p, uint64_t num_estimators,
+                                                  CounterKind counter_kind,
+                                                  const Accuracy& counter_acc,
+                                                  uint64_t seed) {
+  if (!(p > 0.0) || p > 2.0) {
+    return Status::InvalidArgument("FpMomentEstimator: p must be in (0, 2]");
+  }
+  if (num_estimators < 1 || num_estimators > (uint64_t{1} << 20)) {
+    return Status::InvalidArgument("FpMomentEstimator: estimators in [1, 2^20]");
+  }
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(counter_acc));
+  FpMomentEstimator est(p, counter_kind, counter_acc, seed);
+  est.samplers_.resize(num_estimators);
+  return est;
+}
+
+Status FpMomentEstimator::Add(uint64_t item) {
+  ++length_;
+  for (auto& sampler : samplers_) {
+    // Reservoir over positions: replace the sample with probability
+    // 1/length, keeping the sampled position uniform over the prefix.
+    if (!sampler.active || rng_.Bernoulli(1.0 / static_cast<double>(length_))) {
+      sampler.sampled_item = item;
+      sampler.active = true;
+      COUNTLIB_ASSIGN_OR_RETURN(sampler.occurrences,
+                                MakeCounter(kind_, acc_, rng_.NextU64() | 1));
+      sampler.occurrences->Increment();  // r counts the sampled occurrence
+    } else if (sampler.sampled_item == item) {
+      sampler.occurrences->Increment();
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> FpMomentEstimator::Estimate() const {
+  if (length_ == 0) {
+    return Status::FailedPrecondition("FpMomentEstimator: empty stream");
+  }
+  KahanSum sum;
+  for (const auto& sampler : samplers_) {
+    const double r = std::max(1.0, sampler.occurrences->Estimate());
+    const double basic = static_cast<double>(length_) *
+                         (std::pow(r, p_) - std::pow(r - 1.0, p_));
+    sum.Add(basic);
+  }
+  return sum.Total() / static_cast<double>(samplers_.size());
+}
+
+uint64_t FpMomentEstimator::CounterStateBits() const {
+  uint64_t total = 0;
+  for (const auto& sampler : samplers_) {
+    if (sampler.active) {
+      total += static_cast<uint64_t>(sampler.occurrences->StateBits());
+    }
+  }
+  return total;
+}
+
+}  // namespace apps
+}  // namespace countlib

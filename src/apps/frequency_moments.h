@@ -1,0 +1,82 @@
+/// \file frequency_moments.h
+/// \brief F_p frequency-moment estimation on insertion-only streams using
+/// approximate counters as the counting subroutine — the application family
+/// of [AMS99, GS09, JW19] that §1 of the paper cites as consumers of
+/// approximate counting.
+///
+/// The estimator is the classical AMS sampling scheme: pick a uniformly
+/// random stream position (reservoir-style), let r be the number of
+/// subsequent occurrences of the item at that position (inclusive), and
+/// output m (r^p - (r-1)^p); this is an unbiased estimator of
+/// F_p = Σ_i f_i^p for any p > 0. Following [GS09], the occurrence count r
+/// is maintained by an *approximate* counter, shrinking the per-estimator
+/// memory from O(log m) to O(log log m + log(1/ε)) bits; averaging k
+/// independent estimators controls the variance.
+///
+/// An exact-map baseline (`ExactFp`) provides ground truth.
+
+#ifndef COUNTLIB_APPS_FREQUENCY_MOMENTS_H_
+#define COUNTLIB_APPS_FREQUENCY_MOMENTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "core/params.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace apps {
+
+/// \brief Exact F_p = Σ_i f_i^p of a materialized stream (ground truth).
+double ExactFp(const std::unordered_map<uint64_t, uint64_t>& frequencies, double p);
+
+/// \brief Streaming F_p estimator: k parallel AMS samplers whose occurrence
+/// counters are approximate counters of a chosen kind.
+class FpMomentEstimator {
+ public:
+  /// `p` in (0, 2]; `num_estimators >= 1`; occurrence counters are built
+  /// from (`counter_kind`, `counter_acc`).
+  static Result<FpMomentEstimator> Make(double p, uint64_t num_estimators,
+                                        CounterKind counter_kind,
+                                        const Accuracy& counter_acc, uint64_t seed);
+
+  /// Feeds one stream item.
+  Status Add(uint64_t item);
+
+  /// The F_p estimate (mean of the k basic estimators). Requires at least
+  /// one item.
+  Result<double> Estimate() const;
+
+  /// Total provisioned bits across the occurrence counters (excludes the
+  /// sampled item ids, which any variant must store).
+  uint64_t CounterStateBits() const;
+
+  uint64_t stream_length() const { return length_; }
+
+ private:
+  struct Sampler {
+    uint64_t sampled_item = 0;
+    std::unique_ptr<Counter> occurrences;
+    bool active = false;
+  };
+
+  FpMomentEstimator(double p, CounterKind kind, Accuracy acc, uint64_t seed)
+      : p_(p), kind_(kind), acc_(acc), rng_(seed) {}
+
+  double p_;
+  CounterKind kind_;
+  Accuracy acc_;
+  Rng rng_;
+  std::vector<Sampler> samplers_;
+  uint64_t length_ = 0;
+};
+
+}  // namespace apps
+}  // namespace countlib
+
+#endif  // COUNTLIB_APPS_FREQUENCY_MOMENTS_H_

@@ -1,0 +1,92 @@
+#include "apps/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/rng.h"
+
+namespace countlib {
+namespace apps {
+
+Result<HeavyHitterSketch> HeavyHitterSketch::Make(uint64_t capacity,
+                                                  CounterKind kind,
+                                                  const Accuracy& acc,
+                                                  uint64_t seed) {
+  if (capacity < 1 || capacity > (uint64_t{1} << 22)) {
+    return Status::InvalidArgument("heavy hitters: capacity in [1, 2^22]");
+  }
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+  return HeavyHitterSketch(capacity, kind, acc, seed);
+}
+
+Result<std::unique_ptr<Counter>> HeavyHitterSketch::NewCounter() {
+  SplitMix64 mix(seed_ ^ (0x9E3779B97F4A7C15ull * (++counter_serial_)));
+  return MakeCounter(kind_, acc_, mix.Next());
+}
+
+Status HeavyHitterSketch::Add(uint64_t item) {
+  ++length_;
+  auto it = slot_of_item_.find(item);
+  if (it != slot_of_item_.end()) {
+    slots_[it->second].count->Increment();
+    return Status::OK();
+  }
+  if (slots_.size() < capacity_) {
+    Slot slot;
+    slot.item = item;
+    COUNTLIB_ASSIGN_OR_RETURN(slot.count, NewCounter());
+    slot.count->Increment();
+    slot_of_item_.emplace(item, slots_.size());
+    slots_.push_back(std::move(slot));
+    return Status::OK();
+  }
+  // SpaceSaving eviction: replace the minimum-estimate slot; the newcomer
+  // inherits min + 1 (realized by a fresh counter fast-forwarded to the
+  // evicted estimate, then incremented).
+  size_t victim = 0;
+  double min_est = slots_[0].count->Estimate();
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    const double est = slots_[i].count->Estimate();
+    if (est < min_est) {
+      min_est = est;
+      victim = i;
+    }
+  }
+  slot_of_item_.erase(slots_[victim].item);
+  slots_[victim].item = item;
+  COUNTLIB_ASSIGN_OR_RETURN(slots_[victim].count, NewCounter());
+  const uint64_t inherited =
+      static_cast<uint64_t>(std::llround(std::max(0.0, min_est)));
+  slots_[victim].count->IncrementMany(inherited + 1);
+  slot_of_item_.emplace(item, victim);
+  return Status::OK();
+}
+
+std::vector<HeavyHitter> HeavyHitterSketch::Query(double threshold) const {
+  std::vector<HeavyHitter> out;
+  for (const auto& slot : slots_) {
+    const double est = slot.count->Estimate();
+    if (est > threshold) out.push_back({slot.item, est});
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyHitter& a, const HeavyHitter& b) {
+    return a.estimated_count > b.estimated_count;
+  });
+  return out;
+}
+
+std::vector<HeavyHitter> HeavyHitterSketch::TopK(uint64_t k) const {
+  std::vector<HeavyHitter> all = Query(-1.0);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+uint64_t HeavyHitterSketch::CounterStateBits() const {
+  uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += static_cast<uint64_t>(slot.count->StateBits());
+  }
+  return total;
+}
+
+}  // namespace apps
+}  // namespace countlib

@@ -1,0 +1,81 @@
+/// \file heavy_hitters.h
+/// \brief ℓ1 heavy hitters on insertion-only streams with approximate
+/// per-candidate counters — the [BDW19] application direction from §1: the
+/// candidate set machinery is SpaceSaving, but each slot's count register
+/// is an approximate counter, shaving the per-slot count from O(log m) to
+/// O(log log m + log(1/ε)) bits.
+///
+/// Guarantee (inherited from SpaceSaving, softened by the counter's ε): a
+/// query for threshold φ returns every item with frequency > (φ + 1/k) m
+/// and the count estimates are within εm of a (true count + m/k) band.
+
+#ifndef COUNTLIB_APPS_HEAVY_HITTERS_H_
+#define COUNTLIB_APPS_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace apps {
+
+/// \brief A reported heavy hitter.
+struct HeavyHitter {
+  uint64_t item = 0;
+  double estimated_count = 0;
+};
+
+/// \brief SpaceSaving with approximate count registers.
+class HeavyHitterSketch {
+ public:
+  /// `capacity` = number of tracked candidates (k); counters are
+  /// (`kind`, `acc`). kind = kExact recovers classical SpaceSaving.
+  static Result<HeavyHitterSketch> Make(uint64_t capacity, CounterKind kind,
+                                        const Accuracy& acc, uint64_t seed);
+
+  /// Feeds one occurrence of `item`.
+  Status Add(uint64_t item);
+
+  /// Items whose estimated count exceeds `threshold` (descending order).
+  std::vector<HeavyHitter> Query(double threshold) const;
+
+  /// The top-`k` candidates by estimated count.
+  std::vector<HeavyHitter> TopK(uint64_t k) const;
+
+  uint64_t stream_length() const { return length_; }
+  uint64_t capacity() const { return capacity_; }
+
+  /// Total provisioned bits across count registers.
+  uint64_t CounterStateBits() const;
+
+ private:
+  struct Slot {
+    uint64_t item = 0;
+    std::unique_ptr<Counter> count;
+  };
+
+  HeavyHitterSketch(uint64_t capacity, CounterKind kind, Accuracy acc, uint64_t seed)
+      : capacity_(capacity), kind_(kind), acc_(acc), seed_(seed) {}
+
+  Result<std::unique_ptr<Counter>> NewCounter();
+
+  uint64_t capacity_;
+  CounterKind kind_;
+  Accuracy acc_;
+  uint64_t seed_;
+  uint64_t counter_serial_ = 0;
+  uint64_t length_ = 0;
+  std::vector<Slot> slots_;
+  std::unordered_map<uint64_t, size_t> slot_of_item_;
+};
+
+}  // namespace apps
+}  // namespace countlib
+
+#endif  // COUNTLIB_APPS_HEAVY_HITTERS_H_

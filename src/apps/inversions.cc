@@ -1,0 +1,83 @@
+#include "apps/inversions.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace countlib {
+namespace apps {
+
+namespace {
+
+/// Fenwick (binary indexed) tree over value ranks for exact counting.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  /// Adds 1 at 0-based position `i`.
+  void Add(size_t i) {
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) ++tree_[j];
+  }
+
+  /// Count of additions at positions in [0, i].
+  uint64_t PrefixSum(size_t i) const {
+    uint64_t s = 0;
+    for (size_t j = i + 1; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+ private:
+  std::vector<uint64_t> tree_;
+};
+
+}  // namespace
+
+uint64_t ExactInversions(const std::vector<uint64_t>& sequence) {
+  if (sequence.empty()) return 0;
+  // Coordinate-compress values to ranks.
+  std::vector<uint64_t> sorted = sequence;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  Fenwick tree(sorted.size());
+  uint64_t inversions = 0;
+  uint64_t seen = 0;
+  for (uint64_t v : sequence) {
+    const size_t rank = static_cast<size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+    // Elements already seen that are strictly greater than v.
+    inversions += seen - tree.PrefixSum(rank);
+    tree.Add(rank);
+    ++seen;
+  }
+  return inversions;
+}
+
+Result<InversionEstimator> InversionEstimator::Make(double sample_rate,
+                                                    CounterKind kind,
+                                                    const Accuracy& acc,
+                                                    uint64_t seed) {
+  if (!(sample_rate > 0.0) || sample_rate > 1.0) {
+    return Status::InvalidArgument("inversions: sample_rate must be in (0, 1]");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(std::unique_ptr<Counter> counter,
+                            MakeCounter(kind, acc, seed ^ 0x1234ABCDull));
+  return InversionEstimator(sample_rate, std::move(counter), seed);
+}
+
+void InversionEstimator::Add(uint64_t value) {
+  // Count sampled inversions against the retained prefix sample.
+  uint64_t hits = 0;
+  for (uint64_t kept : retained_) {
+    if (kept > value) ++hits;
+  }
+  if (hits > 0) sampled_inversions_->IncrementMany(hits);
+  // Retain this element for future comparisons with probability q.
+  if (rng_.Bernoulli(sample_rate_)) retained_.push_back(value);
+}
+
+double InversionEstimator::Estimate() const {
+  return sampled_inversions_->Estimate() / sample_rate_;
+}
+
+}  // namespace apps
+}  // namespace countlib

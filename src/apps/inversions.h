@@ -1,0 +1,68 @@
+/// \file inversions.h
+/// \brief Approximate inversion counting over a streamed permutation — the
+/// [AJKS02] application direction from §1. Pairs are subsampled at a fixed
+/// rate q (each prefix element is retained independently), each retained
+/// element is compared with every arrival, and the sampled inversion count
+/// K (maintained by an *approximate counter*) unbiasedly estimates
+/// INV = K/q.
+///
+/// Memory: O(q n) retained values + an O(log log n)-bit counter, versus the
+/// O(n log n) of exact counting. Var(INV-hat) <= INV/q + (εINV)², so q and
+/// the counter's ε trade memory for accuracy.
+
+#ifndef COUNTLIB_APPS_INVERSIONS_H_
+#define COUNTLIB_APPS_INVERSIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "core/params.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace apps {
+
+/// \brief Exact inversion count of a sequence (Fenwick tree; O(n log n))
+/// — ground truth for the tests and benches.
+uint64_t ExactInversions(const std::vector<uint64_t>& sequence);
+
+/// \brief Streaming approximate inversion counter.
+class InversionEstimator {
+ public:
+  /// `sample_rate` in (0, 1]; the sampled-inversion register is a counter
+  /// of (`kind`, `acc`).
+  static Result<InversionEstimator> Make(double sample_rate, CounterKind kind,
+                                         const Accuracy& acc, uint64_t seed);
+
+  /// Feeds the next element of the stream.
+  void Add(uint64_t value);
+
+  /// INV-hat = (sampled inversions) / q.
+  double Estimate() const;
+
+  /// Number of retained prefix elements (the dominant memory term).
+  uint64_t retained() const { return retained_.size(); }
+
+  /// Bits of the inversion register.
+  int CounterStateBits() const { return sampled_inversions_->StateBits(); }
+
+ private:
+  InversionEstimator(double sample_rate, std::unique_ptr<Counter> counter,
+                     uint64_t seed)
+      : sample_rate_(sample_rate), sampled_inversions_(std::move(counter)),
+        rng_(seed) {}
+
+  double sample_rate_;
+  std::unique_ptr<Counter> sampled_inversions_;
+  Rng rng_;
+  std::vector<uint64_t> retained_;
+};
+
+}  // namespace apps
+}  // namespace countlib
+
+#endif  // COUNTLIB_APPS_INVERSIONS_H_

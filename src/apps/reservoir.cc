@@ -1,0 +1,38 @@
+#include "apps/reservoir.h"
+
+#include <algorithm>
+
+namespace countlib {
+namespace apps {
+
+Result<ApproximateReservoir> ApproximateReservoir::Make(uint64_t capacity,
+                                                        CounterKind kind,
+                                                        const Accuracy& acc,
+                                                        uint64_t seed) {
+  if (capacity < 1 || capacity > (uint64_t{1} << 24)) {
+    return Status::InvalidArgument("reservoir: capacity in [1, 2^24]");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(std::unique_ptr<Counter> length,
+                            MakeCounter(kind, acc, seed ^ 0xABCDEF1234567ull));
+  ApproximateReservoir r(capacity, std::move(length), seed);
+  r.sample_.reserve(capacity);
+  return r;
+}
+
+void ApproximateReservoir::Add(uint64_t item) {
+  length_->Increment();
+  if (sample_.size() < capacity_) {
+    sample_.push_back(item);
+    return;
+  }
+  // Replacement probability capacity / N-hat, clamped to [0, 1]; with the
+  // exact counter this is the textbook algorithm.
+  const double n_hat = std::max(EstimatedLength(), static_cast<double>(capacity_));
+  if (rng_.Bernoulli(static_cast<double>(capacity_) / n_hat)) {
+    const uint64_t victim = rng_.UniformBelow(capacity_);
+    sample_[victim] = item;
+  }
+}
+
+}  // namespace apps
+}  // namespace countlib

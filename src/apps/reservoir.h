@@ -1,0 +1,59 @@
+/// \file reservoir.h
+/// \brief Approximate reservoir sampling [GS09]: classical reservoir
+/// sampling needs the exact stream length N to set the replacement
+/// probability k/N; when N itself is kept by an approximate counter the
+/// reservoir stays nearly uniform while the length register shrinks to
+/// O(log log N) bits — one of the §1 applications.
+
+#ifndef COUNTLIB_APPS_RESERVOIR_H_
+#define COUNTLIB_APPS_RESERVOIR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "core/params.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace apps {
+
+/// \brief Reservoir of `capacity` items whose stream-length register is an
+/// approximate counter.
+class ApproximateReservoir {
+ public:
+  /// `capacity >= 1`; the length counter is (`kind`, `acc`); kind = kExact
+  /// recovers the classical algorithm (useful as the test baseline).
+  static Result<ApproximateReservoir> Make(uint64_t capacity, CounterKind kind,
+                                           const Accuracy& acc, uint64_t seed);
+
+  /// Feeds one item.
+  void Add(uint64_t item);
+
+  /// The current sample (size min(capacity, items seen)).
+  const std::vector<uint64_t>& sample() const { return sample_; }
+
+  /// The approximate stream length.
+  double EstimatedLength() const { return length_->Estimate(); }
+
+  /// Bits of the length register (the point of the construction).
+  int LengthStateBits() const { return length_->StateBits(); }
+
+ private:
+  ApproximateReservoir(uint64_t capacity, std::unique_ptr<Counter> length,
+                       uint64_t seed)
+      : capacity_(capacity), length_(std::move(length)), rng_(seed) {}
+
+  uint64_t capacity_;
+  std::unique_ptr<Counter> length_;
+  Rng rng_;
+  std::vector<uint64_t> sample_;
+};
+
+}  // namespace apps
+}  // namespace countlib
+
+#endif  // COUNTLIB_APPS_RESERVOIR_H_

@@ -1,0 +1,95 @@
+#include "baselines/averaged_morris.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/math.h"
+
+namespace countlib {
+
+Result<AveragedMorrisCounter> AveragedMorrisCounter::Make(const MorrisParams& params,
+                                                          uint64_t copies,
+                                                          uint64_t seed) {
+  if (copies < 1) {
+    return Status::InvalidArgument("AveragedMorris: copies must be >= 1");
+  }
+  if (copies > (uint64_t{1} << 24)) {
+    return Status::InvalidArgument("AveragedMorris: copies too large (> 2^24)");
+  }
+  std::vector<MorrisCounter> counters;
+  counters.reserve(copies);
+  Rng seeder(seed);
+  for (uint64_t i = 0; i < copies; ++i) {
+    COUNTLIB_ASSIGN_OR_RETURN(MorrisCounter c,
+                              MorrisCounter::Make(params, seeder.NextU64()));
+    counters.push_back(std::move(c));
+  }
+  return AveragedMorrisCounter(std::move(counters));
+}
+
+Result<AveragedMorrisCounter> AveragedMorrisCounter::FromAccuracy(const Accuracy& acc,
+                                                                  uint64_t seed) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+  MorrisParams params;
+  params.a = 1.0;  // the classic Morris Counter
+  params.x_cap = static_cast<uint64_t>(
+                     std::ceil(std::log2(static_cast<double>(acc.n_max)))) +
+                 32;
+  params.prefix_limit = 0;
+  // Var(mean of k estimators) = a N(N-1)/(2k) <= N² a/(2k); Chebyshev needs
+  // a/(2k) <= ε² δ.
+  const uint64_t copies = static_cast<uint64_t>(
+      std::ceil(params.a / (2.0 * acc.epsilon * acc.epsilon * acc.delta)));
+  return Make(params, std::max<uint64_t>(1, copies), seed);
+}
+
+void AveragedMorrisCounter::Increment() {
+  for (auto& c : counters_) c.Increment();
+}
+
+void AveragedMorrisCounter::IncrementMany(uint64_t n) {
+  for (auto& c : counters_) c.IncrementMany(n);
+}
+
+double AveragedMorrisCounter::Estimate() const {
+  KahanSum sum;
+  for (const auto& c : counters_) sum.Add(c.Estimate());
+  return sum.Total() / static_cast<double>(counters_.size());
+}
+
+int AveragedMorrisCounter::StateBits() const {
+  return static_cast<int>(counters_.size()) * counters_[0].StateBits();
+}
+
+int AveragedMorrisCounter::CurrentStateBits() const {
+  int total = 0;
+  for (const auto& c : counters_) total += c.CurrentStateBits();
+  return total;
+}
+
+void AveragedMorrisCounter::Reset() {
+  for (auto& c : counters_) c.Reset();
+}
+
+std::string AveragedMorrisCounter::Name() const {
+  std::ostringstream os;
+  os << "averaged-morris(k=" << counters_.size() << ", a=" << counters_[0].params().a
+     << ", bits=" << StateBits() << ")";
+  return os.str();
+}
+
+Status AveragedMorrisCounter::SerializeState(BitWriter* out) const {
+  for (const auto& c : counters_) {
+    COUNTLIB_RETURN_NOT_OK(c.SerializeState(out));
+  }
+  return Status::OK();
+}
+
+Status AveragedMorrisCounter::DeserializeState(BitReader* in) {
+  for (auto& c : counters_) {
+    COUNTLIB_RETURN_NOT_OK(c.DeserializeState(in));
+  }
+  return Status::OK();
+}
+
+}  // namespace countlib

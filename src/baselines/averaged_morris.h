@@ -1,0 +1,62 @@
+/// \file averaged_morris.h
+/// \brief Flajolet's averaging approach: k independent Morris(a) counters,
+/// estimate = mean of the k estimators.
+///
+/// Section 1.1 of the paper contrasts two routes to accuracy ε from
+/// Morris(1): average Θ(1/ε²) independent copies, or shrink the base
+/// parameter a. The variance bound of [Fla85] makes them look "similar",
+/// but computationally they are not: averaging multiplies the *space* by
+/// 1/ε² (each copy keeps its own X register), while changing base only adds
+/// O(log(1/ε)) bits. This class implements the averaging route so the
+/// `bench/averaging_vs_base` experiment can demonstrate the gap.
+
+#ifndef COUNTLIB_BASELINES_AVERAGED_MORRIS_H_
+#define COUNTLIB_BASELINES_AVERAGED_MORRIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/morris.h"
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Mean of k independent Morris(a) counters.
+class AveragedMorrisCounter : public Counter {
+ public:
+  /// Builds `copies >= 1` independent Morris counters with shared params.
+  static Result<AveragedMorrisCounter> Make(const MorrisParams& params,
+                                            uint64_t copies, uint64_t seed);
+
+  /// Accuracy-driven: keep a = 1 (the classic Morris Counter) and average
+  /// k = ceil(a / (2 ε² δ)) copies (Chebyshev on the averaged variance
+  /// a N(N-1) / (2k)).
+  static Result<AveragedMorrisCounter> FromAccuracy(const Accuracy& acc,
+                                                    uint64_t seed);
+
+  void Increment() override;
+  void IncrementMany(uint64_t n) override;
+  double Estimate() const override;
+  int StateBits() const override;
+  int CurrentStateBits() const override;
+  void Reset() override;
+  std::string Name() const override;
+  Status SerializeState(BitWriter* out) const override;
+  Status DeserializeState(BitReader* in) override;
+
+  uint64_t copies() const { return counters_.size(); }
+  const MorrisCounter& counter(size_t i) const { return counters_[i]; }
+
+ private:
+  explicit AveragedMorrisCounter(std::vector<MorrisCounter> counters)
+      : counters_(std::move(counters)) {}
+
+  std::vector<MorrisCounter> counters_;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_BASELINES_AVERAGED_MORRIS_H_

@@ -1,0 +1,42 @@
+#include "baselines/exact_counter.h"
+
+#include <algorithm>
+
+#include "util/math.h"
+
+namespace countlib {
+
+Result<ExactCounter> ExactCounter::Make(uint64_t n_cap) {
+  if (n_cap < 1) return Status::InvalidArgument("ExactCounter: n_cap must be >= 1");
+  return ExactCounter(n_cap);
+}
+
+void ExactCounter::Increment() {
+  if (count_ < n_cap_) ++count_;
+}
+
+void ExactCounter::IncrementMany(uint64_t n) {
+  count_ = std::min(SaturatingAdd(count_, n), n_cap_);
+}
+
+int ExactCounter::StateBits() const { return BitWidth(n_cap_); }
+
+int ExactCounter::CurrentStateBits() const { return BitWidth(count_); }
+
+std::string ExactCounter::Name() const {
+  return "exact(bits=" + std::to_string(StateBits()) + ")";
+}
+
+Status ExactCounter::SerializeState(BitWriter* out) const {
+  out->WriteBits(count_, StateBits());
+  return Status::OK();
+}
+
+Status ExactCounter::DeserializeState(BitReader* in) {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t count, in->ReadBits(StateBits()));
+  if (count > n_cap_) return Status::InvalidArgument("ExactCounter: count > n_cap");
+  count_ = count;
+  return Status::OK();
+}
+
+}  // namespace countlib

@@ -1,0 +1,75 @@
+/// \file counter.h
+/// \brief The abstract approximate-counter interface.
+///
+/// Every counter in countlib — the paper's Algorithm 1 (`NelsonYuCounter`),
+/// the classical Morris counter and its Morris+ tweak, the simplified
+/// sampling counter of Figure 1, and the baselines — implements this
+/// interface, so experiments and the analytics store can treat them
+/// uniformly.
+///
+/// ## Space accounting
+///
+/// Following Remark 2.2 of the paper, a counter distinguishes:
+///  * `StateBits()` — the *provisioned* number of bits of program state the
+///    counter was calibrated to (fixed at construction; what a system
+///    storing millions of counters must reserve per counter);
+///  * `CurrentStateBits()` — the bits needed for the state *right now*
+///    (a random variable; Theorem 2.3 bounds its tail);
+///  * scratch registers used transiently while processing an update or
+///    query are *not* counted, exactly as the paper argues
+///    ("it is reasonable to assume O(log N)-bit registers are available
+///    temporarily while processing updates and queries").
+
+#ifndef COUNTLIB_CORE_COUNTER_H_
+#define COUNTLIB_CORE_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/bit_io.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Abstract randomized approximate counter.
+class Counter {
+ public:
+  virtual ~Counter() = default;
+
+  /// Processes one increment of the underlying count N.
+  virtual void Increment() = 0;
+
+  /// Processes `n` increments. The default loops over `Increment()`;
+  /// sampling-based counters override this with an exact O(#accepted)
+  /// geometric fast-forward (see random/geometric.h).
+  virtual void IncrementMany(uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) Increment();
+  }
+
+  /// Returns the estimate N-hat of the number of increments so far.
+  virtual double Estimate() const = 0;
+
+  /// Provisioned program-state footprint in bits (fixed per instance).
+  virtual int StateBits() const = 0;
+
+  /// Bits required by the current state contents (random variable).
+  virtual int CurrentStateBits() const = 0;
+
+  /// Restores the freshly-initialized state (the RNG stream continues).
+  virtual void Reset() = 0;
+
+  /// Short algorithm name for reports, e.g. "morris(a=0.001)".
+  virtual std::string Name() const = 0;
+
+  /// Serializes the program state (only the state — per Remark 2.2 the
+  /// parameters are program constants). Appends exactly `StateBits()` bits.
+  virtual Status SerializeState(BitWriter* out) const = 0;
+
+  /// Restores program state previously written by `SerializeState`.
+  virtual Status DeserializeState(BitReader* in) = 0;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_COUNTER_H_

@@ -1,0 +1,55 @@
+/// \file counter_factory.h
+/// \brief Uniform construction of any counter in the library by kind —
+/// used by the stream runner, the analytics store, and the benches so
+/// experiments can sweep algorithms from a single code path.
+
+#ifndef COUNTLIB_CORE_COUNTER_FACTORY_H_
+#define COUNTLIB_CORE_COUNTER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/counter.h"
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Every counter algorithm in the library.
+enum class CounterKind {
+  kExact,           ///< deterministic log N-bit counter
+  kMorris,          ///< Morris(a), §2.2 parameterization, no prefix
+  kMorrisPlus,      ///< Morris+ (Theorem 1.2)
+  kNelsonYu,        ///< Algorithm 1 (Theorem 2.1)
+  kSampling,        ///< simplified Algorithm 1 (Figure 1)
+  kCsuros,          ///< floating-point counter [Csu10]
+  kAveragedMorris,  ///< k-copy averaging of Morris(1) (§1.1 comparison)
+};
+
+/// \brief Stable name for a kind ("morris+", "nelson-yu", ...).
+const char* CounterKindToString(CounterKind kind);
+
+/// \brief Parses a kind name (the inverse of CounterKindToString).
+Result<CounterKind> CounterKindFromString(const std::string& name);
+
+/// \brief All kinds, in a stable order (for sweeps).
+inline constexpr CounterKind kAllCounterKinds[] = {
+    CounterKind::kExact,    CounterKind::kMorris,  CounterKind::kMorrisPlus,
+    CounterKind::kNelsonYu, CounterKind::kSampling, CounterKind::kCsuros,
+    CounterKind::kAveragedMorris,
+};
+
+/// \brief Builds a counter of `kind` achieving the accuracy target
+/// (ε, δ, n_max), seeded with `seed`.
+Result<std::unique_ptr<Counter>> MakeCounter(CounterKind kind, const Accuracy& acc,
+                                             uint64_t seed);
+
+/// \brief Builds a counter of `kind` calibrated to a hard `state_bits`
+/// budget for counts up to `n_max` (the Figure-1 direction). Supported for
+/// kExact, kMorris, kSampling, kCsuros; other kinds return InvalidArgument.
+Result<std::unique_ptr<Counter>> MakeCounterForBits(CounterKind kind, int state_bits,
+                                                    uint64_t n_max, uint64_t seed);
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_COUNTER_FACTORY_H_

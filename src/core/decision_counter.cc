@@ -1,0 +1,65 @@
+#include "core/decision_counter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "random/geometric.h"
+#include "util/math.h"
+
+namespace countlib {
+
+Result<DecisionCounter> DecisionCounter::Make(const DecisionParams& params,
+                                              uint64_t seed) {
+  if (params.threshold_n < 1) {
+    return Status::InvalidArgument("Decision: threshold_n must be >= 1");
+  }
+  if (!(params.epsilon > 0.0) || !(params.epsilon < 1.0)) {
+    return Status::InvalidArgument("Decision: epsilon must be in (0, 1)");
+  }
+  if (!(params.eta > 0.0) || !(params.eta < 0.5)) {
+    return Status::InvalidArgument("Decision: eta must be in (0, 1/2)");
+  }
+  if (!(params.c >= 1.0)) {
+    return Status::InvalidArgument("Decision: c must be >= 1");
+  }
+  const double alpha =
+      std::min(1.0, params.c * std::log(1.0 / params.eta) /
+                        (params.epsilon * params.epsilon *
+                         static_cast<double>(params.threshold_n)));
+  const uint64_t y_threshold = static_cast<uint64_t>(
+      std::floor(alpha * static_cast<double>(params.threshold_n)));
+  return DecisionCounter(params, alpha, y_threshold, seed);
+}
+
+void DecisionCounter::Increment() {
+  // "if Y <= αT then increment Y with probability α; else do nothing" — Y
+  // stops one past the threshold, so its register stays O(log αT) bits.
+  if (y_ > y_threshold_) return;
+  if (rng_.Bernoulli(alpha_)) ++y_;
+}
+
+void DecisionCounter::IncrementMany(uint64_t n) {
+  while (n > 0 && y_ <= y_threshold_) {
+    if (alpha_ >= 1.0) {
+      uint64_t take = std::min(n, y_threshold_ - y_ + 1);
+      y_ += take;
+      return;
+    }
+    uint64_t wait = SampleGeometric(&rng_, alpha_);
+    if (wait > n) return;
+    n -= wait;
+    ++y_;
+  }
+}
+
+int DecisionCounter::StateBits() const { return BitWidth(y_threshold_ + 1); }
+
+std::string DecisionCounter::Name() const {
+  std::ostringstream os;
+  os << "decision(T=" << params_.threshold_n << ", eps=" << params_.epsilon
+     << ", eta=" << params_.eta << ", bits=" << StateBits() << ")";
+  return os.str();
+}
+
+}  // namespace countlib

@@ -1,0 +1,84 @@
+/// \file decision_counter.h
+/// \brief The §1.2 promise decision problem: given T and ε, decide whether
+/// N < (1 - ε/10) T or N > (1 + ε/10) T, promised one of the two holds.
+///
+/// This is the building block the paper composes into Algorithm 1: store a
+/// counter Y, accept each increment with probability
+/// α = min{1, C log(1/η)/(ε² T)} while Y <= αT; declare "N above T" iff
+/// Y > αT. A Chernoff bound gives correctness probability 1 - η in
+/// O(log(1/ε) + log log(1/η)) bits.
+///
+/// Exposed as a public API both for pedagogy (examples/) and because the
+/// test suite validates the Chernoff calculus on it directly.
+
+#ifndef COUNTLIB_CORE_DECISION_COUNTER_H_
+#define COUNTLIB_CORE_DECISION_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Parameters of one promise decision instance.
+struct DecisionParams {
+  uint64_t threshold_n = 1000;  ///< The promise threshold T.
+  double epsilon = 0.1;         ///< Promise gap: below (1-ε/10)T or above (1+ε/10)T.
+  double eta = 0.01;            ///< Allowed failure probability.
+  /// Chernoff constant. The promise gap is ε/10, so the deviation Chernoff
+  /// must absorb is (ε/10)·αT; the bound exp(-(ε/10)² αT / 3) ≤ η needs
+  /// C ≥ 300. The default includes a 4x safety factor (validated in the
+  /// test suite).
+  double c = 1200.0;
+};
+
+/// \brief Streaming solver for the promise decision problem.
+class DecisionCounter {
+ public:
+  /// Validates parameters and builds a solver.
+  static Result<DecisionCounter> Make(const DecisionParams& params, uint64_t seed);
+
+  /// Feeds one increment.
+  void Increment();
+
+  /// Feeds `n` increments (geometric fast-forward).
+  void IncrementMany(uint64_t n);
+
+  /// Declares the side: true iff "N > (1+ε/10) T".
+  bool DecideAbove() const { return y_ > y_threshold_; }
+
+  /// Program-state footprint: Y needs at most ceil(log2(αT + 2)) bits.
+  int StateBits() const;
+
+  /// The acceptance probability α.
+  double alpha() const { return alpha_; }
+
+  /// The decision threshold floor(αT) on Y.
+  uint64_t y_threshold() const { return y_threshold_; }
+
+  uint64_t y() const { return y_; }
+
+  void Reset() { y_ = 0; }
+
+  std::string Name() const;
+
+ private:
+  DecisionCounter(const DecisionParams& params, double alpha, uint64_t y_threshold,
+                  uint64_t seed)
+      : params_(params),
+        alpha_(alpha),
+        y_threshold_(y_threshold),
+        rng_(seed) {}
+
+  DecisionParams params_;
+  double alpha_;
+  uint64_t y_threshold_;
+  Rng rng_;
+  uint64_t y_ = 0;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_DECISION_COUNTER_H_

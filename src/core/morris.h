@@ -1,0 +1,85 @@
+/// \file morris.h
+/// \brief The Morris counter, Morris(a) ([Mor78], analyzed in [Fla85] and
+/// re-analyzed in §2.2 of the paper).
+///
+/// The counter stores a single level register X. On each increment, X is
+/// bumped with probability (1+a)^{-X}; the estimate is
+/// `N-hat = ((1+a)^X - 1)/a`, which is unbiased with variance
+/// `a N(N-1)/2` (§1.2). Per the paper's §2.2 analysis, choosing
+/// `a = Θ(ε²/log(1/δ))` plus the Morris+ prefix (morris_plus.h) yields the
+/// optimal `O(log log N + log(1/ε) + log log(1/δ))` bits.
+///
+/// Two increment paths are provided:
+///  * `Increment()` — one Bernoulli trial, the textbook transition;
+///  * `IncrementMany(n)` — exact geometric fast-forward over the waiting
+///    times `Z_i ~ Geometric((1+a)^{-i})` (the very random variables the
+///    §2.2 proof analyzes). Distribution-identical to n single increments.
+
+#ifndef COUNTLIB_CORE_MORRIS_H_
+#define COUNTLIB_CORE_MORRIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/counter.h"
+#include "core/params.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Morris(a) approximate counter.
+class MorrisCounter : public Counter {
+ public:
+  /// Validates `params` (a > 0, x_cap >= 1) and builds a counter.
+  static Result<MorrisCounter> Make(const MorrisParams& params, uint64_t seed);
+
+  /// Convenience: derive parameters from an accuracy target (§2.2), without
+  /// the Morris+ prefix. Prefer `MorrisPlusCounter` for end use — Appendix A
+  /// shows the prefix is necessary for the δ guarantee at small N.
+  static Result<MorrisCounter> FromAccuracy(const Accuracy& acc, uint64_t seed);
+
+  void Increment() override;
+  void IncrementMany(uint64_t n) override;
+  double Estimate() const override;
+  int StateBits() const override { return params_.XBits(); }
+  int CurrentStateBits() const override;
+  void Reset() override;
+  std::string Name() const override { return params_.ToString(); }
+  Status SerializeState(BitWriter* out) const override;
+  Status DeserializeState(BitReader* in) override;
+
+  /// The level register X (exposed for experiments and exact-law checks).
+  uint64_t x() const { return x_; }
+
+  /// True if an increment ever hit the provisioned cap (estimates are then
+  /// saturated; parameters were too small for the stream).
+  bool saturated() const { return saturated_; }
+
+  const MorrisParams& params() const { return params_; }
+
+  /// Sets the level directly (used by the merge operation, which owns the
+  /// distributional argument for doing so).
+  void SetLevelForMerge(uint64_t x);
+
+  /// Acceptance probability at level `x`, (1+a)^{-x}.
+  double LevelProbability(uint64_t x) const;
+
+  Rng* rng() { return &rng_; }
+
+ private:
+  MorrisCounter(const MorrisParams& params, uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  MorrisParams params_;
+  Rng rng_;
+  uint64_t x_ = 0;
+  bool saturated_ = false;
+  // Cached (1+a)^{-x_}; recomputed from scratch on every level change, so
+  // no multiplicative drift accumulates across levels.
+  double p_current_ = 1.0;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_MORRIS_H_

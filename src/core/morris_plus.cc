@@ -1,0 +1,77 @@
+#include "core/morris_plus.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+Result<MorrisPlusCounter> MorrisPlusCounter::Make(const MorrisParams& params,
+                                                  uint64_t seed) {
+  if (params.prefix_limit < 1) {
+    return Status::InvalidArgument(
+        "Morris+: prefix_limit must be >= 1 (use MorrisCounter for vanilla)");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(MorrisCounter morris, MorrisCounter::Make(params, seed));
+  return MorrisPlusCounter(std::move(morris));
+}
+
+Result<MorrisPlusCounter> MorrisPlusCounter::FromAccuracy(const Accuracy& acc,
+                                                          uint64_t seed) {
+  COUNTLIB_ASSIGN_OR_RETURN(MorrisParams params,
+                            MorrisFromAccuracy(acc, /*with_prefix=*/true));
+  return Make(params, seed);
+}
+
+void MorrisPlusCounter::Increment() {
+  // Both structures see every increment (Appendix A's description): the
+  // prefix saturates at N_a + 1, the Morris counter keeps evolving.
+  if (prefix_ <= morris_.params().prefix_limit) ++prefix_;
+  morris_.Increment();
+}
+
+void MorrisPlusCounter::IncrementMany(uint64_t n) {
+  const uint64_t saturation = morris_.params().prefix_limit + 1;
+  prefix_ = std::min(SaturatingAdd(prefix_, n), saturation);
+  morris_.IncrementMany(n);
+}
+
+double MorrisPlusCounter::Estimate() const {
+  if (!UsingEstimator()) return static_cast<double>(prefix_);
+  return morris_.Estimate();
+}
+
+void MorrisPlusCounter::SetPrefixForMerge(uint64_t prefix) {
+  prefix_ = std::min(prefix, morris_.params().prefix_limit + 1);
+}
+
+int MorrisPlusCounter::CurrentStateBits() const {
+  return morris_.CurrentStateBits() + BitWidth(prefix_);
+}
+
+void MorrisPlusCounter::Reset() {
+  prefix_ = 0;
+  morris_.Reset();
+}
+
+std::string MorrisPlusCounter::Name() const {
+  return "morris+(" + morris_.Name() + ")";
+}
+
+Status MorrisPlusCounter::SerializeState(BitWriter* out) const {
+  out->WriteBits(prefix_, morris_.params().PrefixBits());
+  return morris_.SerializeState(out);
+}
+
+Status MorrisPlusCounter::DeserializeState(BitReader* in) {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t prefix,
+                            in->ReadBits(morris_.params().PrefixBits()));
+  if (prefix > morris_.params().prefix_limit + 1) {
+    return Status::InvalidArgument("Morris+ prefix exceeds saturation value");
+  }
+  prefix_ = prefix;
+  return morris_.DeserializeState(in);
+}
+
+}  // namespace countlib

@@ -1,0 +1,76 @@
+/// \file morris_plus.h
+/// \brief Morris+ — the Morris counter with the deterministic prefix that
+/// the paper shows is *necessary* (§1 and Appendix A).
+///
+/// Morris(a) with the optimal `a = ε²/(8 ln(1/δ))` only concentrates once
+/// `N = Ω(1/a)`; Appendix A proves that without a fix it errs with
+/// probability ≫ δ at `N ≈ ε^{4/3}/a`. Morris+ therefore maintains a
+/// deterministic counter alongside, exact up to `N_a = 8/a`:
+///
+///  * every increment goes to Morris(a); the prefix register also counts,
+///    saturating at N_a + 1;
+///  * a query returns the prefix while it is <= N_a, and the Morris
+///    estimator afterwards.
+///
+/// The prefix costs ceil(log2(N_a + 2)) = O(log(1/ε) + log log(1/δ)) extra
+/// bits, preserving the optimal total (Theorem 1.2).
+
+#ifndef COUNTLIB_CORE_MORRIS_PLUS_H_
+#define COUNTLIB_CORE_MORRIS_PLUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/counter.h"
+#include "core/morris.h"
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Morris+ approximate counter (Theorem 1.2 configuration).
+class MorrisPlusCounter : public Counter {
+ public:
+  /// Requires `params.prefix_limit >= 1` (otherwise use MorrisCounter).
+  static Result<MorrisPlusCounter> Make(const MorrisParams& params, uint64_t seed);
+
+  /// Theorem 1.2 parameterization: `a = ε²/(8 ln(1/δ))` with prefix
+  /// `N_a = 8/a` (constants folded per §2.2's closing paragraph).
+  static Result<MorrisPlusCounter> FromAccuracy(const Accuracy& acc, uint64_t seed);
+
+  void Increment() override;
+  void IncrementMany(uint64_t n) override;
+  double Estimate() const override;
+  int StateBits() const override { return morris_.params().TotalBits(); }
+  int CurrentStateBits() const override;
+  void Reset() override;
+  std::string Name() const override;
+  Status SerializeState(BitWriter* out) const override;
+  Status DeserializeState(BitReader* in) override;
+
+  /// The saturating deterministic prefix register.
+  uint64_t prefix() const { return prefix_; }
+
+  /// True once the prefix has saturated and queries use the estimator.
+  bool UsingEstimator() const { return prefix_ > morris_.params().prefix_limit; }
+
+  const MorrisCounter& morris() const { return morris_; }
+
+  /// Mutable access to the embedded Morris counter (used by the merge
+  /// operation, which owns the distributional argument).
+  MorrisCounter* mutable_morris() { return &morris_; }
+
+  /// Sets the prefix register directly (merge support; saturating values
+  /// beyond prefix_limit + 1 are clamped).
+  void SetPrefixForMerge(uint64_t prefix);
+
+ private:
+  explicit MorrisPlusCounter(MorrisCounter morris) : morris_(std::move(morris)) {}
+
+  MorrisCounter morris_;
+  uint64_t prefix_ = 0;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_MORRIS_PLUS_H_

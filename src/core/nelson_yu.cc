@@ -1,0 +1,238 @@
+#include "core/nelson_yu.h"
+
+#include <cmath>
+#include <limits>
+
+#include "random/geometric.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+namespace {
+// Ceil of (1+eps)^x as a saturating uint64 (scratch computation; never
+// stored — Remark 2.2).
+uint64_t CeilPow1p(double eps, uint64_t x) {
+  double v = std::ceil(Pow1p(eps, static_cast<double>(x)));
+  if (v >= 0x1p62) return uint64_t{1} << 62;
+  return static_cast<uint64_t>(v);
+}
+}  // namespace
+
+Result<NelsonYuCounter> NelsonYuCounter::Make(const NelsonYuParams& params,
+                                              uint64_t seed) {
+  if (!(params.epsilon > 0.0) || !(params.epsilon < 1.0)) {
+    return Status::InvalidArgument("NelsonYu: epsilon must be in (0, 1)");
+  }
+  if (params.delta_log2 < 1 || params.delta_log2 > 256) {
+    return Status::InvalidArgument("NelsonYu: delta_log2 must be in [1, 256]");
+  }
+  if (!(params.c >= 1.0)) {
+    return Status::InvalidArgument("NelsonYu: C must be >= 1");
+  }
+  if (params.t_cap > 63) {
+    return Status::InvalidArgument("NelsonYu: t_cap must be <= 63");
+  }
+  if (params.x_cap <= params.X0()) {
+    return Status::InvalidArgument("NelsonYu: x_cap must exceed X0");
+  }
+  NelsonYuCounter counter(params, seed);
+  counter.Reset();
+  return counter;
+}
+
+Result<NelsonYuCounter> NelsonYuCounter::FromAccuracy(const Accuracy& acc,
+                                                      uint64_t seed) {
+  COUNTLIB_ASSIGN_OR_RETURN(NelsonYuParams params, NelsonYuFromAccuracy(acc));
+  return Make(params, seed);
+}
+
+void NelsonYuCounter::Reset() {
+  x_ = x0_;
+  y_ = 0;
+  t_ = 0;
+  saturated_ = false;
+  // Epoch 0: α = 1, T = ceil((1+ε)^X0).
+  threshold_ = CeilPow1p(params_.epsilon, x0_);
+  COUNTLIB_CHECK_LE(threshold_, params_.y_cap)
+      << "y_cap provisioning too small for epoch 0";
+}
+
+NelsonYuCounter::EpochSchedule NelsonYuCounter::NextSchedule(uint64_t x,
+                                                             uint32_t prev_t) const {
+  // Scratch recomputation of line 9-10 of Algorithm 1 for level x:
+  //   T = ceil((1+ε)^x),  η = δ / x²,  α_raw = min(1, C ln(1/η) / (ε³ T)),
+  // then α is rounded UP to 2^{-t} (t = floor(log2(1/α_raw))), which the
+  // correctness analysis explicitly permits (Remark 2.2).
+  const uint64_t big_t = CeilPow1p(params_.epsilon, x);
+  const double ln_inv_eta = static_cast<double>(params_.delta_log2) * std::log(2.0) +
+                            2.0 * std::log(static_cast<double>(x));
+  const double eps3 = params_.epsilon * params_.epsilon * params_.epsilon;
+  const double alpha_raw =
+      std::min(1.0, params_.c * ln_inv_eta / (eps3 * static_cast<double>(big_t)));
+  uint32_t t_raw = 0;
+  if (alpha_raw < 1.0) {
+    t_raw = static_cast<uint32_t>(std::floor(-std::log2(alpha_raw)));
+  }
+  // Clamp t monotone non-decreasing across epochs. For every parameter
+  // range Make() accepts, α_raw is already non-increasing in x (T grows
+  // geometrically, ln(1/η) logarithmically) so the clamp is a no-op; it is
+  // load-bearing only as a guarantee for mergeability (Remark 2.4 processes
+  // survivors in epoch order and needs rates non-increasing).
+  uint32_t t = std::max(prev_t, t_raw);
+  if (t > params_.t_cap) t = params_.t_cap;
+  EpochSchedule sched;
+  sched.t = t;
+  sched.threshold = big_t >> t;  // floor(α T), exact since α = 2^{-t}
+  return sched;
+}
+
+NelsonYuCounter::EpochSchedule NelsonYuCounter::ScheduleAt(uint64_t x) const {
+  COUNTLIB_CHECK_GE(x, x0_);
+  EpochSchedule sched;
+  sched.t = 0;
+  sched.threshold = CeilPow1p(params_.epsilon, x0_);
+  for (uint64_t level = x0_ + 1; level <= x; ++level) {
+    sched = NextSchedule(level, sched.t);
+  }
+  return sched;
+}
+
+std::vector<NelsonYuCounter::EpochSurvivors> NelsonYuCounter::SurvivorsByEpoch()
+    const {
+  std::vector<EpochSurvivors> out;
+  EpochSchedule sched;
+  sched.t = 0;
+  sched.threshold = CeilPow1p(params_.epsilon, x0_);
+  uint64_t y_start = 0;
+  for (uint64_t level = x0_;; ++level) {
+    if (level == x_) {
+      COUNTLIB_CHECK_GE(y_, y_start);
+      out.push_back({sched.t, y_ - y_start});
+      break;
+    }
+    // Completed epoch: Y went from y_start to threshold + 1.
+    out.push_back({sched.t, sched.threshold + 1 - y_start});
+    EpochSchedule next = NextSchedule(level + 1, sched.t);
+    y_start = (sched.threshold + 1) >> (next.t - sched.t);
+    sched = next;
+  }
+  return out;
+}
+
+uint64_t NelsonYuCounter::YStartAt(uint64_t x) const {
+  COUNTLIB_CHECK_GE(x, x0_);
+  if (x == x0_) return 0;
+  // Entering the epoch at level x, Y was (threshold_{x-1} + 1) rescaled by
+  // the rate ratio 2^{t_{x-1} - t_x} (line 11 of Algorithm 1).
+  EpochSchedule prev = ScheduleAt(x - 1);
+  EpochSchedule cur = NextSchedule(x, prev.t);
+  return (prev.threshold + 1) >> (cur.t - prev.t);
+}
+
+void NelsonYuCounter::AdvanceEpoch() {
+  if (x_ >= params_.x_cap) {
+    saturated_ = true;
+    return;
+  }
+  const uint32_t prev_t = t_;
+  ++x_;
+  EpochSchedule sched = NextSchedule(x_, prev_t);
+  t_ = sched.t;
+  threshold_ = sched.threshold;
+  y_ >>= (t_ - prev_t);
+}
+
+void NelsonYuCounter::AcceptSurvivor() {
+  ++y_;
+  // The schedule guarantees the entry value of Y sits strictly below the
+  // new threshold; the loop is defensive for degenerate capped schedules.
+  while (y_ > threshold_ && !saturated_) AdvanceEpoch();
+  COUNTLIB_CHECK_LE(y_, params_.y_cap) << "y_cap provisioning violated";
+}
+
+void NelsonYuCounter::Increment() {
+  if (saturated_) return;
+  BitBernoulli coin(&rng_);
+  Result<bool> accept = coin.SampleInversePowerOfTwo(t_);
+  coin_bits_ += coin.bits_consumed();
+  COUNTLIB_CHECK_OK(accept.status());
+  if (*accept) AcceptSurvivor();
+}
+
+void NelsonYuCounter::IncrementMany(uint64_t n) {
+  while (n > 0 && !saturated_) {
+    if (t_ == 0) {
+      // Epoch 0 (or any α = 1 epoch): every increment survives; jump
+      // straight to the threshold crossing.
+      uint64_t room = threshold_ >= y_ ? threshold_ - y_ + 1 : 1;
+      uint64_t take = std::min(n, room);
+      y_ += take - 1;
+      n -= take;
+      AcceptSurvivor();
+      continue;
+    }
+    // Geometric fast-forward between survivors at rate 2^{-t}; exact, and
+    // memorylessness permits abandoning the partial wait at batch end.
+    const double p = std::ldexp(1.0, -static_cast<int>(t_));
+    uint64_t wait = SampleGeometric(&rng_, p);
+    if (wait > n) return;
+    n -= wait;
+    AcceptSurvivor();
+  }
+}
+
+double NelsonYuCounter::Estimate() const {
+  // Query(): return Y during epoch 0 (exact), T = ceil((1+ε)^X) afterwards.
+  if (x_ == x0_) return static_cast<double>(y_);
+  return static_cast<double>(CeilPow1p(params_.epsilon, x_));
+}
+
+int NelsonYuCounter::CurrentStateBits() const {
+  return BitWidth(x_) + BitWidth(y_) + BitWidth(t_);
+}
+
+Status NelsonYuCounter::AddSubsampledSurvivor(uint32_t source_t) {
+  if (source_t > t_) {
+    return Status::InvalidArgument(
+        "merge order violation: source rate below destination rate");
+  }
+  if (saturated_) return Status::CapacityExceeded("counter saturated");
+  BitBernoulli coin(&rng_);
+  Result<bool> accept = coin.SampleInversePowerOfTwo(t_ - source_t);
+  coin_bits_ += coin.bits_consumed();
+  COUNTLIB_RETURN_NOT_OK(accept.status());
+  if (*accept) AcceptSurvivor();
+  return Status::OK();
+}
+
+Status NelsonYuCounter::SerializeState(BitWriter* out) const {
+  out->WriteBits(x_, params_.XBits());
+  out->WriteBits(y_, params_.YBits());
+  out->WriteBits(t_, params_.TBits());
+  return Status::OK();
+}
+
+Status NelsonYuCounter::DeserializeState(BitReader* in) {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t x, in->ReadBits(params_.XBits()));
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t y, in->ReadBits(params_.YBits()));
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t t, in->ReadBits(params_.TBits()));
+  if (x < x0_ || x > params_.x_cap) {
+    return Status::InvalidArgument("NelsonYu state: x out of range");
+  }
+  EpochSchedule sched = ScheduleAt(x);
+  if (t != sched.t) {
+    return Status::InvalidArgument("NelsonYu state: t inconsistent with schedule");
+  }
+  if (y > sched.threshold) {
+    return Status::InvalidArgument("NelsonYu state: y above epoch threshold");
+  }
+  x_ = x;
+  y_ = y;
+  t_ = static_cast<uint32_t>(t);
+  threshold_ = sched.threshold;
+  saturated_ = false;
+  return Status::OK();
+}
+
+}  // namespace countlib

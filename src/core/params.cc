@@ -1,0 +1,253 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+Status ValidateAccuracy(const Accuracy& acc) {
+  if (!(acc.epsilon > 0.0) || !(acc.epsilon < 0.5)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1/2), got " +
+                                   std::to_string(acc.epsilon));
+  }
+  if (!(acc.delta > 0.0) || !(acc.delta < 0.5)) {
+    return Status::InvalidArgument("delta must be in (0, 1/2), got " +
+                                   std::to_string(acc.delta));
+  }
+  if (acc.n_max < 1) return Status::InvalidArgument("n_max must be >= 1");
+  if (acc.n_max > (uint64_t{1} << 62)) {
+    return Status::InvalidArgument("n_max must be <= 2^62");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Morris
+// ---------------------------------------------------------------------------
+
+int MorrisParams::XBits() const { return BitWidth(x_cap); }
+
+int MorrisParams::PrefixBits() const {
+  // The prefix register holds values in [0, prefix_limit + 1] (the +1 state
+  // means "saturated; consult the Morris estimator").
+  return prefix_limit == 0 ? 0 : BitWidth(prefix_limit + 1);
+}
+
+std::string MorrisParams::ToString() const {
+  std::ostringstream os;
+  os << "morris(a=" << a << ", x_cap=" << x_cap;
+  if (prefix_limit > 0) os << ", prefix=" << prefix_limit;
+  os << ", bits=" << TotalBits() << ")";
+  return os.str();
+}
+
+Result<MorrisParams> MorrisFromAccuracy(const Accuracy& acc, bool with_prefix) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+  // Section 2.2 final step: a = ε²/(8 ln(1/δ)) gives a (1 ± 2ε)
+  // approximation with failure probability 2δ. Fold the reparameterization
+  // in: run with ε' = ε/2, δ' = δ/2.
+  const double eps = acc.epsilon / 2.0;
+  const double delta = acc.delta / 2.0;
+  MorrisParams p;
+  p.a = eps * eps / (8.0 * std::log(1.0 / delta));
+  // Provision X so that overflow probability is negligible relative to δ:
+  // once X >= log_{1+a}(K n_max), each further increment of X has
+  // probability <= 1/(K n_max), so by a union bound over n_max increments
+  // the chance of *any* further growth is <= 1/K. Pick K = max(16, 2/δ) and
+  // add headroom levels on top.
+  const double k_slack = std::max(16.0, 2.0 / delta);
+  p.x_cap = static_cast<uint64_t>(
+                std::ceil(Log1pBase(p.a, k_slack * static_cast<double>(acc.n_max)))) +
+            16;
+  if (with_prefix) {
+    // N_a = 8/a, the §2.2 prerequisite for the concentration bound.
+    p.prefix_limit = static_cast<uint64_t>(std::ceil(8.0 / p.a));
+  }
+  return p;
+}
+
+Result<MorrisParams> MorrisForStateBits(int state_bits, uint64_t n_max,
+                                        double slack) {
+  if (state_bits < 2 || state_bits > 62) {
+    return Status::InvalidArgument("Morris state_bits must be in [2, 62]");
+  }
+  if (n_max < 2) return Status::InvalidArgument("n_max must be >= 2");
+  if (slack < 1.0) return Status::InvalidArgument("slack must be >= 1");
+  MorrisParams p;
+  p.x_cap = (uint64_t{1} << state_bits) - 1;
+  // Typical final X is ln(n)/ln(1+a); choose a so that value sits at
+  // x_cap/slack, leaving (slack-1)/slack of the register as overflow
+  // headroom (each extra level is exponentially less likely).
+  p.a = std::expm1(slack * std::log(static_cast<double>(n_max)) /
+                   static_cast<double>(p.x_cap));
+  p.prefix_limit = 0;
+  return p;
+}
+
+double MorrisRelativeStddev(double a) {
+  COUNTLIB_CHECK_GT(a, 0.0);
+  return std::sqrt(a / 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Nelson-Yu
+// ---------------------------------------------------------------------------
+
+double NelsonYuParams::Delta() const { return std::exp2(-static_cast<double>(delta_log2)); }
+
+uint64_t NelsonYuParams::X0() const {
+  const double ln_inv_delta = static_cast<double>(delta_log2) * std::log(2.0);
+  const double arg =
+      std::max(1.0, c * std::max(1.0, ln_inv_delta) / (epsilon * epsilon * epsilon));
+  return static_cast<uint64_t>(std::ceil(Log1pBase(epsilon, arg)));
+}
+
+int NelsonYuParams::XBits() const { return BitWidth(x_cap); }
+int NelsonYuParams::YBits() const { return BitWidth(y_cap); }
+int NelsonYuParams::TBits() const { return BitWidth(t_cap); }
+
+std::string NelsonYuParams::ToString() const {
+  std::ostringstream os;
+  os << "nelson-yu(eps=" << epsilon << ", Delta=" << delta_log2 << ", C=" << c
+     << ", bits=" << TotalBits() << ")";
+  return os.str();
+}
+
+Result<NelsonYuParams> NelsonYuFromAccuracy(const Accuracy& acc) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+  NelsonYuParams p;
+  // Theorem 2.1 delivers |N-hat - N| <= 1.5 ε' N conditioned on an event of
+  // probability >= 1 - 2δ'. Run with ε' = ε/2 and δ' <= δ/4.
+  p.epsilon = acc.epsilon / 2.0;
+  p.delta_log2 =
+      static_cast<uint32_t>(std::ceil(std::log2(4.0 / acc.delta)));
+  p.c = 16.0;
+
+  const double delta_internal = std::exp2(-static_cast<double>(p.delta_log2));
+  const uint64_t x0 = p.X0();
+  // Levels above X0 needed to cover n_max, plus overflow headroom (Theorem
+  // 2.3: each extra level is doubly-exponentially unlikely).
+  const double k_slack = std::max(16.0, 2.0 / delta_internal);
+  p.x_cap = x0 +
+            static_cast<uint64_t>(std::ceil(
+                Log1pBase(p.epsilon, k_slack * static_cast<double>(acc.n_max)))) +
+            16;
+  // Max Y threshold: floor(α T) + 1 with α <= 2 α_raw (power-of-two
+  // rounding) and α_raw T = C ln(X²/δ)/ε³.
+  const double ln_term = 2.0 * std::log(static_cast<double>(p.x_cap) + 1.0) +
+                         static_cast<double>(p.delta_log2) * std::log(2.0);
+  const double y_max = 2.0 * p.c * ln_term /
+                           (p.epsilon * p.epsilon * p.epsilon) +
+                       2.0;
+  // Epoch 0 also counts exactly up to T0 = ceil((1+ε)^X0) + 1; cover both.
+  const double t0 = Pow1p(p.epsilon, static_cast<double>(x0)) + 2.0;
+  p.y_cap = static_cast<uint64_t>(std::ceil(std::max(y_max, t0)));
+  // Max t: α >= C ln(1/δ)/(ε³ T_max), so t <= log2(T_max) + O(1).
+  const double log2_t_max =
+      static_cast<double>(p.x_cap) * std::log2(1.0 + p.epsilon);
+  p.t_cap = static_cast<uint32_t>(
+      std::min(63.0, std::max(1.0, std::ceil(log2_t_max) + 1.0)));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Sampling counter
+// ---------------------------------------------------------------------------
+
+int SamplingCounterParams::YBits() const {
+  // Y stays in [0, budget - 1] between operations (reaching `budget` folds
+  // immediately into (Y/2, t+1)).
+  return BitWidth(budget - 1);
+}
+
+int SamplingCounterParams::TBits() const { return BitWidth(t_cap); }
+
+std::string SamplingCounterParams::ToString() const {
+  std::ostringstream os;
+  os << "sampling(B=" << budget << ", t_cap=" << t_cap << ", bits=" << TotalBits()
+     << ")";
+  return os.str();
+}
+
+namespace {
+uint64_t NextPowerOfTwo(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << CeilLog2(x);
+}
+}  // namespace
+
+Result<SamplingCounterParams> SamplingFromAccuracy(const Accuracy& acc) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+  SamplingCounterParams p;
+  // Chernoff calculus of §1.2: a budget of B = Θ(ln(1/δ)/ε²) accepted
+  // samples keeps every epoch's relative deviation below ε with failure
+  // probability δ per epoch; constant 12 validated by the test suite.
+  const double b_raw = 12.0 * std::log(4.0 / acc.delta) / (acc.epsilon * acc.epsilon);
+  p.budget = std::max<uint64_t>(4, NextPowerOfTwo(static_cast<uint64_t>(
+                                       std::ceil(b_raw))));
+  const double max_rate_log2 =
+      std::log2(8.0 * static_cast<double>(acc.n_max) /
+                (static_cast<double>(p.budget) / 2.0)) +
+      1.0;
+  p.t_cap = static_cast<uint32_t>(std::min(63.0, std::max(1.0, std::ceil(max_rate_log2))));
+  return p;
+}
+
+Result<SamplingCounterParams> SamplingForStateBits(int state_bits, uint64_t n_max,
+                                                   double margin) {
+  if (state_bits < 4 || state_bits > 62) {
+    return Status::InvalidArgument("sampling state_bits must be in [4, 62]");
+  }
+  if (n_max < 2) return Status::InvalidArgument("n_max must be >= 2");
+  const double need_log2 = std::log2(margin * static_cast<double>(n_max));
+  // Split state_bits = y_bits + t_bits. Capacity condition: the counter can
+  // represent counts up to 2^{t_cap} * B/2 = 2^{t_cap + y_bits - 1} with
+  // t_cap = 2^{t_bits} - 1. Prefer the smallest feasible t_bits (maximizes
+  // the accuracy budget B = 2^{y_bits}).
+  for (int t_bits = 2; t_bits <= state_bits - 2; ++t_bits) {
+    const int y_bits = state_bits - t_bits;
+    const uint32_t t_cap = static_cast<uint32_t>(
+        std::min<uint64_t>(63, (uint64_t{1} << t_bits) - 1));
+    if (static_cast<double>(t_cap) + y_bits - 1 >= need_log2) {
+      SamplingCounterParams p;
+      p.budget = uint64_t{1} << y_bits;
+      p.t_cap = t_cap;
+      return p;
+    }
+  }
+  return Status::InvalidArgument(
+      "no feasible (Y, t) split: state_bits too small for n_max");
+}
+
+double SamplingRelativeStddev(uint64_t budget) {
+  COUNTLIB_CHECK_GE(budget, 2u);
+  return std::sqrt(4.0 / (3.0 * static_cast<double>(budget)));
+}
+
+// ---------------------------------------------------------------------------
+// Theoretical bounds
+// ---------------------------------------------------------------------------
+
+namespace {
+double SafeLog2(double x) { return std::log2(std::max(2.0, x)); }
+}  // namespace
+
+double OptimalSpaceBound(const Accuracy& acc) {
+  return SafeLog2(SafeLog2(static_cast<double>(acc.n_max))) +
+         SafeLog2(1.0 / acc.epsilon) + SafeLog2(SafeLog2(1.0 / acc.delta));
+}
+
+double ClassicalSpaceBound(const Accuracy& acc) {
+  return SafeLog2(SafeLog2(static_cast<double>(acc.n_max))) +
+         SafeLog2(1.0 / acc.epsilon) + SafeLog2(1.0 / acc.delta);
+}
+
+double LowerSpaceBound(const Accuracy& acc) {
+  return std::min(SafeLog2(static_cast<double>(acc.n_max)), OptimalSpaceBound(acc));
+}
+
+}  // namespace countlib

@@ -1,0 +1,174 @@
+/// \file params.h
+/// \brief Parameter derivation and bit-budget calibration for all counters.
+///
+/// The paper states guarantees in terms of the accuracy pair (ε, δ); actual
+/// instances store concrete knobs (Morris' base parameter `a`, Algorithm 1's
+/// (ε, Δ, C), the sampling counter's budget B). This module converts between
+/// the two directions:
+///
+///  * `FromAccuracy` — given (ε, δ) and a maximum count `n_max`, derive the
+///    knobs that achieve Eq. (1) of the paper (Theorems 1.2 / 2.1);
+///  * `ForStateBits` — given a hard bit budget S and `n_max`, derive the
+///    most accurate knobs that provably fit in S bits (the Figure-1
+///    "parameterized to use only 17 bits of memory" direction).
+
+#ifndef COUNTLIB_CORE_PARAMS_H_
+#define COUNTLIB_CORE_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Accuracy target: `P(|N-hat - N| > epsilon*N) < delta` for all
+/// `N <= n_max`.
+struct Accuracy {
+  double epsilon = 0.1;
+  double delta = 0.01;
+  uint64_t n_max = uint64_t{1} << 30;
+};
+
+/// \brief Validates an accuracy target (ε, δ in (0, 1/2), n_max >= 1).
+Status ValidateAccuracy(const Accuracy& acc);
+
+// ---------------------------------------------------------------------------
+// Morris / Morris+
+// ---------------------------------------------------------------------------
+
+/// \brief Concrete knobs for Morris(a) and Morris+.
+struct MorrisParams {
+  /// Base parameter: increment X with probability (1+a)^{-X}.
+  double a = 1.0;
+  /// Hard cap on X; the X register is provisioned with BitWidth(x_cap) bits.
+  /// Chosen so that exceeding it has negligible probability (Theorem 2.3
+  /// tail) for counts up to n_max.
+  uint64_t x_cap = 63;
+  /// Morris+ deterministic-prefix limit N_a (the §1 tweak). The prefix
+  /// register counts exactly up to N_a + 1 ("saturated"). 0 disables the
+  /// prefix (vanilla Morris).
+  uint64_t prefix_limit = 0;
+
+  /// Bits for the X register.
+  int XBits() const;
+  /// Bits for the deterministic prefix register (0 if disabled).
+  int PrefixBits() const;
+  /// Total provisioned state bits.
+  int TotalBits() const { return XBits() + PrefixBits(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Derives Morris(a) knobs for an accuracy target, following §2.2:
+/// `a = ε² / (8 ln(1/δ))` (after the paper's final reparameterization
+/// ε → ε/2, δ → δ/2), `prefix_limit = N_a = 8/a` if `with_prefix`.
+Result<MorrisParams> MorrisFromAccuracy(const Accuracy& acc, bool with_prefix);
+
+/// \brief Calibrates Morris(a) to a hard bit budget: the largest `a` (best
+/// accuracy per §2.2 is the *smallest* a, so we pick the smallest `a` whose
+/// X-register still fits `state_bits` with headroom `slack` for counts up
+/// to `n_max`). No deterministic prefix (matches the Fig. 1 setup).
+Result<MorrisParams> MorrisForStateBits(int state_bits, uint64_t n_max,
+                                        double slack = 2.0);
+
+/// \brief Predicted standard deviation of the Morris relative error,
+/// `sqrt(a/2)` (from Var = aN(N-1)/2, §1.2), for sanity reporting.
+double MorrisRelativeStddev(double a);
+
+// ---------------------------------------------------------------------------
+// Nelson-Yu (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// \brief Concrete knobs for Algorithm 1.
+struct NelsonYuParams {
+  /// The (1+ε) estimation base.
+  double epsilon = 0.1;
+  /// Failure budget exponent: δ = 2^{-delta_log2}. Stored as an integer per
+  /// Remark 2.2 ("the input should be ∆ such that δ = 2^{-∆}").
+  uint32_t delta_log2 = 7;
+  /// The universal constant C of Algorithm 1 (line 10). Default validated
+  /// empirically in the test suite.
+  double c = 16.0;
+  /// Hard cap on the level X (provisioning, as for Morris).
+  uint64_t x_cap = 1u << 20;
+  /// Hard cap on Y (provisioning; Y's threshold grows like ln X).
+  uint64_t y_cap = uint64_t{1} << 30;
+  /// Hard cap on t (α = 2^-t).
+  uint32_t t_cap = 63;
+
+  /// δ as a double.
+  double Delta() const;
+  /// The starting level X0 = ceil(log_{1+ε}(C ln(1/δ)/ε³)) (Algorithm 1,
+  /// line 3).
+  uint64_t X0() const;
+
+  int XBits() const;
+  int YBits() const;
+  int TBits() const;
+  /// Total provisioned state bits (X + Y + t registers).
+  int TotalBits() const { return XBits() + YBits() + TBits(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Derives Algorithm-1 knobs for an accuracy target (Theorem 2.1,
+/// with the constant-factor adjustment folded in).
+Result<NelsonYuParams> NelsonYuFromAccuracy(const Accuracy& acc);
+
+// ---------------------------------------------------------------------------
+// Sampling counter (the simplified Algorithm 1 of Figure 1)
+// ---------------------------------------------------------------------------
+
+/// \brief Knobs for the simplified sampling counter: count accepted
+/// increments in Y at rate 2^-t; when Y reaches the budget B, halve both
+/// the rate and Y. Estimate = Y * 2^t (a martingale, hence unbiased).
+struct SamplingCounterParams {
+  /// Halving threshold; must be a power of two >= 2. Y occupies
+  /// log2(B) bits (its value stays in [0, B-1] between increments... the
+  /// transient value B is folded immediately).
+  uint64_t budget = 1u << 13;
+  /// Cap on t; the t register is provisioned with BitWidth(t_cap) bits.
+  uint32_t t_cap = 15;
+
+  int YBits() const;
+  int TBits() const;
+  int TotalBits() const { return YBits() + TBits(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Derives sampling-counter knobs for an accuracy target
+/// (B = Θ(log(1/δ)/ε²), the §1.2 decision-problem calculus).
+Result<SamplingCounterParams> SamplingFromAccuracy(const Accuracy& acc);
+
+/// \brief Calibrates the sampling counter to a hard bit budget for counts
+/// up to `n_max` (the Figure-1 direction): picks the split S = YBits + TBits
+/// maximizing the budget B subject to 2^{t_cap} * B/2 >= margin * n_max.
+Result<SamplingCounterParams> SamplingForStateBits(int state_bits, uint64_t n_max,
+                                                   double margin = 8.0);
+
+/// \brief Predicted standard deviation of the sampling-counter relative
+/// error at steady state, ~ sqrt(4/(3*B)) (variance of the halving chain;
+/// used for sanity reporting, validated empirically).
+double SamplingRelativeStddev(uint64_t budget);
+
+// ---------------------------------------------------------------------------
+// Theoretical space bounds (for tables and asserts)
+// ---------------------------------------------------------------------------
+
+/// \brief The paper's optimal space bound
+/// `log log n + log(1/ε) + log log(1/δ)` in bits (no leading constant).
+double OptimalSpaceBound(const Accuracy& acc);
+
+/// \brief The classical Morris space bound
+/// `log log n + log(1/ε) + log(1/δ)` in bits (no leading constant).
+double ClassicalSpaceBound(const Accuracy& acc);
+
+/// \brief The Theorem 3.1 lower bound
+/// `min(log n, log log n + log(1/ε) + log log(1/δ))` in bits.
+double LowerSpaceBound(const Accuracy& acc);
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_CORE_PARAMS_H_

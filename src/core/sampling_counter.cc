@@ -1,0 +1,117 @@
+#include "core/sampling_counter.h"
+
+#include <cmath>
+
+#include "random/geometric.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+Result<SamplingCounter> SamplingCounter::Make(const SamplingCounterParams& params,
+                                              uint64_t seed) {
+  if (params.budget < 4 || (params.budget & (params.budget - 1)) != 0) {
+    return Status::InvalidArgument("SamplingCounter: budget must be a power of two >= 4");
+  }
+  if (params.t_cap < 1 || params.t_cap > 63) {
+    return Status::InvalidArgument("SamplingCounter: t_cap must be in [1, 63]");
+  }
+  SamplingCounter counter(params, seed);
+  counter.Reset();
+  return counter;
+}
+
+Result<SamplingCounter> SamplingCounter::FromAccuracy(const Accuracy& acc,
+                                                      uint64_t seed) {
+  COUNTLIB_ASSIGN_OR_RETURN(SamplingCounterParams params, SamplingFromAccuracy(acc));
+  return Make(params, seed);
+}
+
+void SamplingCounter::Reset() {
+  y_ = 0;
+  t_ = 0;
+  saturated_ = false;
+}
+
+void SamplingCounter::AcceptSurvivor() {
+  ++y_;
+  if (y_ >= params_.budget) {
+    if (t_ >= params_.t_cap) {
+      // Out of rate headroom: hold Y at B-1 (saturation); parameters were
+      // provisioned so this has negligible probability below n_max.
+      y_ = params_.budget - 1;
+      saturated_ = true;
+      return;
+    }
+    y_ >>= 1;
+    ++t_;
+  }
+}
+
+void SamplingCounter::Increment() {
+  BitBernoulli coin(&rng_);
+  Result<bool> accept = coin.SampleInversePowerOfTwo(t_);
+  COUNTLIB_CHECK_OK(accept.status());
+  if (*accept) AcceptSurvivor();
+}
+
+void SamplingCounter::IncrementMany(uint64_t n) {
+  while (n > 0) {
+    if (t_ == 0) {
+      uint64_t room = params_.budget - y_;  // survivors until the next fold
+      uint64_t take = std::min(n, room);
+      y_ += take - 1;
+      n -= take;
+      AcceptSurvivor();
+      continue;
+    }
+    const double p = std::ldexp(1.0, -static_cast<int>(t_));
+    uint64_t wait = SampleGeometric(&rng_, p);
+    if (wait > n) return;
+    n -= wait;
+    AcceptSurvivor();
+  }
+}
+
+double SamplingCounter::Estimate() const {
+  return std::ldexp(static_cast<double>(y_), static_cast<int>(t_));
+}
+
+int SamplingCounter::CurrentStateBits() const {
+  return BitWidth(y_) + BitWidth(t_);
+}
+
+Status SamplingCounter::AddSubsampledSurvivor(uint32_t source_t) {
+  if (source_t > t_) {
+    return Status::InvalidArgument(
+        "merge order violation: source rate below destination rate");
+  }
+  BitBernoulli coin(&rng_);
+  COUNTLIB_ASSIGN_OR_RETURN(bool accept,
+                            coin.SampleInversePowerOfTwo(t_ - source_t));
+  if (accept) AcceptSurvivor();
+  return Status::OK();
+}
+
+Status SamplingCounter::SerializeState(BitWriter* out) const {
+  out->WriteBits(y_, params_.YBits());
+  out->WriteBits(t_, params_.TBits());
+  return Status::OK();
+}
+
+Status SamplingCounter::DeserializeState(BitReader* in) {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t y, in->ReadBits(params_.YBits()));
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t t, in->ReadBits(params_.TBits()));
+  if (y >= params_.budget) {
+    return Status::InvalidArgument("SamplingCounter state: y out of range");
+  }
+  if (t > params_.t_cap) {
+    return Status::InvalidArgument("SamplingCounter state: t out of range");
+  }
+  y_ = y;
+  t_ = static_cast<uint32_t>(t);
+  saturated_ = false;
+  return Status::OK();
+}
+
+}  // namespace countlib

@@ -1,0 +1,111 @@
+#include "random/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+Result<ZipfDistribution> ZipfDistribution::Make(uint64_t n, double s) {
+  if (n == 0) return Status::InvalidArgument("Zipf: n must be >= 1");
+  if (s < 0 || !std::isfinite(s)) {
+    return Status::InvalidArgument("Zipf: s must be finite and >= 0");
+  }
+  std::vector<double> cdf(n);
+  KahanSum total;
+  for (uint64_t k = 0; k < n; ++k) {
+    total.Add(std::exp(-s * std::log(static_cast<double>(k + 1))));
+    cdf[k] = total.Total();
+  }
+  double z = total.Total();
+  for (double& c : cdf) c /= z;
+  cdf.back() = 1.0;  // close the CDF exactly
+  return ZipfDistribution(std::move(cdf), s);
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  COUNTLIB_CHECK_LT(k, cdf_.size());
+  double hi = cdf_[k];
+  double lo = k == 0 ? 0.0 : cdf_[k - 1];
+  return hi - lo;
+}
+
+Result<AliasTable> AliasTable::Make(const std::vector<double>& weights) {
+  if (weights.empty()) return Status::InvalidArgument("AliasTable: empty weights");
+  size_t n = weights.size();
+  if (n > UINT32_MAX) return Status::InvalidArgument("AliasTable: too many items");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("AliasTable: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) return Status::InvalidArgument("AliasTable: weights sum to zero");
+
+  std::vector<double> prob(n);
+  std::vector<uint32_t> alias(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : small) {
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  for (uint32_t i : large) {
+    prob[i] = 1.0;
+    alias[i] = i;
+  }
+  return AliasTable(std::move(prob), std::move(alias));
+}
+
+uint64_t AliasTable::Sample(Rng* rng) const {
+  uint64_t i = rng->UniformBelow(prob_.size());
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+uint64_t SamplePoisson(Rng* rng, double lambda) {
+  COUNTLIB_CHECK_GE(lambda, 0.0);
+  if (lambda == 0.0) return 0;
+  // Chop-down inversion; split large lambda into halves to avoid underflow
+  // of exp(-lambda).
+  if (lambda > 500.0) {
+    return SamplePoisson(rng, lambda / 2) + SamplePoisson(rng, lambda / 2);
+  }
+  double p = std::exp(-lambda);
+  double cumulative = p;
+  double u = rng->NextDouble();
+  uint64_t k = 0;
+  while (u > cumulative) {
+    ++k;
+    p *= lambda / static_cast<double>(k);
+    cumulative += p;
+    if (p < 1e-320) break;  // tail exhausted numerically
+  }
+  return k;
+}
+
+}  // namespace countlib

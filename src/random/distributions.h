@@ -1,0 +1,73 @@
+/// \file distributions.h
+/// \brief Workload distributions: Zipf, discrete distributions via alias
+/// sampling, and a Poisson sampler (for randomized stream interleavings).
+///
+/// These drive the multi-counter analytics workloads from §1 of the paper
+/// ("the number of visits to each page on Wikipedia") — page popularity is
+/// classically Zipf-distributed.
+
+#ifndef COUNTLIB_RANDOM_DISTRIBUTIONS_H_
+#define COUNTLIB_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Zipf(s) sampler over {0, ..., n-1}: P(k) ∝ 1/(k+1)^s.
+///
+/// Exact sampling by inverse-CDF binary search over precomputed prefix
+/// weights; O(log n) per sample, O(n) memory.
+class ZipfDistribution {
+ public:
+  /// Creates a Zipf sampler; `n >= 1`, `s >= 0` (s=0 is uniform).
+  static Result<ZipfDistribution> Make(uint64_t n, double s);
+
+  /// Draws one sample in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// Exact probability of item `k`.
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+  double s() const { return s_; }
+
+ private:
+  ZipfDistribution(std::vector<double> cdf, double s) : cdf_(std::move(cdf)), s_(s) {}
+
+  std::vector<double> cdf_;  // normalized inclusive prefix sums
+  double s_;
+};
+
+/// \brief Walker alias method for arbitrary discrete distributions; O(1)
+/// per sample after O(n) setup. Used by exact-distribution cross-checks.
+class AliasTable {
+ public:
+  /// Builds from non-negative weights (need not be normalized; sum > 0).
+  static Result<AliasTable> Make(const std::vector<double>& weights);
+
+  /// Draws one index in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return static_cast<uint64_t>(prob_.size()); }
+
+ private:
+  AliasTable(std::vector<double> prob, std::vector<uint32_t> alias)
+      : prob_(std::move(prob)), alias_(std::move(alias)) {}
+
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// \brief Poisson(lambda) sampler; Knuth's method for small lambda and
+/// normal-approximation-free PTRS-like rejection is avoided — for the
+/// lambdas used in workloads (< 1e4) the inversion-by-chop-down is exact
+/// and fast enough.
+uint64_t SamplePoisson(Rng* rng, double lambda);
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_RANDOM_DISTRIBUTIONS_H_

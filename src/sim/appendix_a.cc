@@ -1,0 +1,92 @@
+#include "sim/appendix_a.h"
+
+#include <cmath>
+
+#include "core/morris.h"
+#include "sim/morris_exact_dist.h"
+#include "stats/error_metrics.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+namespace {
+
+Status ValidateAppendixAArgs(double epsilon, double delta, double c) {
+  if (!(epsilon > 0.0) || !(epsilon < 0.25)) {
+    return Status::InvalidArgument("appendix A: epsilon must be in (0, 1/4)");
+  }
+  if (!(delta > 0.0) || !(delta < 0.5)) {
+    return Status::InvalidArgument("appendix A: delta must be in (0, 1/2)");
+  }
+  if (!(c > 0.0) || c > 1.0 / 256.0 + 1e-12) {
+    return Status::InvalidArgument("appendix A: c must be in (0, 2^-8]");
+  }
+  return Status::OK();
+}
+
+double MorrisA(double epsilon, double delta) {
+  return epsilon * epsilon / (8.0 * std::log(1.0 / delta));
+}
+
+}  // namespace
+
+Result<AppendixAResult> RunAppendixAExact(double epsilon, double delta, double c) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAppendixAArgs(epsilon, delta, c));
+  AppendixAResult out;
+  out.epsilon = epsilon;
+  out.delta = delta;
+  out.a = MorrisA(epsilon, delta);
+  const stats::AppendixABound bound = stats::AppendixAEventBound(out.a, epsilon, c);
+  out.n = std::max<uint64_t>(2, bound.n);
+  out.prefix_limit = static_cast<uint64_t>(std::ceil(8.0 / out.a));
+  out.analytic_event_prob = bound.event_prob;
+
+  // Exact vanilla failure probability at N'_a via forward DP. The level can
+  // never exceed N'_a, so the support is tiny.
+  const uint64_t x_max = out.n + 2;
+  if (x_max > (uint64_t{1} << 22)) {
+    return Status::InvalidArgument(
+        "appendix A: N'_a too large for the exact DP (lower delta or epsilon)");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(MorrisExactDistribution dist,
+                            MorrisExactDistribution::Make(out.a, x_max));
+  dist.Step(out.n);
+  out.vanilla_failure_exact = dist.FailureProbability(epsilon);
+
+  // Morris+ answers queries at N <= N_a from the deterministic prefix;
+  // Appendix A picks N'_a = c ε^{4/3}/a << 8/a = N_a, so the failure
+  // probability is exactly zero.
+  out.plus_failure_exact = out.n <= out.prefix_limit ? 0.0 : -1.0;
+  out.ratio_vs_delta = out.vanilla_failure_exact / delta;
+  return out;
+}
+
+Result<double> AppendixAVanillaFailureMc(double epsilon, double delta, double c,
+                                         uint64_t trials, uint64_t seed) {
+  COUNTLIB_RETURN_NOT_OK(ValidateAppendixAArgs(epsilon, delta, c));
+  if (trials < 1) return Status::InvalidArgument("appendix A: trials >= 1");
+  const double a = MorrisA(epsilon, delta);
+  const stats::AppendixABound bound = stats::AppendixAEventBound(a, epsilon, c);
+  const uint64_t n = std::max<uint64_t>(2, bound.n);
+
+  MorrisParams params;
+  params.a = a;
+  params.x_cap = n + 2;
+  params.prefix_limit = 0;
+
+  uint64_t failures = 0;
+  Rng seeder(seed);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    COUNTLIB_ASSIGN_OR_RETURN(MorrisCounter counter,
+                              MorrisCounter::Make(params, seeder.NextU64()));
+    counter.IncrementMany(n);
+    if (stats::RelativeError(counter.Estimate(), static_cast<double>(n)) > epsilon) {
+      ++failures;
+    }
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace sim
+}  // namespace countlib

@@ -1,0 +1,50 @@
+/// \file appendix_a.h
+/// \brief The Appendix-A experiment: vanilla Morris(a) fails with
+/// probability ≫ δ at the adversarial count N'_a = c ε^{4/3}/a, while
+/// Morris+ (the deterministic-prefix tweak) does not — i.e. the tweak is
+/// *necessary*.
+///
+/// Because the probabilities involved are far below Monte-Carlo resolution
+/// (δ can be 2^{-40}), the vanilla failure probability is computed
+/// *exactly* with the forward-DP engine (sim/morris_exact_dist.h); the
+/// Morris+ failure at N <= N_a is exactly zero by construction (the query
+/// answers from the deterministic prefix). A Monte-Carlo cross-check is
+/// included for regimes where it has power.
+
+#ifndef COUNTLIB_SIM_APPENDIX_A_H_
+#define COUNTLIB_SIM_APPENDIX_A_H_
+
+#include <cstdint>
+
+#include "stats/bounds.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief One row of the Appendix-A comparison.
+struct AppendixAResult {
+  double epsilon = 0;
+  double delta = 0;
+  double a = 0;       ///< a = ε²/(8 ln(1/δ)), the §2.2 parameterization
+  uint64_t n = 0;     ///< the adversarial count N'_a = ceil(c ε^{4/3}/a)
+  uint64_t prefix_limit = 0;       ///< Morris+ switchover N_a = 8/a
+  double analytic_event_prob = 0;  ///< Appendix-A closed-form P(E) lower bound
+  double vanilla_failure_exact = 0;  ///< exact P(|N-hat-N| > εN), vanilla
+  double plus_failure_exact = 0;     ///< exact failure of Morris+ (0 if N<=N_a)
+  double ratio_vs_delta = 0;         ///< vanilla_failure_exact / δ (the claim: >> 1)
+};
+
+/// \brief Computes the Appendix-A comparison exactly for one (ε, δ).
+/// `c` is the appendix's constant (c <= 2^-8); N'_a = ceil(c ε^{4/3}/a).
+Result<AppendixAResult> RunAppendixAExact(double epsilon, double delta, double c);
+
+/// \brief Monte-Carlo cross-check of the vanilla failure rate at N'_a (only
+/// meaningful when the failure probability is within MC resolution).
+Result<double> AppendixAVanillaFailureMc(double epsilon, double delta, double c,
+                                         uint64_t trials, uint64_t seed);
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_APPENDIX_A_H_

@@ -1,0 +1,214 @@
+#include "sim/derandomizer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+Status FiniteKernel::Validate() const {
+  if (num_states == 0) return Status::InvalidArgument("kernel: no states");
+  if (init.size() != num_states || transitions.size() != num_states ||
+      estimates.size() != num_states) {
+    return Status::InvalidArgument("kernel: size mismatch");
+  }
+  double init_total = 0;
+  for (double p : init) {
+    if (p < 0) return Status::InvalidArgument("kernel: negative init prob");
+    init_total += p;
+  }
+  if (std::fabs(init_total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("kernel: init probs do not sum to 1");
+  }
+  for (uint64_t s = 0; s < num_states; ++s) {
+    double total = 0;
+    for (const auto& [next, p] : transitions[s]) {
+      if (next >= num_states) return Status::InvalidArgument("kernel: bad next state");
+      if (p < 0) return Status::InvalidArgument("kernel: negative transition prob");
+      total += p;
+    }
+    if (std::fabs(total - 1.0) > 1e-9) {
+      return Status::InvalidArgument("kernel: transition probs do not sum to 1");
+    }
+  }
+  return Status::OK();
+}
+
+int FiniteKernel::StateBits() const {
+  return num_states <= 1 ? 1 : CeilLog2(num_states);
+}
+
+FiniteKernel MakeMorrisKernel(double a, uint64_t x_cap) {
+  COUNTLIB_CHECK_GT(a, 0.0);
+  COUNTLIB_CHECK_GE(x_cap, 1u);
+  FiniteKernel k;
+  k.num_states = x_cap + 1;
+  k.init.assign(k.num_states, 0.0);
+  k.init[0] = 1.0;
+  k.transitions.resize(k.num_states);
+  k.estimates.resize(k.num_states);
+  const double log1pa = std::log1p(a);
+  for (uint64_t x = 0; x <= x_cap; ++x) {
+    k.estimates[x] = Pow1pm1OverA(a, static_cast<double>(x));
+    if (x == x_cap) {
+      k.transitions[x] = {{x, 1.0}};  // saturating top state
+      continue;
+    }
+    const double p = std::exp(-static_cast<double>(x) * log1pa);
+    if (p >= 1.0) {
+      k.transitions[x] = {{x + 1, 1.0}};
+    } else {
+      k.transitions[x] = {{x, 1.0 - p}, {x + 1, p}};
+    }
+  }
+  return k;
+}
+
+FiniteKernel MakeSamplingKernel(const SamplingCounterParams& params) {
+  const uint64_t budget = params.budget;
+  const uint32_t t_cap = params.t_cap;
+  FiniteKernel k;
+  k.num_states = budget * (t_cap + 1);
+  k.init.assign(k.num_states, 0.0);
+  k.init[0] = 1.0;
+  k.transitions.resize(k.num_states);
+  k.estimates.resize(k.num_states);
+  auto index = [budget](uint64_t y, uint32_t t) {
+    return static_cast<uint64_t>(t) * budget + y;
+  };
+  for (uint32_t t = 0; t <= t_cap; ++t) {
+    const double accept = std::ldexp(1.0, -static_cast<int>(t));
+    for (uint64_t y = 0; y < budget; ++y) {
+      const uint64_t s = index(y, t);
+      k.estimates[s] = std::ldexp(static_cast<double>(y), static_cast<int>(t));
+      uint64_t ny = y + 1;
+      uint32_t nt = t;
+      if (ny == budget) {
+        if (t >= t_cap) {
+          ny = budget - 1;  // saturation
+        } else {
+          ny >>= 1;
+          nt = t + 1;
+        }
+      }
+      const uint64_t s_accept = index(ny, nt);
+      if (accept >= 1.0) {
+        k.transitions[s] = {{s_accept, 1.0}};
+      } else if (s_accept == s) {
+        k.transitions[s] = {{s, 1.0}};
+      } else {
+        k.transitions[s] = {{s, 1.0 - accept}, {s_accept, accept}};
+      }
+    }
+  }
+  return k;
+}
+
+Result<Derandomizer> Derandomizer::Make(const FiniteKernel& kernel) {
+  COUNTLIB_RETURN_NOT_OK(kernel.Validate());
+  // Argmax over the initial distribution.
+  uint64_t init_state = 0;
+  double best = -1;
+  for (uint64_t s = 0; s < kernel.num_states; ++s) {
+    if (kernel.init[s] > best) {
+      best = kernel.init[s];
+      init_state = s;
+    }
+  }
+  // Argmax over each transition law; ties to the smallest next-state index.
+  std::vector<uint64_t> next(kernel.num_states, 0);
+  for (uint64_t s = 0; s < kernel.num_states; ++s) {
+    uint64_t arg = kernel.num_states;
+    double best_p = -1;
+    for (const auto& [to, p] : kernel.transitions[s]) {
+      if (p > best_p + 1e-15 || (std::fabs(p - best_p) <= 1e-15 && to < arg)) {
+        best_p = p;
+        arg = to;
+      }
+    }
+    COUNTLIB_CHECK_LT(arg, kernel.num_states);
+    next[s] = arg;
+  }
+  return Derandomizer(std::move(next), kernel.estimates, init_state);
+}
+
+Derandomizer::Derandomizer(std::vector<uint64_t> next, std::vector<double> estimates,
+                           uint64_t init_state)
+    : next_(std::move(next)), estimates_(std::move(estimates)),
+      init_state_(init_state) {
+  ComputeTrajectory();
+}
+
+void Derandomizer::ComputeTrajectory() {
+  // Walk until a state repeats; the trajectory is a rho: tail then cycle.
+  std::unordered_map<uint64_t, uint64_t> first_visit;
+  std::vector<uint64_t> walk;
+  uint64_t s = init_state_;
+  for (;;) {
+    auto it = first_visit.find(s);
+    if (it != first_visit.end()) {
+      const uint64_t cycle_start = it->second;
+      tail_.assign(walk.begin(), walk.begin() + static_cast<long>(cycle_start));
+      cycle_.assign(walk.begin() + static_cast<long>(cycle_start), walk.end());
+      return;
+    }
+    first_visit.emplace(s, walk.size());
+    walk.push_back(s);
+    s = next_[s];
+  }
+}
+
+uint64_t Derandomizer::StateAfter(uint64_t n) const {
+  if (n < tail_.size()) return tail_[n];
+  const uint64_t offset = (n - tail_.size()) % cycle_.size();
+  return cycle_[offset];
+}
+
+int Derandomizer::StateBits() const {
+  return next_.size() <= 1 ? 1 : CeilLog2(next_.size());
+}
+
+Result<Derandomizer::PumpingWitness> Derandomizer::FindPumping(
+    uint64_t promise_t) const {
+  if (promise_t < 8) return Status::InvalidArgument("promise T must be >= 8");
+  const uint64_t half = promise_t / 2;
+  // First repeated state among counts 0..T/2.
+  std::unordered_map<uint64_t, uint64_t> seen;
+  uint64_t n1 = 0, n2 = 0;
+  bool found = false;
+  for (uint64_t n = 0; n <= half; ++n) {
+    const uint64_t s = StateAfter(n);
+    auto [it, inserted] = seen.emplace(s, n);
+    if (!inserted) {
+      n1 = it->second;
+      n2 = n;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no state collision within T/2 + 1 counts: state space too large "
+        "for the pumping argument at this T");
+  }
+  PumpingWitness w;
+  w.n1 = n1;
+  w.n2 = n2;
+  w.period = n2 - n1;
+  // N3 = N1 + k (N2 - N1) in [2T, 4T]; exists since the period <= T/2 < 2T.
+  const uint64_t lo = 2 * promise_t;
+  uint64_t k = CeilDiv(lo > n1 ? lo - n1 : 0, w.period);
+  w.n3 = n1 + k * w.period;
+  COUNTLIB_CHECK_LE(w.n3, 4 * promise_t);
+  w.state = StateAfter(n1);
+  COUNTLIB_CHECK_EQ(StateAfter(w.n3), w.state);
+  w.estimate_small = estimates_[w.state];
+  w.estimate_large = estimates_[StateAfter(w.n3)];
+  return w;
+}
+
+}  // namespace sim
+}  // namespace countlib

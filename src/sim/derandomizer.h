@@ -1,0 +1,108 @@
+/// \file derandomizer.h
+/// \brief The Section-3 lower-bound construction, as executable code.
+///
+/// Theorem 3.1 derandomizes an arbitrary S-bit randomized counter C into
+/// C_det: wherever C draws a random next state, C_det moves to the *most
+/// probable* next state (ties to the lexicographically smallest). If S is
+/// small, C_det has at most 2^S states, so among the first T/2 + 1 counts
+/// two must share a state (pigeonhole) — and because the transition is
+/// deterministic, the state sequence is eventually periodic: some
+/// N3 ∈ [2T, 4T] lands in the same state as some N1 <= T/2. The query
+/// function then cannot distinguish N1 from N3, although any correct
+/// approximate counter must.
+///
+/// `FiniteKernel` describes a randomized counter as a finite Markov kernel;
+/// `Derandomizer` applies the argmax construction and exhibits the pumping
+/// witness (N1, N2, N3).
+
+#ifndef COUNTLIB_SIM_DERANDOMIZER_H_
+#define COUNTLIB_SIM_DERANDOMIZER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief A randomized counter with finite state space: initial
+/// distribution, per-state sparse transition law, and query outputs.
+struct FiniteKernel {
+  uint64_t num_states = 0;
+  /// init[s] = probability of starting in state s.
+  std::vector<double> init;
+  /// transitions[s] = {(next_state, prob), ...}, probs summing to 1.
+  std::vector<std::vector<std::pair<uint64_t, double>>> transitions;
+  /// estimates[s] = the query answer in state s.
+  std::vector<double> estimates;
+
+  /// Validates shape and stochasticity (within tolerance).
+  Status Validate() const;
+
+  /// Bits of memory this state space needs.
+  int StateBits() const;
+};
+
+/// \brief Kernel of Morris(a) truncated at x_cap (states 0..x_cap).
+FiniteKernel MakeMorrisKernel(double a, uint64_t x_cap);
+
+/// \brief Kernel of the sampling counter (states (y, t)).
+FiniteKernel MakeSamplingKernel(const SamplingCounterParams& params);
+
+/// \brief The argmax-derandomized counter C_det of Section 3.
+class Derandomizer {
+ public:
+  /// Applies the argmax construction (most probable next state, ties to the
+  /// smallest index).
+  static Result<Derandomizer> Make(const FiniteKernel& kernel);
+
+  /// The deterministic state after n increments (cycle fast-forward; O(V)).
+  uint64_t StateAfter(uint64_t n) const;
+
+  /// The query answer after n increments.
+  double EstimateAfter(uint64_t n) const { return estimates_[StateAfter(n)]; }
+
+  /// The pumping witness of the proof.
+  struct PumpingWitness {
+    uint64_t n1 = 0;      ///< first count of the colliding pair, <= T/2
+    uint64_t n2 = 0;      ///< second count, n1 < n2 <= T/2, same state
+    uint64_t period = 0;  ///< n2 - n1
+    uint64_t n3 = 0;      ///< in [2T, 4T], same state as n1
+    double estimate_small = 0;  ///< the (shared) query answer at n1
+    double estimate_large = 0;  ///< the (shared) query answer at n3
+    uint64_t state = 0;         ///< the colliding state
+  };
+
+  /// Finds (N1, N2, N3) for the promise threshold T: N1 < N2 <= T/2 with
+  /// equal states, N3 in [2T, 4T] congruent to N1 modulo the period.
+  /// Fails (FailedPrecondition) iff no repeat occurs within T/2 + 1 steps —
+  /// i.e. the state space is too large for the argument, exactly the
+  /// regime where the lower bound does not bite.
+  Result<PumpingWitness> FindPumping(uint64_t promise_t) const;
+
+  uint64_t num_states() const { return static_cast<uint64_t>(next_.size()); }
+  uint64_t init_state() const { return init_state_; }
+  int StateBits() const;
+
+ private:
+  Derandomizer(std::vector<uint64_t> next, std::vector<double> estimates,
+               uint64_t init_state);
+
+  /// Precomputes the rho-shaped trajectory: tail (pre-cycle) + cycle.
+  void ComputeTrajectory();
+
+  std::vector<uint64_t> next_;
+  std::vector<double> estimates_;
+  uint64_t init_state_;
+
+  std::vector<uint64_t> tail_;   // states at n = 0, 1, ..., tail_len-1
+  std::vector<uint64_t> cycle_;  // states from the first repeated one
+};
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_DERANDOMIZER_H_

@@ -1,0 +1,80 @@
+#include "sim/flajolet.h"
+
+#include <cmath>
+#include <vector>
+
+#include "sim/morris_exact_dist.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+namespace {
+
+uint64_t DefaultXMax(double a, uint64_t n, uint64_t x_max) {
+  if (x_max != 0) return x_max;
+  // Generous support: the level rarely exceeds log_{1+a}(64 n) + slack.
+  const double top = Log1pBase(a, 64.0 * static_cast<double>(n) + 64.0);
+  return static_cast<uint64_t>(std::ceil(top)) + 64;
+}
+
+}  // namespace
+
+Result<MorrisLevelMoments> ComputeMorrisLevelMoments(double a, uint64_t n,
+                                                     uint64_t x_max) {
+  if (n == 0) return Status::InvalidArgument("flajolet: n must be >= 1");
+  COUNTLIB_ASSIGN_OR_RETURN(
+      MorrisExactDistribution dist,
+      MorrisExactDistribution::Make(a, DefaultXMax(a, n, x_max)));
+  dist.Step(n);
+  MorrisLevelMoments out;
+  out.n = n;
+  KahanSum mean, second;
+  const auto& pmf = dist.pmf();
+  for (size_t x = 0; x < pmf.size(); ++x) {
+    mean.Add(pmf[x] * static_cast<double>(x));
+    second.Add(pmf[x] * static_cast<double>(x) * static_cast<double>(x));
+  }
+  out.mean_x = mean.Total();
+  out.var_x = second.Total() - out.mean_x * out.mean_x;
+  // X concentrates where the estimator ((1+a)^X - 1)/a equals n, i.e. at
+  // log_{1+a}(1 + a n) (== log2(1+n) for a = 1).
+  out.center = std::log1p(a * static_cast<double>(n)) / std::log1p(a);
+  return out;
+}
+
+Result<double> MorrisLevelEscapeProbability(double a, uint64_t n, double c,
+                                            uint64_t x_max) {
+  if (n == 0) return Status::InvalidArgument("flajolet: n must be >= 1");
+  if (!(c >= 0)) return Status::InvalidArgument("flajolet: c must be >= 0");
+  COUNTLIB_ASSIGN_OR_RETURN(
+      MorrisExactDistribution dist,
+      MorrisExactDistribution::Make(a, DefaultXMax(a, n, x_max)));
+  dist.Step(n);
+  const double center =
+      std::log1p(a * static_cast<double>(n)) / std::log1p(a);
+  const double lo = center - c;
+  const double hi = center + c;
+  const uint64_t lo_int =
+      lo <= 0 ? 0 : static_cast<uint64_t>(std::ceil(lo));
+  const uint64_t hi_int = static_cast<uint64_t>(std::floor(std::max(0.0, hi)));
+  return dist.OutsideProbability(lo_int, hi_int);
+}
+
+Result<std::vector<Prop3Row>> Proposition3Series(double c, int k_lo, int k_hi) {
+  if (k_lo < 1 || k_hi < k_lo || k_hi > 24) {
+    return Status::InvalidArgument("flajolet: need 1 <= k_lo <= k_hi <= 24");
+  }
+  std::vector<Prop3Row> rows;
+  for (int k = k_lo; k <= k_hi; ++k) {
+    Prop3Row row;
+    row.n = uint64_t{1} << k;
+    COUNTLIB_ASSIGN_OR_RETURN(row.escape_prob,
+                              MorrisLevelEscapeProbability(1.0, row.n, c, 128));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sim
+}  // namespace countlib

@@ -1,0 +1,57 @@
+/// \file flajolet.h
+/// \brief Quantities from Flajolet's exact analysis of the Morris counter
+/// [Fla85], computed from the exact forward DP.
+///
+/// §1.1 of the paper leans on [Fla85, Proposition 3]: for a = 1 the level
+/// register X lands outside [log2 N - C, log2 N + C] with probability that
+/// is a *constant* (depending on C), not o(1) — which is why Morris(1)
+/// cannot reach high success probability no matter how large N is, and why
+/// the base must shrink with δ (Theorem 1.2). This module packages those
+/// quantities so benches/tests can cite them numerically.
+
+#ifndef COUNTLIB_SIM_FLAJOLET_H_
+#define COUNTLIB_SIM_FLAJOLET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief Exact moments of the Morris(a) level X after n increments.
+struct MorrisLevelMoments {
+  uint64_t n = 0;
+  double mean_x = 0;
+  double var_x = 0;
+  /// log_{1+a}(n) — the deterministic center X tracks.
+  double center = 0;
+};
+
+/// \brief Computes exact level moments by forward DP. `x_max` bounds the
+/// tracked support (generous defaults applied when 0).
+Result<MorrisLevelMoments> ComputeMorrisLevelMoments(double a, uint64_t n,
+                                                     uint64_t x_max = 0);
+
+/// \brief The Proposition-3 quantity: exact
+/// P(X outside [log_{1+a}(n) - c, log_{1+a}(n) + c]) after n increments.
+Result<double> MorrisLevelEscapeProbability(double a, uint64_t n, double c,
+                                            uint64_t x_max = 0);
+
+/// \brief One row of the Proposition-3 demonstration: the escape
+/// probability for a = 1 at several n, showing it converges to a positive
+/// constant rather than vanishing.
+struct Prop3Row {
+  uint64_t n = 0;
+  double escape_prob = 0;  ///< P(|X - log2 n| > c)
+};
+
+/// \brief Computes the a = 1 escape probabilities for n = 2^k,
+/// k = k_lo..k_hi (band half-width `c`).
+Result<std::vector<Prop3Row>> Proposition3Series(double c, int k_lo, int k_hi);
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_FLAJOLET_H_

@@ -1,0 +1,84 @@
+#include "sim/lower_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+namespace {
+
+PumpingRow MakeRow(const Derandomizer& det, uint64_t promise_t,
+                   const Derandomizer::PumpingWitness& witness) {
+  PumpingRow row;
+  row.state_bits = det.StateBits();
+  row.num_states = det.num_states();
+  row.promise_t = promise_t;
+  row.witness = witness;
+  // The two counts share a query answer E: at least one of them is badly
+  // served. Being within relative error r of both requires
+  // N1(1+r) >= N3(1-r), i.e. r >= (N3-N1)/(N3+N1) >= 3/5 for N3 >= 4 N1 —
+  // so max(err(N1), err(N3)) >= 3/5 regardless of E.
+  const double n1 = std::max(1.0, static_cast<double>(witness.n1));
+  const double n3 = static_cast<double>(witness.n3);
+  const double e = witness.estimate_small;
+  row.forced_relative_error =
+      std::max(std::fabs(e - n1) / n1, std::fabs(e - n3) / n3);
+  return row;
+}
+
+uint64_t DefaultPromiseT(uint64_t num_states, uint64_t promise_t) {
+  if (promise_t != 0) return promise_t;
+  return SaturatingMul(SaturatingMul(num_states, num_states), 4);
+}
+
+}  // namespace
+
+Result<PumpingRow> PumpMorris(int state_bits, uint64_t n_max, uint64_t promise_t) {
+  COUNTLIB_ASSIGN_OR_RETURN(MorrisParams params,
+                            MorrisForStateBits(state_bits, n_max));
+  FiniteKernel kernel = MakeMorrisKernel(params.a, params.x_cap);
+  COUNTLIB_ASSIGN_OR_RETURN(Derandomizer det, Derandomizer::Make(kernel));
+  const uint64_t t = DefaultPromiseT(det.num_states(), promise_t);
+  COUNTLIB_ASSIGN_OR_RETURN(Derandomizer::PumpingWitness witness,
+                            det.FindPumping(t));
+  return MakeRow(det, t, witness);
+}
+
+Result<PumpingRow> PumpSampling(int state_bits, uint64_t n_max, uint64_t promise_t) {
+  COUNTLIB_ASSIGN_OR_RETURN(SamplingCounterParams params,
+                            SamplingForStateBits(state_bits, n_max));
+  FiniteKernel kernel = MakeSamplingKernel(params);
+  COUNTLIB_ASSIGN_OR_RETURN(Derandomizer det, Derandomizer::Make(kernel));
+  const uint64_t t = DefaultPromiseT(det.num_states(), promise_t);
+  COUNTLIB_ASSIGN_OR_RETURN(Derandomizer::PumpingWitness witness,
+                            det.FindPumping(t));
+  return MakeRow(det, t, witness);
+}
+
+Result<std::vector<BoundRow>> EvaluateBoundTable(const std::vector<Accuracy>& grid) {
+  std::vector<BoundRow> rows;
+  rows.reserve(grid.size());
+  for (const Accuracy& acc : grid) {
+    COUNTLIB_RETURN_NOT_OK(ValidateAccuracy(acc));
+    BoundRow row;
+    row.acc = acc;
+    row.lower_bound_bits = LowerSpaceBound(acc);
+    row.optimal_bound_bits = OptimalSpaceBound(acc);
+    row.classical_bound_bits = ClassicalSpaceBound(acc);
+    COUNTLIB_ASSIGN_OR_RETURN(NelsonYuParams ny, NelsonYuFromAccuracy(acc));
+    row.nelson_yu_bits = ny.TotalBits();
+    COUNTLIB_ASSIGN_OR_RETURN(MorrisParams mp,
+                              MorrisFromAccuracy(acc, /*with_prefix=*/true));
+    row.morris_plus_bits = mp.TotalBits();
+    row.exact_bits = BitWidth(acc.n_max);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace sim
+}  // namespace countlib

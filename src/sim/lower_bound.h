@@ -1,0 +1,58 @@
+/// \file lower_bound.h
+/// \brief Orchestration of the Theorem 3.1 experiment: for a sweep of bit
+/// budgets S, derandomize real counters calibrated to S bits and exhibit
+/// the pumping collision — two counts a factor >= 4 apart that the
+/// deterministic counter cannot distinguish — plus numeric evaluation of
+/// the Ω(min{log n, log log n + log 1/ε + log log 1/δ}) bound against the
+/// space our upper-bound implementations actually provision.
+
+#ifndef COUNTLIB_SIM_LOWER_BOUND_H_
+#define COUNTLIB_SIM_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/derandomizer.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief One row of the pumping demonstration.
+struct PumpingRow {
+  int state_bits = 0;        ///< S
+  uint64_t num_states = 0;   ///< <= 2^S
+  uint64_t promise_t = 0;    ///< the T of the proof (states^2 * 4 here)
+  Derandomizer::PumpingWitness witness;
+  /// The relative error C_det makes on at least one of N1/N3 (>= 3/5 by
+  /// construction since N3 >= 4 N1 but the answers coincide).
+  double forced_relative_error = 0;
+};
+
+/// \brief Derandomizes a Morris counter squeezed into `state_bits` bits and
+/// finds the pumping witness. `promise_t` defaults to 4 * num_states^2
+/// (pass 0), guaranteeing a collision by pigeonhole.
+Result<PumpingRow> PumpMorris(int state_bits, uint64_t n_max, uint64_t promise_t);
+
+/// \brief Same for the sampling counter.
+Result<PumpingRow> PumpSampling(int state_bits, uint64_t n_max, uint64_t promise_t);
+
+/// \brief One row of the bound-vs-implementation table.
+struct BoundRow {
+  Accuracy acc;
+  double lower_bound_bits = 0;    ///< Theorem 3.1 (up to constants)
+  double optimal_bound_bits = 0;  ///< Theorem 1.1 upper (up to constants)
+  int nelson_yu_bits = 0;         ///< provisioned by our Algorithm 1
+  int morris_plus_bits = 0;       ///< provisioned by our Morris+
+  int exact_bits = 0;             ///< deterministic counter
+  double classical_bound_bits = 0;  ///< pre-paper Morris analysis
+};
+
+/// \brief Evaluates the bound table for an accuracy grid.
+Result<std::vector<BoundRow>> EvaluateBoundTable(const std::vector<Accuracy>& grid);
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_LOWER_BOUND_H_

@@ -1,0 +1,99 @@
+#include "sim/morris_exact_dist.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+Result<MorrisExactDistribution> MorrisExactDistribution::Make(double a,
+                                                              uint64_t x_max) {
+  if (!(a > 0.0) || !std::isfinite(a)) {
+    return Status::InvalidArgument("MorrisExactDistribution: a must be > 0");
+  }
+  if (x_max < 1 || x_max > (uint64_t{1} << 26)) {
+    return Status::InvalidArgument(
+        "MorrisExactDistribution: x_max must be in [1, 2^26]");
+  }
+  return MorrisExactDistribution(a, x_max);
+}
+
+MorrisExactDistribution::MorrisExactDistribution(double a, uint64_t x_max) : a_(a) {
+  pmf_.assign(x_max + 1, 0.0);
+  pmf_[0] = 1.0;
+  p_inc_.resize(x_max + 1);
+  const double log1pa = std::log1p(a);
+  for (uint64_t x = 0; x <= x_max; ++x) {
+    p_inc_[x] = std::exp(-static_cast<double>(x) * log1pa);
+  }
+}
+
+void MorrisExactDistribution::Step(uint64_t steps) {
+  const size_t top = pmf_.size() - 1;
+  for (uint64_t s = 0; s < steps; ++s) {
+    // Sweep from the top so each cell reads its left neighbor's *old* mass.
+    // The top cell is absorbing for the mass that would overflow the
+    // tracked support.
+    pmf_[top] += pmf_[top - 1] * p_inc_[top - 1];
+    for (size_t x = top - 1; x >= 1; --x) {
+      pmf_[x] = pmf_[x] * (1.0 - p_inc_[x]) + pmf_[x - 1] * p_inc_[x - 1];
+    }
+    pmf_[0] *= (1.0 - p_inc_[0]);  // p_0 = 1, so this zeroes after step 1
+    ++n_;
+  }
+}
+
+double MorrisExactDistribution::Pmf(uint64_t x) const {
+  if (x >= pmf_.size()) return 0.0;
+  return pmf_[x];
+}
+
+double MorrisExactDistribution::EstimatorMean() const {
+  KahanSum sum;
+  for (size_t x = 0; x < pmf_.size(); ++x) {
+    sum.Add(pmf_[x] * Pow1pm1OverA(a_, static_cast<double>(x)));
+  }
+  return sum.Total();
+}
+
+double MorrisExactDistribution::EstimatorVariance() const {
+  const double mean = EstimatorMean();
+  KahanSum sum;
+  for (size_t x = 0; x < pmf_.size(); ++x) {
+    const double est = Pow1pm1OverA(a_, static_cast<double>(x));
+    sum.Add(pmf_[x] * (est - mean) * (est - mean));
+  }
+  return sum.Total();
+}
+
+double MorrisExactDistribution::FailureProbability(double epsilon) const {
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  const double n = static_cast<double>(n_);
+  KahanSum bad;
+  for (size_t x = 0; x < pmf_.size(); ++x) {
+    const double est = Pow1pm1OverA(a_, static_cast<double>(x));
+    if (std::fabs(est - n) > epsilon * n) bad.Add(pmf_[x]);
+  }
+  return bad.Total();
+}
+
+double MorrisExactDistribution::SpaceTail(int bits) const {
+  KahanSum tail;
+  for (size_t x = 0; x < pmf_.size(); ++x) {
+    if (BitWidth(x) > bits) tail.Add(pmf_[x]);
+  }
+  return tail.Total();
+}
+
+double MorrisExactDistribution::OutsideProbability(uint64_t lo, uint64_t hi) const {
+  KahanSum outside;
+  for (size_t x = 0; x < pmf_.size(); ++x) {
+    if (x < lo || x > hi) outside.Add(pmf_[x]);
+  }
+  return outside.Total();
+}
+
+}  // namespace sim
+}  // namespace countlib

@@ -1,0 +1,75 @@
+/// \file morris_exact_dist.h
+/// \brief Exact law of the Morris(a) level register X after n increments —
+/// the quantities P_{n,ℓ} that [Fla85] characterizes (Eq. 46 there),
+/// computed by forward dynamic programming instead of the sum-product
+/// formula.
+///
+/// The recurrence is the chain's one-step law:
+///   P_{n+1}(x) = P_n(x) (1 - p_x) + P_n(x-1) p_{x-1},  p_x = (1+a)^{-x}.
+///
+/// This gives *exact* failure probabilities and space distributions (no
+/// Monte-Carlo error), which the test suite uses to validate the simulator
+/// and which `bench/space_tail` uses for the Theorem 2.3 curve.
+
+#ifndef COUNTLIB_SIM_MORRIS_EXACT_DIST_H_
+#define COUNTLIB_SIM_MORRIS_EXACT_DIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief Forward-DP engine for the exact distribution of Morris(a)'s X.
+class MorrisExactDistribution {
+ public:
+  /// `a > 0`; `x_max` bounds the tracked support (mass that would flow past
+  /// x_max accumulates in the top cell; keep x_max generous). The initial
+  /// distribution is a point mass at X = 0 (n = 0).
+  static Result<MorrisExactDistribution> Make(double a, uint64_t x_max);
+
+  /// Advances the law by `steps` increments. O(steps * x_max).
+  void Step(uint64_t steps = 1);
+
+  /// The number of increments applied so far.
+  uint64_t n() const { return n_; }
+
+  /// P(X = x) exactly (0 for x > x_max).
+  double Pmf(uint64_t x) const;
+
+  /// The full PMF vector over [0, x_max].
+  const std::vector<double>& pmf() const { return pmf_; }
+
+  /// Exact mean of the estimator ((1+a)^X - 1)/a — equals n if the
+  /// estimator is unbiased (a classical identity; asserted in tests).
+  double EstimatorMean() const;
+
+  /// Exact variance of the estimator (compare a·n(n-1)/2, §1.2).
+  double EstimatorVariance() const;
+
+  /// Exact failure probability P(|N-hat - N| > ε n) at the current n.
+  double FailureProbability(double epsilon) const;
+
+  /// Exact space tail: P(BitWidth(X) > bits).
+  double SpaceTail(int bits) const;
+
+  /// Exact probability that X lies outside [lo, hi].
+  double OutsideProbability(uint64_t lo, uint64_t hi) const;
+
+  double a() const { return a_; }
+
+ private:
+  MorrisExactDistribution(double a, uint64_t x_max);
+
+  double a_;
+  std::vector<double> pmf_;   // index x in [0, x_max]
+  std::vector<double> p_inc_; // p_x = (1+a)^{-x}, precomputed
+  uint64_t n_ = 0;
+};
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_MORRIS_EXACT_DIST_H_

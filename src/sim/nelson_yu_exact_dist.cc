@@ -1,0 +1,158 @@
+#include "sim/nelson_yu_exact_dist.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+Result<NelsonYuExactDistribution> NelsonYuExactDistribution::Make(
+    const NelsonYuParams& params, uint64_t x_limit) {
+  // Validate by constructing a probe counter (shares all parameter checks)
+  // and reuse its deterministic schedule.
+  COUNTLIB_ASSIGN_OR_RETURN(NelsonYuCounter probe,
+                            NelsonYuCounter::Make(params, /*seed=*/1));
+  const uint64_t x0 = probe.X0();
+  if (x_limit == 0) x_limit = params.x_cap;
+  if (x_limit <= x0 || x_limit > params.x_cap) {
+    return Status::InvalidArgument(
+        "NelsonYuExactDistribution: x_limit must be in (X0, x_cap]");
+  }
+
+  std::vector<Level> levels;
+  size_t total = 0;
+  for (uint64_t x = x0; x <= x_limit; ++x) {
+    Level level;
+    NelsonYuCounter::EpochSchedule sched = probe.ScheduleAt(x);
+    level.t = sched.t;
+    level.threshold = sched.threshold;
+    level.y_start = probe.YStartAt(x);
+    if (level.y_start > level.threshold) {
+      return Status::Internal("degenerate schedule: y_start above threshold");
+    }
+    level.estimate =
+        x == x0 ? -1.0  // epoch 0 answers Y itself; handled specially
+                : std::ceil(Pow1p(params.epsilon, static_cast<double>(x)));
+    level.offset = total;
+    total += static_cast<size_t>(level.threshold - level.y_start + 1);
+    if (total > (size_t{1} << 22)) {
+      return Status::InvalidArgument(
+          "NelsonYuExactDistribution: state space too large (> 2^22); use "
+          "smaller parameters or a lower x_limit");
+    }
+    levels.push_back(level);
+  }
+  return NelsonYuExactDistribution(params, x0, std::move(levels), total);
+}
+
+NelsonYuExactDistribution::NelsonYuExactDistribution(NelsonYuParams params,
+                                                     uint64_t x0,
+                                                     std::vector<Level> levels,
+                                                     size_t total_states)
+    : params_(std::move(params)), x0_(x0), levels_(std::move(levels)) {
+  pmf_.assign(total_states, 0.0);
+  scratch_.assign(total_states, 0.0);
+  pmf_[0] = 1.0;  // (X0, Y=0)
+}
+
+size_t NelsonYuExactDistribution::IndexOf(uint64_t x, uint64_t y) const {
+  COUNTLIB_CHECK_GE(x, x0_);
+  const size_t k = static_cast<size_t>(x - x0_);
+  COUNTLIB_CHECK_LT(k, levels_.size());
+  const Level& level = levels_[k];
+  COUNTLIB_CHECK_GE(y, level.y_start);
+  COUNTLIB_CHECK_LE(y, level.threshold);
+  return level.offset + static_cast<size_t>(y - level.y_start);
+}
+
+void NelsonYuExactDistribution::Step(uint64_t steps) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
+    double newly_absorbed = 0.0;
+    for (size_t k = 0; k < levels_.size(); ++k) {
+      const Level& level = levels_[k];
+      const double accept = std::ldexp(1.0, -static_cast<int>(level.t));
+      const size_t width =
+          static_cast<size_t>(level.threshold - level.y_start + 1);
+      for (size_t i = 0; i < width; ++i) {
+        const double mass = pmf_[level.offset + i];
+        if (mass == 0.0) continue;
+        if (accept < 1.0) {
+          scratch_[level.offset + i] += mass * (1.0 - accept);
+        }
+        if (i + 1 < width) {
+          scratch_[level.offset + i + 1] += mass * accept;
+        } else {
+          // Crossing the threshold: deterministic jump to the next epoch's
+          // entry state (or absorption at the tracking limit).
+          if (k + 1 < levels_.size()) {
+            scratch_[levels_[k + 1].offset] += mass * accept;
+          } else {
+            newly_absorbed += mass * accept;
+          }
+        }
+      }
+    }
+    pmf_.swap(scratch_);
+    absorbed_ += newly_absorbed;
+    ++n_;
+  }
+}
+
+double NelsonYuExactDistribution::Pmf(uint64_t x, uint64_t y) const {
+  if (x < x0_ || x - x0_ >= levels_.size()) return 0.0;
+  const Level& level = levels_[static_cast<size_t>(x - x0_)];
+  if (y < level.y_start || y > level.threshold) return 0.0;
+  return pmf_[level.offset + static_cast<size_t>(y - level.y_start)];
+}
+
+double NelsonYuExactDistribution::LevelPmf(uint64_t x) const {
+  if (x < x0_ || x - x0_ >= levels_.size()) return 0.0;
+  const Level& level = levels_[static_cast<size_t>(x - x0_)];
+  KahanSum sum;
+  const size_t width = static_cast<size_t>(level.threshold - level.y_start + 1);
+  for (size_t i = 0; i < width; ++i) sum.Add(pmf_[level.offset + i]);
+  return sum.Total();
+}
+
+double NelsonYuExactDistribution::EstimatorMean() const {
+  KahanSum sum;
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    const Level& level = levels_[k];
+    const size_t width =
+        static_cast<size_t>(level.threshold - level.y_start + 1);
+    for (size_t i = 0; i < width; ++i) {
+      const double mass = pmf_[level.offset + i];
+      if (mass == 0.0) continue;
+      const double estimate =
+          k == 0 ? static_cast<double>(level.y_start + i) : level.estimate;
+      sum.Add(mass * estimate);
+    }
+  }
+  return sum.Total();
+}
+
+double NelsonYuExactDistribution::FailureProbability(double epsilon) const {
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  const double n = static_cast<double>(n_);
+  KahanSum bad;
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    const Level& level = levels_[k];
+    const size_t width =
+        static_cast<size_t>(level.threshold - level.y_start + 1);
+    for (size_t i = 0; i < width; ++i) {
+      const double mass = pmf_[level.offset + i];
+      if (mass == 0.0) continue;
+      const double estimate =
+          k == 0 ? static_cast<double>(level.y_start + i) : level.estimate;
+      if (std::fabs(estimate - n) > epsilon * n) bad.Add(mass);
+    }
+  }
+  bad.Add(absorbed_);  // conservatively count absorbed mass as failed
+  return bad.Total();
+}
+
+}  // namespace sim
+}  // namespace countlib

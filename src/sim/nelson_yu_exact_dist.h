@@ -1,0 +1,89 @@
+/// \file nelson_yu_exact_dist.h
+/// \brief Exact law of Algorithm 1's state (X, Y) after n increments, by
+/// forward DP over the (level, subcount) state space.
+///
+/// Because the epoch schedule (t_x, threshold_x, y_start_x) is a
+/// deterministic function of the program constants, the reachable states
+/// at level x form the contiguous range [y_start_x, threshold_x] and the
+/// transition law is a two-outcome kernel (accept with 2^{-t_x} else
+/// stay; crossing the threshold jumps deterministically to
+/// (x+1, y_start_{x+1})). Forward DP over this space is exact and — for
+/// small parameterizations — fast, giving ground-truth failure
+/// probabilities for Theorem 2.1 with no Monte-Carlo error, and a
+/// bit-for-bit check of the production `NelsonYuCounter`.
+
+#ifndef COUNTLIB_SIM_NELSON_YU_EXACT_DIST_H_
+#define COUNTLIB_SIM_NELSON_YU_EXACT_DIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nelson_yu.h"
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief Forward-DP engine over Algorithm 1's state space.
+class NelsonYuExactDistribution {
+ public:
+  /// `params` must be small enough that the tracked state space up to
+  /// `x_limit` fits 2^22 cells. `x_limit` = 0 defaults to params.x_cap
+  /// (capped); mass that would pass x_limit accumulates in an absorbing
+  /// top cell.
+  static Result<NelsonYuExactDistribution> Make(const NelsonYuParams& params,
+                                                uint64_t x_limit = 0);
+
+  /// Advances the law by `steps` increments. O(steps * states).
+  void Step(uint64_t steps = 1);
+
+  uint64_t n() const { return n_; }
+
+  /// Exact P(X = x, Y = y); 0 for unreachable states.
+  double Pmf(uint64_t x, uint64_t y) const;
+
+  /// Exact marginal P(X = x).
+  double LevelPmf(uint64_t x) const;
+
+  /// Exact mean of the query output.
+  double EstimatorMean() const;
+
+  /// Exact failure probability P(|N-hat - n| > ε n) at the current n.
+  double FailureProbability(double epsilon) const;
+
+  /// Mass absorbed at the tracking limit (should stay ~0 in valid runs).
+  double AbsorbedMass() const { return absorbed_; }
+
+  uint64_t x0() const { return x0_; }
+  uint64_t x_limit() const { return x0_ + levels_.size() - 1; }
+
+  /// The (deterministic) schedule tables, exposed for tests.
+  struct Level {
+    uint32_t t = 0;           ///< subsample exponent of the epoch
+    uint64_t threshold = 0;   ///< floor(α T): crossing advances the epoch
+    uint64_t y_start = 0;     ///< Y value on entering the epoch
+    double estimate = 0;      ///< the query answer while in this epoch
+    size_t offset = 0;        ///< index of (x, y_start) in the pmf vector
+  };
+  const std::vector<Level>& levels() const { return levels_; }
+
+ private:
+  NelsonYuExactDistribution(NelsonYuParams params, uint64_t x0,
+                            std::vector<Level> levels, size_t total_states);
+
+  size_t IndexOf(uint64_t x, uint64_t y) const;
+
+  NelsonYuParams params_;
+  uint64_t x0_;
+  std::vector<Level> levels_;  // levels_[k] describes level x0_ + k
+  std::vector<double> pmf_;    // concatenated per-level ranges
+  std::vector<double> scratch_;
+  double absorbed_ = 0;
+  uint64_t n_ = 0;
+};
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_NELSON_YU_EXACT_DIST_H_

@@ -1,0 +1,112 @@
+#include "sim/sampling_exact_dist.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace sim {
+
+Result<SamplingExactDistribution> SamplingExactDistribution::Make(
+    const SamplingCounterParams& params) {
+  if (params.budget < 4 || (params.budget & (params.budget - 1)) != 0) {
+    return Status::InvalidArgument("SamplingExactDistribution: bad budget");
+  }
+  if (params.t_cap < 1 || params.t_cap > 40) {
+    return Status::InvalidArgument("SamplingExactDistribution: t_cap in [1, 40]");
+  }
+  const uint64_t states = params.budget * (params.t_cap + 1);
+  if (states > (uint64_t{1} << 22)) {
+    return Status::InvalidArgument(
+        "SamplingExactDistribution: state space too large (> 2^22)");
+  }
+  return SamplingExactDistribution(params);
+}
+
+SamplingExactDistribution::SamplingExactDistribution(
+    const SamplingCounterParams& params)
+    : params_(params) {
+  pmf_.assign(params_.budget * (params_.t_cap + 1), 0.0);
+  scratch_.assign(pmf_.size(), 0.0);
+  pmf_[Index(0, 0)] = 1.0;
+}
+
+void SamplingExactDistribution::Step(uint64_t steps) {
+  const uint64_t budget = params_.budget;
+  for (uint64_t s = 0; s < steps; ++s) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
+    for (uint32_t t = 0; t <= params_.t_cap; ++t) {
+      const double accept = std::ldexp(1.0, -static_cast<int>(t));
+      for (uint64_t y = 0; y < budget; ++y) {
+        const double mass = pmf_[Index(y, t)];
+        if (mass == 0.0) continue;
+        // Reject: stay.
+        if (accept < 1.0) scratch_[Index(y, t)] += mass * (1.0 - accept);
+        // Accept: y+1, folding at the budget.
+        uint64_t ny = y + 1;
+        uint32_t nt = t;
+        if (ny == budget) {
+          if (t >= params_.t_cap) {
+            ny = budget - 1;  // saturation, mirroring SamplingCounter
+          } else {
+            ny >>= 1;
+            nt = t + 1;
+          }
+        }
+        scratch_[Index(ny, nt)] += mass * accept;
+      }
+    }
+    pmf_.swap(scratch_);
+    ++n_;
+  }
+}
+
+double SamplingExactDistribution::Pmf(uint64_t y, uint32_t t) const {
+  if (y >= params_.budget || t > params_.t_cap) return 0.0;
+  return pmf_[Index(y, t)];
+}
+
+double SamplingExactDistribution::EstimatorMean() const {
+  KahanSum sum;
+  for (uint32_t t = 0; t <= params_.t_cap; ++t) {
+    for (uint64_t y = 0; y < params_.budget; ++y) {
+      const double mass = pmf_[Index(y, t)];
+      if (mass == 0.0) continue;
+      sum.Add(mass * std::ldexp(static_cast<double>(y), static_cast<int>(t)));
+    }
+  }
+  return sum.Total();
+}
+
+double SamplingExactDistribution::EstimatorVariance() const {
+  const double mean = EstimatorMean();
+  KahanSum sum;
+  for (uint32_t t = 0; t <= params_.t_cap; ++t) {
+    for (uint64_t y = 0; y < params_.budget; ++y) {
+      const double mass = pmf_[Index(y, t)];
+      if (mass == 0.0) continue;
+      const double est = std::ldexp(static_cast<double>(y), static_cast<int>(t));
+      sum.Add(mass * (est - mean) * (est - mean));
+    }
+  }
+  return sum.Total();
+}
+
+double SamplingExactDistribution::FailureProbability(double epsilon) const {
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  const double n = static_cast<double>(n_);
+  KahanSum bad;
+  for (uint32_t t = 0; t <= params_.t_cap; ++t) {
+    for (uint64_t y = 0; y < params_.budget; ++y) {
+      const double mass = pmf_[Index(y, t)];
+      if (mass == 0.0) continue;
+      const double est = std::ldexp(static_cast<double>(y), static_cast<int>(t));
+      if (std::fabs(est - n) > epsilon * n) bad.Add(mass);
+    }
+  }
+  return bad.Total();
+}
+
+}  // namespace sim
+}  // namespace countlib

@@ -1,0 +1,63 @@
+/// \file sampling_exact_dist.h
+/// \brief Exact law of the sampling counter's state (Y, t) after n
+/// increments, by forward DP over the (budget × t_cap) state space.
+///
+/// Used with small budgets to validate the `SamplingCounter` implementation
+/// bit-for-bit against the mathematical chain, and to compute exact failure
+/// probabilities for the simplified Figure-1 algorithm.
+
+#ifndef COUNTLIB_SIM_SAMPLING_EXACT_DIST_H_
+#define COUNTLIB_SIM_SAMPLING_EXACT_DIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief Forward-DP engine for the exact distribution of (Y, t).
+class SamplingExactDistribution {
+ public:
+  /// Practical only for small budgets: state space is budget * (t_cap+1).
+  static Result<SamplingExactDistribution> Make(const SamplingCounterParams& params);
+
+  /// Advances the law by `steps` increments. O(steps * budget * t_cap).
+  void Step(uint64_t steps = 1);
+
+  uint64_t n() const { return n_; }
+
+  /// P(Y = y, t = t) exactly.
+  double Pmf(uint64_t y, uint32_t t) const;
+
+  /// Exact mean of the estimator Y 2^t (== n by the martingale argument;
+  /// asserted in tests).
+  double EstimatorMean() const;
+
+  /// Exact variance of the estimator.
+  double EstimatorVariance() const;
+
+  /// Exact failure probability P(|Y 2^t - n| > ε n).
+  double FailureProbability(double epsilon) const;
+
+  const SamplingCounterParams& params() const { return params_; }
+
+ private:
+  explicit SamplingExactDistribution(const SamplingCounterParams& params);
+
+  size_t Index(uint64_t y, uint32_t t) const {
+    return static_cast<size_t>(t) * params_.budget + y;
+  }
+
+  SamplingCounterParams params_;
+  std::vector<double> pmf_;      // indexed [t * budget + y], y in [0, budget)
+  std::vector<double> scratch_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_SAMPLING_EXACT_DIST_H_

@@ -1,0 +1,53 @@
+#include "sim/space_dist.h"
+
+#include "util/logging.h"
+
+namespace countlib {
+namespace sim {
+
+double SpaceDistribution::Tail(int bits) const {
+  if (trials == 0) return 0.0;
+  uint64_t above = 0;
+  for (size_t b = 0; b < histogram.size(); ++b) {
+    if (static_cast<int>(b) > bits) above += histogram[b];
+  }
+  return static_cast<double>(above) / static_cast<double>(trials);
+}
+
+double SpaceDistribution::Mean() const {
+  if (trials == 0) return 0.0;
+  double sum = 0;
+  for (size_t b = 0; b < histogram.size(); ++b) {
+    sum += static_cast<double>(b) * static_cast<double>(histogram[b]);
+  }
+  return sum / static_cast<double>(trials);
+}
+
+int SpaceDistribution::MaxBits() const {
+  for (size_t b = histogram.size(); b > 0; --b) {
+    if (histogram[b - 1] > 0) return static_cast<int>(b - 1);
+  }
+  return 0;
+}
+
+Result<SpaceDistribution> MeasureSpaceDistribution(
+    const std::function<Result<std::unique_ptr<Counter>>(uint64_t seed)>& factory,
+    uint64_t n, uint64_t trials, uint64_t seed0) {
+  if (trials == 0) return Status::InvalidArgument("trials must be >= 1");
+  SpaceDistribution dist;
+  dist.histogram.assign(128, 0);
+  dist.trials = trials;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    COUNTLIB_ASSIGN_OR_RETURN(std::unique_ptr<Counter> counter,
+                              factory(seed0 + trial));
+    counter->IncrementMany(n);
+    const int bits = counter->CurrentStateBits();
+    COUNTLIB_CHECK_GE(bits, 0);
+    COUNTLIB_CHECK_LT(bits, 128);
+    ++dist.histogram[bits];
+  }
+  return dist;
+}
+
+}  // namespace sim
+}  // namespace countlib

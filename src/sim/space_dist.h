@@ -1,0 +1,43 @@
+/// \file space_dist.h
+/// \brief Space-usage distributions: Monte-Carlo tails of
+/// `CurrentStateBits()` for any counter, plus the exact Morris tail — the
+/// machinery behind the Theorem 2.3 experiment.
+
+#ifndef COUNTLIB_SIM_SPACE_DIST_H_
+#define COUNTLIB_SIM_SPACE_DIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/counter.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace sim {
+
+/// \brief Empirical distribution of the state footprint after n increments.
+struct SpaceDistribution {
+  /// histogram[b] = number of trials whose CurrentStateBits() == b.
+  std::vector<uint64_t> histogram;
+  uint64_t trials = 0;
+
+  /// P(space > bits) from the histogram.
+  double Tail(int bits) const;
+  /// Mean bits.
+  double Mean() const;
+  /// Largest observed bits.
+  int MaxBits() const;
+};
+
+/// \brief Runs `trials` independent trials: build a counter via `factory`
+/// (seed argument differs per trial), apply `n` increments, record
+/// CurrentStateBits(). Single-threaded (callers parallelize per config).
+Result<SpaceDistribution> MeasureSpaceDistribution(
+    const std::function<Result<std::unique_ptr<Counter>>(uint64_t seed)>& factory,
+    uint64_t n, uint64_t trials, uint64_t seed0);
+
+}  // namespace sim
+}  // namespace countlib
+
+#endif  // COUNTLIB_SIM_SPACE_DIST_H_

@@ -1,0 +1,55 @@
+#include "stats/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace stats {
+
+double MorrisChebyshevFailureBound(double a, uint64_t n, double epsilon) {
+  COUNTLIB_CHECK_GT(a, 0.0);
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  if (n < 2) return 0.0;
+  const double nn = static_cast<double>(n);
+  return std::min(1.0, a * (nn - 1.0) / (2.0 * epsilon * epsilon * nn));
+}
+
+double MorrisMgfFailureBound(double a, double epsilon) {
+  COUNTLIB_CHECK_GT(a, 0.0);
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  return std::min(1.0, 2.0 * std::exp(-epsilon * epsilon / (8.0 * a)));
+}
+
+double DoublyExponentialTail(double s, double s0, double c2) {
+  if (s <= s0) return 1.0;
+  return std::exp(-std::exp(c2 * (s - s0)));
+}
+
+AppendixABound AppendixAEventBound(double a, double epsilon, double c) {
+  COUNTLIB_CHECK_GT(a, 0.0);
+  COUNTLIB_CHECK_GT(epsilon, 0.0);
+  COUNTLIB_CHECK_LT(epsilon, 0.5);
+  AppendixABound out;
+  const double e43 = std::pow(epsilon, 4.0 / 3.0);
+  out.n = static_cast<uint64_t>(std::ceil(c * e43 / a));
+  const double log1pa = std::log1p(a);
+  out.t = static_cast<uint64_t>(
+      std::floor(std::log1p((1.0 - 2.0 * epsilon) * e43 * c) / log1pa));
+  // P(E) = prod_{i=0}^{t-1} (1+a)^{-i} * (1 - (1+a)^{-t})^{N - t}: the
+  // counter rises on each of the first t increments, then never again.
+  const double t_d = static_cast<double>(out.t);
+  const double n_d = static_cast<double>(out.n);
+  double log_prob = -log1pa * t_d * (t_d - 1.0) / 2.0;
+  const double stall_p = -std::expm1(-t_d * log1pa);  // 1 - (1+a)^{-t}
+  log_prob += (n_d - t_d) * std::log(std::max(1e-300, stall_p));
+  out.event_prob = std::exp(log_prob);
+  out.estimate_at_t = Pow1pm1OverA(a, t_d);
+  out.failure_threshold = (1.0 - epsilon) * n_d;
+  return out;
+}
+
+}  // namespace stats
+}  // namespace countlib

@@ -1,0 +1,45 @@
+/// \file bounds.h
+/// \brief Analytic bound evaluators from the paper, so experiments can
+/// print "theory vs measured" columns.
+
+#ifndef COUNTLIB_STATS_BOUNDS_H_
+#define COUNTLIB_STATS_BOUNDS_H_
+
+#include <cstdint>
+
+namespace countlib {
+namespace stats {
+
+/// \brief Chebyshev failure bound for the Morris(a) estimator at count n:
+/// `P(|N-hat - N| > εN) <= a(N-1)/(2ε²N) ~ a/(2ε²)` (from Var = aN(N-1)/2).
+double MorrisChebyshevFailureBound(double a, uint64_t n, double epsilon);
+
+/// \brief The §2.2 MGF failure bound for Morris(a), valid for N > 8/a:
+/// `P(relative error > 2ε) <= 2 exp(-ε²/(8a))`.
+double MorrisMgfFailureBound(double a, double epsilon);
+
+/// \brief Theorem 2.3 shape: the doubly-exponential space tail
+/// `exp(-exp(c2 (S - S0)))` used for shape comparison against measured
+/// tails (constants are not pinned down by the paper; c2 and S0 are fit
+/// inputs).
+double DoublyExponentialTail(double s, double s0, double c2);
+
+/// \brief Appendix A: the analytic lower bound on the probability that
+/// *vanilla* Morris(a) underestimates N = ceil(c ε^{4/3} / a) by more than
+/// a (1-ε) factor: the probability of the event E that X rises t times
+/// then stalls. Returns the exact probability of E,
+/// `prod_{i<t}(1+a)^{-i} * (1 - (1+a)^{-t})^{N-t}`, with
+/// `t = floor(ln(1+(1-2ε)ε^{4/3}c)/ln(1+a))`.
+struct AppendixABound {
+  uint64_t n = 0;          ///< the adversarial count N'_a
+  uint64_t t = 0;          ///< the stalled level
+  double event_prob = 0;   ///< exact P(E) (lower-bounds the failure prob)
+  double estimate_at_t = 0;  ///< the estimator value if X == t
+  double failure_threshold = 0;  ///< (1 - ε) N
+};
+AppendixABound AppendixAEventBound(double a, double epsilon, double c);
+
+}  // namespace stats
+}  // namespace countlib
+
+#endif  // COUNTLIB_STATS_BOUNDS_H_

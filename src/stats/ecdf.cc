@@ -1,0 +1,41 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace stats {
+
+Result<Ecdf> Ecdf::Make(std::vector<double> samples) {
+  if (samples.empty()) return Status::InvalidArgument("Ecdf: empty sample");
+  for (double s : samples) {
+    if (std::isnan(s)) return Status::InvalidArgument("Ecdf: NaN in sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  return Ecdf(std::move(samples));
+}
+
+double Ecdf::Eval(double x) const {
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::Quantile(double q) const { return SortedQuantile(sorted_, q); }
+
+double Ecdf::KsDistance(const Ecdf& other) const {
+  // Evaluate both CDFs at every jump point of either.
+  double max_gap = 0.0;
+  for (const auto* src : {this, &other}) {
+    for (double x : src->sorted_) {
+      max_gap = std::max(max_gap, std::fabs(Eval(x) - other.Eval(x)));
+    }
+  }
+  return max_gap;
+}
+
+}  // namespace stats
+}  // namespace countlib

@@ -1,0 +1,54 @@
+/// \file ecdf.h
+/// \brief Empirical CDF — the plot type of the paper's Figure 1.
+///
+/// Figure 1 plots, for each algorithm, the empirical CDF of the relative
+/// error over 5,000 trials: a dot at (x, y) means that in x% of trials the
+/// relative error was y% or less (the paper plots percent-on-x; we expose
+/// the CDF both ways).
+
+#ifndef COUNTLIB_STATS_ECDF_H_
+#define COUNTLIB_STATS_ECDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+namespace stats {
+
+/// \brief Empirical CDF of a sample.
+class Ecdf {
+ public:
+  /// Builds from a (non-empty) sample; O(n log n).
+  static Result<Ecdf> Make(std::vector<double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  double Eval(double x) const;
+
+  /// The q-quantile (inverse CDF; q in [0, 1]).
+  double Quantile(double q) const;
+
+  /// Largest sample value.
+  double Max() const { return sorted_.back(); }
+  /// Smallest sample value.
+  double Min() const { return sorted_.front(); }
+
+  uint64_t size() const { return static_cast<uint64_t>(sorted_.size()); }
+
+  /// The sorted sample (the full CDF support).
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Kolmogorov-Smirnov distance to another ECDF: sup_x |F1(x) - F2(x)|.
+  double KsDistance(const Ecdf& other) const;
+
+ private:
+  explicit Ecdf(std::vector<double> sorted) : sorted_(std::move(sorted)) {}
+
+  std::vector<double> sorted_;
+};
+
+}  // namespace stats
+}  // namespace countlib
+
+#endif  // COUNTLIB_STATS_ECDF_H_

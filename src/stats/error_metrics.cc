@@ -1,0 +1,47 @@
+#include "stats/error_metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace countlib {
+namespace stats {
+
+double RelativeError(double estimate, double truth) {
+  COUNTLIB_CHECK_GT(truth, 0.0);
+  return std::fabs(estimate - truth) / truth;
+}
+
+double FailureRate(const std::vector<double>& relative_errors, double epsilon) {
+  if (relative_errors.empty()) return 0.0;
+  uint64_t failures = 0;
+  for (double e : relative_errors) {
+    if (e > epsilon) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(relative_errors.size());
+}
+
+WilsonInterval Wilson(uint64_t successes, uint64_t trials, double z) {
+  COUNTLIB_CHECK_GT(trials, 0u);
+  COUNTLIB_CHECK_LE(successes, trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  WilsonInterval w;
+  w.point = p;
+  w.lo = std::max(0.0, center - half);
+  w.hi = std::min(1.0, center + half);
+  return w;
+}
+
+bool FailureRateConsistentWith(uint64_t failures, uint64_t trials, double delta,
+                               double z) {
+  return Wilson(failures, trials, z).lo <= delta;
+}
+
+}  // namespace stats
+}  // namespace countlib

@@ -1,0 +1,40 @@
+/// \file error_metrics.h
+/// \brief Relative-error and failure-rate metrics with confidence
+/// intervals — the vocabulary in which Theorems 1.1/1.2/2.1 are verified.
+
+#ifndef COUNTLIB_STATS_ERROR_METRICS_H_
+#define COUNTLIB_STATS_ERROR_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace countlib {
+namespace stats {
+
+/// \brief |estimate - truth| / truth (truth > 0).
+double RelativeError(double estimate, double truth);
+
+/// \brief Fraction of trials with relative error > epsilon.
+double FailureRate(const std::vector<double>& relative_errors, double epsilon);
+
+/// \brief Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double lo = 0;
+  double hi = 1;
+  double point = 0;
+};
+
+/// \brief Wilson interval at confidence z (z = 2.576 ~ 99%).
+WilsonInterval Wilson(uint64_t successes, uint64_t trials, double z = 2.576);
+
+/// \brief True if the observed failure count is statistically consistent
+/// with a true failure probability <= delta: the Wilson lower bound at
+/// confidence z does not exceed delta. Used by guarantee tests — avoids
+/// flaky assertions on raw empirical rates.
+bool FailureRateConsistentWith(uint64_t failures, uint64_t trials, double delta,
+                               double z = 2.576);
+
+}  // namespace stats
+}  // namespace countlib
+
+#endif  // COUNTLIB_STATS_ERROR_METRICS_H_

@@ -1,0 +1,174 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace countlib {
+namespace stats {
+
+namespace {
+
+// Pools adjacent bins until every expected entry is >= min_expected.
+void PoolBins(std::vector<double>* observed, std::vector<double>* expected,
+              double min_expected) {
+  std::vector<double> obs_out, exp_out;
+  double obs_acc = 0, exp_acc = 0;
+  for (size_t i = 0; i < expected->size(); ++i) {
+    obs_acc += (*observed)[i];
+    exp_acc += (*expected)[i];
+    if (exp_acc >= min_expected) {
+      obs_out.push_back(obs_acc);
+      exp_out.push_back(exp_acc);
+      obs_acc = exp_acc = 0;
+    }
+  }
+  // Fold any remainder into the last bin.
+  if (exp_acc > 0 && !exp_out.empty()) {
+    obs_out.back() += obs_acc;
+    exp_out.back() += exp_acc;
+  } else if (exp_acc > 0) {
+    obs_out.push_back(obs_acc);
+    exp_out.push_back(exp_acc);
+  }
+  *observed = std::move(obs_out);
+  *expected = std::move(exp_out);
+}
+
+// Asymptotic Kolmogorov distribution tail: P(sqrt(n) D > x).
+double KolmogorovTail(double x) {
+  if (x < 1e-3) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+
+}  // namespace
+
+Result<TestResult> ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                          const std::vector<double>& expected,
+                                          double min_expected) {
+  if (observed.size() != expected.size()) {
+    return Status::InvalidArgument("chi-square: size mismatch");
+  }
+  if (observed.empty()) return Status::InvalidArgument("chi-square: empty input");
+  std::vector<double> obs = observed;
+  std::vector<double> exp = expected;
+  PoolBins(&obs, &exp, min_expected);
+  if (obs.size() < 2) {
+    return Status::InvalidArgument("chi-square: fewer than 2 bins after pooling");
+  }
+  double stat = 0;
+  for (size_t i = 0; i < obs.size(); ++i) {
+    if (exp[i] <= 0) return Status::InvalidArgument("chi-square: zero expected bin");
+    double d = obs[i] - exp[i];
+    stat += d * d / exp[i];
+  }
+  TestResult r;
+  r.statistic = stat;
+  r.dof = obs.size() - 1;
+  r.p_value = RegularizedGammaQ(static_cast<double>(r.dof) / 2.0, stat / 2.0);
+  return r;
+}
+
+Result<TestResult> ChiSquareTwoSample(const std::vector<uint64_t>& counts_a,
+                                      const std::vector<uint64_t>& counts_b,
+                                      double min_expected) {
+  if (counts_a.size() != counts_b.size()) {
+    return Status::InvalidArgument("chi-square two-sample: size mismatch");
+  }
+  double total_a = 0, total_b = 0;
+  for (uint64_t c : counts_a) total_a += static_cast<double>(c);
+  for (uint64_t c : counts_b) total_b += static_cast<double>(c);
+  if (total_a == 0 || total_b == 0) {
+    return Status::InvalidArgument("chi-square two-sample: empty sample");
+  }
+  // Homogeneity: expected_a[i] = (a_i + b_i) * total_a / (total_a + total_b);
+  // equivalently run GoF of sample A against the pooled distribution scaled
+  // to A's size, with the classical 2xK contingency statistic.
+  std::vector<double> obs, exp;
+  const double grand = total_a + total_b;
+  double stat = 0;
+  double pooled_exp_a = 0, pooled_obs_a = 0, pooled_exp_b = 0, pooled_obs_b = 0;
+  uint64_t bins_used = 0;
+  for (size_t i = 0; i < counts_a.size(); ++i) {
+    const double row = static_cast<double>(counts_a[i] + counts_b[i]);
+    pooled_exp_a += row * total_a / grand;
+    pooled_exp_b += row * total_b / grand;
+    pooled_obs_a += static_cast<double>(counts_a[i]);
+    pooled_obs_b += static_cast<double>(counts_b[i]);
+    if (pooled_exp_a >= min_expected && pooled_exp_b >= min_expected) {
+      double da = pooled_obs_a - pooled_exp_a;
+      double db = pooled_obs_b - pooled_exp_b;
+      stat += da * da / pooled_exp_a + db * db / pooled_exp_b;
+      pooled_exp_a = pooled_obs_a = pooled_exp_b = pooled_obs_b = 0;
+      ++bins_used;
+    }
+  }
+  if (pooled_exp_a > 0 || pooled_exp_b > 0) {
+    // Remainder folded: recompute against what is left (approximation is
+    // conservative for the tail bin).
+    if (pooled_exp_a > 0 && pooled_exp_b > 0) {
+      double da = pooled_obs_a - pooled_exp_a;
+      double db = pooled_obs_b - pooled_exp_b;
+      stat += da * da / pooled_exp_a + db * db / pooled_exp_b;
+      ++bins_used;
+    }
+  }
+  if (bins_used < 2) {
+    return Status::InvalidArgument(
+        "chi-square two-sample: fewer than 2 bins after pooling");
+  }
+  TestResult r;
+  r.statistic = stat;
+  r.dof = bins_used - 1;
+  r.p_value = RegularizedGammaQ(static_cast<double>(r.dof) / 2.0, stat / 2.0);
+  return r;
+}
+
+Result<TestResult> KolmogorovSmirnovTwoSample(std::vector<double> a,
+                                              std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("KS: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0, ib = 0;
+  double d = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  TestResult r;
+  r.statistic = d;
+  r.dof = 0;
+  const double en = std::sqrt(na * nb / (na + nb));
+  r.p_value = KolmogorovTail((en + 0.12 + 0.11 / en) * d);
+  return r;
+}
+
+Result<TestResult> BinomialTestUpper(uint64_t successes, uint64_t trials, double p) {
+  if (trials == 0) return Status::InvalidArgument("binomial test: 0 trials");
+  if (successes > trials) {
+    return Status::InvalidArgument("binomial test: successes > trials");
+  }
+  if (p < 0 || p > 1) return Status::InvalidArgument("binomial test: bad p");
+  TestResult r;
+  r.statistic = static_cast<double>(successes);
+  r.dof = trials;
+  r.p_value = BinomialUpperTail(trials, p, successes);
+  return r;
+}
+
+}  // namespace stats
+}  // namespace countlib

@@ -1,0 +1,53 @@
+/// \file hypothesis.h
+/// \brief Hypothesis tests used to validate distributional claims:
+/// chi-square goodness-of-fit / homogeneity, two-sample Kolmogorov-Smirnov,
+/// and an exact binomial test.
+///
+/// These back the strongest tests in the suite: e.g. "a merged counter's
+/// final-state distribution equals a directly-counted counter's" (Remark
+/// 2.4) is checked by chi-square over Monte-Carlo state histograms, and
+/// "the fast-forward path matches the per-increment path" by KS.
+
+#ifndef COUNTLIB_STATS_HYPOTHESIS_H_
+#define COUNTLIB_STATS_HYPOTHESIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+namespace stats {
+
+/// \brief Result of a test: statistic and (approximate) p-value.
+struct TestResult {
+  double statistic = 0;
+  double p_value = 1;
+  uint64_t dof = 0;
+};
+
+/// \brief Chi-square goodness-of-fit of observed counts against expected
+/// counts (same length; expected > 0 after pooling). Bins with expected
+/// count < `min_expected` are pooled into their neighbor.
+Result<TestResult> ChiSquareGoodnessOfFit(const std::vector<double>& observed,
+                                          const std::vector<double>& expected,
+                                          double min_expected = 5.0);
+
+/// \brief Chi-square homogeneity test of two count histograms over the same
+/// bins (are the two samples drawn from the same distribution?).
+Result<TestResult> ChiSquareTwoSample(const std::vector<uint64_t>& counts_a,
+                                      const std::vector<uint64_t>& counts_b,
+                                      double min_expected = 5.0);
+
+/// \brief Two-sample KS test with the asymptotic Kolmogorov p-value.
+Result<TestResult> KolmogorovSmirnovTwoSample(std::vector<double> a,
+                                              std::vector<double> b);
+
+/// \brief Exact binomial test: p-value of observing >= `successes` in
+/// `trials` Bernoulli(p) draws (one-sided upper).
+Result<TestResult> BinomialTestUpper(uint64_t successes, uint64_t trials, double p);
+
+}  // namespace stats
+}  // namespace countlib
+
+#endif  // COUNTLIB_STATS_HYPOTHESIS_H_

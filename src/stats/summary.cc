@@ -1,0 +1,71 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace countlib {
+namespace stats {
+
+void StreamingSummary::Add(double x) {
+  ++n_;
+  double d1 = x - mean_;
+  mean_ += d1 / static_cast<double>(n_);
+  double d2 = x - mean_;
+  m2_ += d1 * d2;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingSummary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingSummary::stddev() const { return std::sqrt(variance()); }
+
+void StreamingSummary::Merge(const StreamingSummary& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string StreamingSummary::ToString() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean_ << " sd=" << stddev() << " min=" << min_
+     << " max=" << max_;
+  return os.str();
+}
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  COUNTLIB_CHECK(!sorted.empty());
+  COUNTLIB_CHECK_GE(q, 0.0);
+  COUNTLIB_CHECK_LE(q, 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return SortedQuantile(xs, q);
+}
+
+}  // namespace stats
+}  // namespace countlib

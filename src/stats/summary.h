@@ -1,0 +1,53 @@
+/// \file summary.h
+/// \brief Streaming and batch summary statistics for experiment harnesses.
+
+#ifndef COUNTLIB_STATS_SUMMARY_H_
+#define COUNTLIB_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace countlib {
+namespace stats {
+
+/// \brief Single-pass mean/variance/min/max (Welford's algorithm).
+class StreamingSummary {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another summary (parallel reduction).
+  void Merge(const StreamingSummary& other);
+
+  std::string ToString() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Batch quantile of a sample (linear interpolation between order
+/// statistics); `q` in [0, 1]. Sorts a copy; for repeated queries use
+/// `SortedQuantile` on pre-sorted data.
+double Quantile(std::vector<double> xs, double q);
+
+/// \brief Quantile on already-sorted data.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+}  // namespace stats
+}  // namespace countlib
+
+#endif  // COUNTLIB_STATS_SUMMARY_H_

@@ -1,0 +1,84 @@
+#include "stream/stream_runner.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "stats/error_metrics.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace stream {
+
+uint64_t TrialReport::CountFailures(double epsilon) const {
+  uint64_t failures = 0;
+  for (double e : relative_errors) {
+    if (e > epsilon) ++failures;
+  }
+  return failures;
+}
+
+Result<TrialReport> RunTrials(const CounterFactory& factory,
+                              const CountSampler& count_sampler, uint64_t trials,
+                              unsigned threads) {
+  if (trials == 0) return Status::InvalidArgument("RunTrials: trials must be >= 1");
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<uint64_t>(threads, trials));
+
+  TrialReport report;
+  report.trials = trials;
+  report.relative_errors.assign(trials, 0.0);
+  report.signed_errors.assign(trials, 0.0);
+
+  std::vector<stats::StreamingSummary> bit_summaries(threads);
+  std::atomic<uint64_t> next_trial{0};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&](unsigned worker_id) {
+    for (;;) {
+      const uint64_t trial = next_trial.fetch_add(1);
+      if (trial >= trials) return;
+      Result<std::unique_ptr<Counter>> counter = factory(trial);
+      if (!counter.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = counter.status();
+        return;
+      }
+      const uint64_t n = count_sampler(trial);
+      (*counter)->IncrementMany(n);
+      const double estimate = (*counter)->Estimate();
+      const double truth = static_cast<double>(n);
+      report.relative_errors[trial] = stats::RelativeError(estimate, truth);
+      report.signed_errors[trial] = (estimate - truth) / truth;
+      bit_summaries[worker_id].Add(
+          static_cast<double>((*counter)->CurrentStateBits()));
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker, i);
+  for (auto& t : pool) t.join();
+
+  if (!first_error.ok()) return first_error;
+  for (const auto& s : bit_summaries) report.state_bits.Merge(s);
+  return report;
+}
+
+Result<TrialReport> RunAccuracyTrials(CounterKind kind, const Accuracy& acc,
+                                      uint64_t n, uint64_t trials, uint64_t seed0,
+                                      unsigned threads) {
+  CounterFactory factory = [kind, acc, seed0](uint64_t trial) {
+    return MakeCounter(kind, acc, seed0 + trial * 0x9E3779B97F4A7C15ull + 1);
+  };
+  CountSampler sampler = [n](uint64_t) { return n; };
+  return RunTrials(factory, sampler, trials, threads);
+}
+
+}  // namespace stream
+}  // namespace countlib

@@ -1,0 +1,58 @@
+/// \file stream_runner.h
+/// \brief The experiment driver: runs many independent counter trials
+/// (in parallel across hardware threads), collecting relative errors and
+/// failure statistics. This is the engine behind the accuracy benches and
+/// the Figure-1 harness.
+
+#ifndef COUNTLIB_STREAM_STREAM_RUNNER_H_
+#define COUNTLIB_STREAM_STREAM_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/counter_factory.h"
+#include "stats/summary.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace stream {
+
+/// \brief Per-trial counter factory: trial index -> fresh counter.
+using CounterFactory =
+    std::function<Result<std::unique_ptr<Counter>>(uint64_t trial)>;
+
+/// \brief Per-trial count sampler: trial index -> N for that trial.
+/// (Figure 1 draws N ~ Uniform[5e5, 1e6); fixed-N experiments return a
+/// constant.)
+using CountSampler = std::function<uint64_t(uint64_t trial)>;
+
+/// \brief Results of a batch of trials.
+struct TrialReport {
+  std::vector<double> relative_errors;  ///< |N-hat - N| / N, one per trial
+  std::vector<double> signed_errors;    ///< (N-hat - N) / N
+  stats::StreamingSummary state_bits;   ///< CurrentStateBits() at the end
+  uint64_t trials = 0;
+
+  /// Failures at a given epsilon.
+  uint64_t CountFailures(double epsilon) const;
+};
+
+/// \brief Runs `trials` independent trials, `threads`-way parallel
+/// (threads = 0 picks hardware concurrency). Each trial builds a counter,
+/// applies N increments via IncrementMany, and records the error.
+Result<TrialReport> RunTrials(const CounterFactory& factory,
+                              const CountSampler& count_sampler, uint64_t trials,
+                              unsigned threads = 0);
+
+/// \brief Convenience: accuracy-parameterized counter of `kind`, fixed N.
+Result<TrialReport> RunAccuracyTrials(CounterKind kind, const Accuracy& acc,
+                                      uint64_t n, uint64_t trials, uint64_t seed0,
+                                      unsigned threads = 0);
+
+}  // namespace stream
+}  // namespace countlib
+
+#endif  // COUNTLIB_STREAM_STREAM_RUNNER_H_

@@ -1,0 +1,94 @@
+#include "stream/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/math.h"
+
+namespace countlib {
+namespace stream {
+
+Result<Trace> Trace::GenerateZipf(uint64_t num_keys, double skew,
+                                  uint64_t num_events, uint64_t seed) {
+  COUNTLIB_ASSIGN_OR_RETURN(ZipfKeyWorkload workload,
+                            ZipfKeyWorkload::Make(num_keys, skew));
+  Rng rng(seed);
+  std::vector<KeyEvent> events;
+  events.reserve(num_events);
+  for (uint64_t i = 0; i < num_events; ++i) events.push_back(workload.Next(&rng));
+  return Trace(std::move(events));
+}
+
+Result<Trace> Trace::GenerateBursty(uint64_t num_keys, double skew,
+                                    double mean_burst, uint64_t num_increments,
+                                    uint64_t seed) {
+  COUNTLIB_ASSIGN_OR_RETURN(BurstyKeyWorkload workload,
+                            BurstyKeyWorkload::Make(num_keys, skew, mean_burst));
+  Rng rng(seed);
+  std::vector<KeyEvent> events;
+  uint64_t total = 0;
+  while (total < num_increments) {
+    KeyEvent event = workload.Next(&rng);
+    if (total + event.weight > num_increments) {
+      event.weight = num_increments - total;
+    }
+    if (event.weight == 0) break;
+    total += event.weight;
+    events.push_back(event);
+  }
+  return Trace(std::move(events));
+}
+
+uint64_t Trace::TotalIncrements() const {
+  uint64_t total = 0;
+  for (const KeyEvent& e : events_) total = SaturatingAdd(total, e.weight);
+  return total;
+}
+
+std::unordered_map<uint64_t, uint64_t> Trace::ExactCounts() const {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  for (const KeyEvent& e : events_) counts[e.key] += e.weight;
+  return counts;
+}
+
+Status Trace::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f, "countlib-trace v1\n%zu\n", events_.size());
+  for (const KeyEvent& e : events_) {
+    std::fprintf(f, "%" PRIu64 " %" PRIu64 "\n", e.key, e.weight);
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed: " + path);
+  return Status::OK();
+}
+
+Result<Trace> Trace::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char header[64];
+  if (std::fgets(header, sizeof(header), f) == nullptr ||
+      std::string(header) != "countlib-trace v1\n") {
+    std::fclose(f);
+    return Status::IOError("bad trace header in " + path);
+  }
+  uint64_t count = 0;
+  if (std::fscanf(f, "%" SCNu64, &count) != 1) {
+    std::fclose(f);
+    return Status::IOError("bad trace count in " + path);
+  }
+  std::vector<KeyEvent> events;
+  events.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    KeyEvent e;
+    if (std::fscanf(f, "%" SCNu64 " %" SCNu64, &e.key, &e.weight) != 2) {
+      std::fclose(f);
+      return Status::IOError("truncated trace " + path);
+    }
+    events.push_back(e);
+  }
+  std::fclose(f);
+  return Trace(std::move(events));
+}
+
+}  // namespace stream
+}  // namespace countlib

@@ -1,0 +1,61 @@
+/// \file trace.h
+/// \brief Materialized event traces: generate, save, load, and ground-truth
+/// them. Lets experiments fix a workload once and replay it across
+/// algorithms and stores so comparisons share the exact same stream.
+///
+/// File format (text, line-oriented, self-describing):
+///   countlib-trace v1
+///   <num_events>
+///   <key> <weight>
+///   ...
+
+#ifndef COUNTLIB_STREAM_TRACE_H_
+#define COUNTLIB_STREAM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/workload.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace stream {
+
+/// \brief A finite keyed event stream.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<KeyEvent> events) : events_(std::move(events)) {}
+
+  /// Generates `num_events` events from a Zipf workload.
+  static Result<Trace> GenerateZipf(uint64_t num_keys, double skew,
+                                    uint64_t num_events, uint64_t seed);
+
+  /// Generates bursty events totalling ~`num_increments` increments.
+  static Result<Trace> GenerateBursty(uint64_t num_keys, double skew,
+                                      double mean_burst, uint64_t num_increments,
+                                      uint64_t seed);
+
+  const std::vector<KeyEvent>& events() const { return events_; }
+  uint64_t num_events() const { return events_.size(); }
+
+  /// Total increments (sum of weights).
+  uint64_t TotalIncrements() const;
+
+  /// Exact per-key counts (the ground truth for error measurement).
+  std::unordered_map<uint64_t, uint64_t> ExactCounts() const;
+
+  /// Writes/reads the text format above.
+  Status SaveToFile(const std::string& path) const;
+  static Result<Trace> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<KeyEvent> events_;
+};
+
+}  // namespace stream
+}  // namespace countlib
+
+#endif  // COUNTLIB_STREAM_TRACE_H_

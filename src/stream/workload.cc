@@ -1,0 +1,39 @@
+#include "stream/workload.h"
+
+#include "random/geometric.h"
+
+namespace countlib {
+namespace stream {
+
+Result<UniformCountWorkload> UniformCountWorkload::Make(uint64_t lo, uint64_t hi) {
+  if (lo < 1 || lo > hi) {
+    return Status::InvalidArgument("UniformCountWorkload: need 1 <= lo <= hi");
+  }
+  return UniformCountWorkload(lo, hi);
+}
+
+Result<ZipfKeyWorkload> ZipfKeyWorkload::Make(uint64_t num_keys, double skew) {
+  COUNTLIB_ASSIGN_OR_RETURN(ZipfDistribution zipf,
+                            ZipfDistribution::Make(num_keys, skew));
+  return ZipfKeyWorkload(std::move(zipf));
+}
+
+Result<BurstyKeyWorkload> BurstyKeyWorkload::Make(uint64_t num_keys, double skew,
+                                                  double mean_burst) {
+  if (!(mean_burst >= 1.0)) {
+    return Status::InvalidArgument("BurstyKeyWorkload: mean_burst must be >= 1");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(ZipfDistribution zipf,
+                            ZipfDistribution::Make(num_keys, skew));
+  return BurstyKeyWorkload(std::move(zipf), 1.0 / mean_burst);
+}
+
+KeyEvent BurstyKeyWorkload::Next(Rng* rng) const {
+  KeyEvent event;
+  event.key = zipf_.Sample(rng);
+  event.weight = SampleGeometric(rng, burst_p_);
+  return event;
+}
+
+}  // namespace stream
+}  // namespace countlib

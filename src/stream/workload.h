@@ -1,0 +1,85 @@
+/// \file workload.h
+/// \brief Workload generators for the experiments.
+///
+/// * `UniformCountWorkload` — the Figure-1 workload: each trial draws
+///   N ~ Uniform[lo, hi] and performs N increments of one counter.
+/// * `ZipfKeyWorkload` — the §1 motivating analytics workload: a stream of
+///   page-visit events over M keys with Zipf-distributed popularity.
+/// * `BurstyKeyWorkload` — Zipf keys with bursts (runs of the same key),
+///   stressing per-key skew and the stores' fast-forward path.
+
+#ifndef COUNTLIB_STREAM_WORKLOAD_H_
+#define COUNTLIB_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/distributions.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace stream {
+
+/// \brief Draws trial counts N ~ Uniform[lo, hi] (Figure 1: [5e5, 1e6-1]).
+class UniformCountWorkload {
+ public:
+  static Result<UniformCountWorkload> Make(uint64_t lo, uint64_t hi);
+
+  /// One trial's count.
+  uint64_t Sample(Rng* rng) const { return rng->UniformRange(lo_, hi_); }
+
+  uint64_t lo() const { return lo_; }
+  uint64_t hi() const { return hi_; }
+
+ private:
+  UniformCountWorkload(uint64_t lo, uint64_t hi) : lo_(lo), hi_(hi) {}
+  uint64_t lo_;
+  uint64_t hi_;
+};
+
+/// \brief An event stream over keyed counters.
+struct KeyEvent {
+  uint64_t key = 0;
+  uint64_t weight = 1;  ///< number of increments (bursts fold runs)
+};
+
+/// \brief Zipf-popularity key stream.
+class ZipfKeyWorkload {
+ public:
+  /// `num_keys >= 1`, `skew >= 0` (0 = uniform).
+  static Result<ZipfKeyWorkload> Make(uint64_t num_keys, double skew);
+
+  /// Next event (weight 1).
+  KeyEvent Next(Rng* rng) const { return KeyEvent{zipf_.Sample(rng), 1}; }
+
+  uint64_t num_keys() const { return zipf_.n(); }
+  double skew() const { return zipf_.s(); }
+
+ private:
+  explicit ZipfKeyWorkload(ZipfDistribution zipf) : zipf_(std::move(zipf)) {}
+  ZipfDistribution zipf_;
+};
+
+/// \brief Zipf keys with geometric burst lengths (mean `mean_burst`).
+class BurstyKeyWorkload {
+ public:
+  static Result<BurstyKeyWorkload> Make(uint64_t num_keys, double skew,
+                                        double mean_burst);
+
+  /// Next event; `weight` is the burst length.
+  KeyEvent Next(Rng* rng) const;
+
+  uint64_t num_keys() const { return zipf_.n(); }
+
+ private:
+  BurstyKeyWorkload(ZipfDistribution zipf, double burst_p)
+      : zipf_(std::move(zipf)), burst_p_(burst_p) {}
+  ZipfDistribution zipf_;
+  double burst_p_;  // geometric parameter, mean burst = 1/p
+};
+
+}  // namespace stream
+}  // namespace countlib
+
+#endif  // COUNTLIB_STREAM_WORKLOAD_H_

@@ -1,0 +1,105 @@
+#include "util/bit_io.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace countlib {
+
+void BitWriter::WriteBits(uint64_t value, int width) {
+  COUNTLIB_CHECK_GE(width, 0);
+  COUNTLIB_CHECK_LE(width, 64);
+  if (width < 64) {
+    COUNTLIB_CHECK_EQ(value >> width, 0u) << "value does not fit in width";
+  }
+  for (int i = 0; i < width; ++i) {
+    size_t byte_idx = bit_count_ / 8;
+    int bit_idx = static_cast<int>(bit_count_ % 8);
+    if (byte_idx == bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1u) {
+      bytes_[byte_idx] = static_cast<uint8_t>(bytes_[byte_idx] | (1u << bit_idx));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::WriteVarint(uint64_t value) {
+  do {
+    uint64_t chunk = value & 0x7Fu;
+    value >>= 7;
+    WriteBits(chunk | (value != 0 ? 0x80u : 0u), 8);
+  } while (value != 0);
+}
+
+void BitWriter::WriteEliasGamma(uint64_t value) {
+  COUNTLIB_CHECK_GE(value, 1u);
+  int len = FloorLog2(value);  // body length
+  for (int i = 0; i < len; ++i) WriteBit(false);
+  WriteBit(true);
+  // Body: the low `len` bits of value (below the leading 1).
+  WriteBits(value & ((len == 63 ? (uint64_t{1} << 63) : (uint64_t{1} << len)) - 1),
+            len);
+}
+
+void BitWriter::WriteEliasDelta(uint64_t value) {
+  COUNTLIB_CHECK_GE(value, 1u);
+  int len = FloorLog2(value);
+  WriteEliasGamma(static_cast<uint64_t>(len) + 1);
+  WriteBits(value & ((len == 63 ? (uint64_t{1} << 63) : (uint64_t{1} << len)) - 1),
+            len);
+}
+
+Result<uint64_t> BitReader::ReadBits(int width) {
+  if (width < 0 || width > 64) {
+    return Status::InvalidArgument("ReadBits width out of [0, 64]");
+  }
+  if (pos_ + static_cast<size_t>(width) > bit_limit_) {
+    return Status::OutOfRange("BitReader: read past end of stream");
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    size_t byte_idx = pos_ / 8;
+    int bit_idx = static_cast<int>(pos_ % 8);
+    if ((data_[byte_idx] >> bit_idx) & 1u) out |= uint64_t{1} << i;
+    ++pos_;
+  }
+  return out;
+}
+
+Result<bool> BitReader::ReadBit() {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t b, ReadBits(1));
+  return b != 0;
+}
+
+Result<uint64_t> BitReader::ReadVarint() {
+  uint64_t out = 0;
+  int shift = 0;
+  for (;;) {
+    COUNTLIB_ASSIGN_OR_RETURN(uint64_t byte, ReadBits(8));
+    if (shift >= 64) return Status::OutOfRange("varint too long");
+    out |= (byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) break;
+    shift += 7;
+  }
+  return out;
+}
+
+Result<uint64_t> BitReader::ReadEliasGamma() {
+  int len = 0;
+  for (;;) {
+    COUNTLIB_ASSIGN_OR_RETURN(bool bit, ReadBit());
+    if (bit) break;
+    if (++len > 63) return Status::OutOfRange("gamma code too long");
+  }
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t body, ReadBits(len));
+  return (uint64_t{1} << len) | body;
+}
+
+Result<uint64_t> BitReader::ReadEliasDelta() {
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t len_plus_1, ReadEliasGamma());
+  int len = static_cast<int>(len_plus_1 - 1);
+  if (len > 63) return Status::OutOfRange("delta code too long");
+  COUNTLIB_ASSIGN_OR_RETURN(uint64_t body, ReadBits(len));
+  return (uint64_t{1} << len) | body;
+}
+
+}  // namespace countlib

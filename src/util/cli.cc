@@ -1,0 +1,174 @@
+#include "util/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace countlib {
+
+void FlagParser::Add(const std::string& name, Value v, const std::string& help) {
+  COUNTLIB_CHECK(!name.empty());
+  std::string default_repr;
+  std::visit(
+      [&](auto&& val) {
+        using T = std::decay_t<decltype(val)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          default_repr = val;
+        } else if constexpr (std::is_same_v<T, bool>) {
+          default_repr = val ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream os;
+          os << val;
+          default_repr = os.str();
+        } else {
+          default_repr = std::to_string(val);
+        }
+      },
+      v);
+  auto [it, inserted] =
+      flags_.emplace(name, Flag{std::move(v), help, std::move(default_repr)});
+  COUNTLIB_CHECK(inserted) << "duplicate flag --" << name;
+  (void)it;
+}
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Add(name, Value{default_value}, help);
+}
+void FlagParser::AddUint64(const std::string& name, uint64_t default_value,
+                           const std::string& help) {
+  Add(name, Value{default_value}, help);
+}
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Add(name, Value{default_value}, help);
+}
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Add(name, Value{default_value}, help);
+}
+void FlagParser::AddString(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  Add(name, Value{default_value}, help);
+}
+
+Status FlagParser::SetFromString(const std::string& name, const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Value& v = it->second.value;
+  errno = 0;
+  char* end = nullptr;
+  if (std::holds_alternative<int64_t>(v)) {
+    long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad int64 value for --" + name + ": " + text);
+    }
+    v = static_cast<int64_t>(parsed);
+  } else if (std::holds_alternative<uint64_t>(v)) {
+    if (!text.empty() && text[0] == '-') {
+      return Status::InvalidArgument("negative value for unsigned --" + name);
+    }
+    unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad uint64 value for --" + name + ": " + text);
+    }
+    v = static_cast<uint64_t>(parsed);
+  } else if (std::holds_alternative<double>(v)) {
+    double parsed = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad double value for --" + name + ": " + text);
+    }
+    v = parsed;
+  } else if (std::holds_alternative<bool>(v)) {
+    if (text == "true" || text == "1") {
+      v = true;
+    } else if (text == "false" || text == "0") {
+      v = false;
+    } else {
+      return Status::InvalidArgument("bad bool value for --" + name + ": " + text);
+    }
+  } else {
+    v = text;
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (std::holds_alternative<bool>(it->second.value)) {
+        it->second.value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    COUNTLIB_RETURN_NOT_OK(SetFromString(name, value));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetFlagOrDie(const std::string& name) const {
+  auto it = flags_.find(name);
+  COUNTLIB_CHECK(it != flags_.end()) << "flag --" << name << " not registered";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return std::get<int64_t>(GetFlagOrDie(name).value);
+}
+uint64_t FlagParser::GetUint64(const std::string& name) const {
+  return std::get<uint64_t>(GetFlagOrDie(name).value);
+}
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::get<double>(GetFlagOrDie(name).value);
+}
+bool FlagParser::GetBool(const std::string& name) const {
+  return std::get<bool>(GetFlagOrDie(name).value);
+}
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return std::get<std::string>(GetFlagOrDie(name).value);
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream os;
+  os << doc_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_repr << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace countlib

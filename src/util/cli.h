@@ -1,0 +1,79 @@
+/// \file cli.h
+/// \brief Minimal `--flag=value` command-line parsing for examples/benches.
+///
+/// Flags are registered with defaults and parsed from `argv`; unknown flags
+/// are an error (so typos fail loudly). Supports int64, uint64, double,
+/// bool, and string flags plus `--help` text generation.
+
+#ifndef COUNTLIB_UTIL_CLI_H_
+#define COUNTLIB_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Registry and parser for command-line flags.
+class FlagParser {
+ public:
+  /// `program_doc` appears at the top of `--help` output.
+  explicit FlagParser(std::string program_doc) : doc_(std::move(program_doc)) {}
+
+  /// Registers flags. Names must be unique and non-empty.
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddUint64(const std::string& name, uint64_t default_value,
+                 const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value, const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses `argv`. Accepts `--name=value`, `--name value`, and for bools
+  /// bare `--name`. Returns InvalidArgument for unknown flags or bad values.
+  /// If `--help` is present, sets `help_requested()` and returns OK.
+  Status Parse(int argc, const char* const* argv);
+
+  /// Accessors; abort if the flag was not registered with that type.
+  int64_t GetInt64(const std::string& name) const;
+  uint64_t GetUint64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  /// True after Parse() if `--help` was given.
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the help text.
+  std::string HelpText() const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  using Value = std::variant<int64_t, uint64_t, double, bool, std::string>;
+  struct Flag {
+    Value value;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void Add(const std::string& name, Value v, const std::string& help);
+  Status SetFromString(const std::string& name, const std::string& text);
+  const Flag& GetFlagOrDie(const std::string& name) const;
+
+  std::string doc_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_UTIL_CLI_H_

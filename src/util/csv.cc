@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace countlib {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+TableWriter::TableWriter(std::ostream* out, std::vector<std::string> columns)
+    : out_(out), n_columns_(columns.size()) {
+  COUNTLIB_CHECK(out != nullptr);
+  COUNTLIB_CHECK_GT(n_columns_, 0u);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << CsvEscape(columns[i]);
+  }
+  *out_ << '\n';
+}
+
+TableWriter& TableWriter::BeginRow() {
+  pending_.clear();
+  return *this;
+}
+
+TableWriter& TableWriter::operator<<(double v) { return Append(FormatDouble(v)); }
+
+TableWriter& TableWriter::Append(std::string v) {
+  pending_.push_back(std::move(v));
+  return *this;
+}
+
+Status TableWriter::EndRow() {
+  if (pending_.size() != n_columns_) {
+    return Status::InvalidArgument("row has " + std::to_string(pending_.size()) +
+                                   " cells, expected " + std::to_string(n_columns_));
+  }
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << CsvEscape(pending_[i]);
+  }
+  *out_ << '\n';
+  pending_.clear();
+  ++row_count_;
+  return Status::OK();
+}
+
+}  // namespace countlib

@@ -1,0 +1,63 @@
+/// \file csv.h
+/// \brief Tiny CSV/table emitter used by the benchmark harnesses.
+///
+/// Benches print machine-readable tables to stdout and optionally to a file;
+/// `TableWriter` keeps the column schema in one place so every row is
+/// consistent.
+
+#ifndef COUNTLIB_UTIL_CSV_H_
+#define COUNTLIB_UTIL_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace countlib {
+
+/// \brief Emits a CSV table with a fixed header to a stream.
+class TableWriter {
+ public:
+  /// Writes the header immediately.
+  TableWriter(std::ostream* out, std::vector<std::string> columns);
+
+  /// Starts a new row; values are appended with `<<` and the row is emitted
+  /// by `EndRow()`.
+  TableWriter& BeginRow();
+
+  TableWriter& operator<<(const std::string& v) { return Append(v); }
+  TableWriter& operator<<(const char* v) { return Append(v); }
+  TableWriter& operator<<(double v);
+  TableWriter& operator<<(uint64_t v) { return Append(std::to_string(v)); }
+  TableWriter& operator<<(int64_t v) { return Append(std::to_string(v)); }
+  TableWriter& operator<<(int v) { return Append(std::to_string(v)); }
+  TableWriter& operator<<(unsigned v) { return Append(std::to_string(v)); }
+
+  /// Validates the cell count and writes the row.
+  Status EndRow();
+
+  /// Number of data rows emitted.
+  size_t row_count() const { return row_count_; }
+
+ private:
+  TableWriter& Append(std::string v);
+
+  std::ostream* out_;
+  size_t n_columns_;
+  std::vector<std::string> pending_;
+  size_t row_count_ = 0;
+};
+
+/// \brief Quotes a CSV field if needed (commas, quotes, newlines).
+std::string CsvEscape(const std::string& field);
+
+/// \brief Formats a double compactly (up to 10 significant digits, no
+/// trailing zeros).
+std::string FormatDouble(double v);
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_UTIL_CSV_H_

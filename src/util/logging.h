@@ -1,0 +1,86 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros for countlib.
+///
+/// Logging is intentionally tiny: a global level, stderr sink, and streaming
+/// macros. `COUNTLIB_CHECK*` macros abort on violation and are enabled in all
+/// build types — they guard internal invariants, not user input (user input
+/// is validated with `Status`).
+
+#ifndef COUNTLIB_UTIL_LOGGING_H_
+#define COUNTLIB_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace countlib {
+
+/// \brief Severity levels, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Collects one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Sink that swallows the streamed expression when disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define COUNTLIB_LOG_INTERNAL(level)                                        \
+  ::countlib::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+/// Emits a log line if `level` is at or above the global level.
+#define COUNTLIB_LOG(level_name)                                              \
+  COUNTLIB_LOG_INTERNAL(::countlib::LogLevel::k##level_name)
+
+/// Aborts with a message if `condition` is false.
+#define COUNTLIB_CHECK(condition)                                           \
+  if (!(condition))                                                         \
+  COUNTLIB_LOG_INTERNAL(::countlib::LogLevel::kFatal)                       \
+      << "Check failed: " #condition " "
+
+#define COUNTLIB_CHECK_OP(op, a, b)                                   \
+  COUNTLIB_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define COUNTLIB_CHECK_EQ(a, b) COUNTLIB_CHECK_OP(==, a, b)
+#define COUNTLIB_CHECK_NE(a, b) COUNTLIB_CHECK_OP(!=, a, b)
+#define COUNTLIB_CHECK_LT(a, b) COUNTLIB_CHECK_OP(<, a, b)
+#define COUNTLIB_CHECK_LE(a, b) COUNTLIB_CHECK_OP(<=, a, b)
+#define COUNTLIB_CHECK_GT(a, b) COUNTLIB_CHECK_OP(>, a, b)
+#define COUNTLIB_CHECK_GE(a, b) COUNTLIB_CHECK_OP(>=, a, b)
+
+/// Aborts if `status_expr` is not OK (for contexts that cannot propagate).
+#define COUNTLIB_CHECK_OK(status_expr)                   \
+  do {                                                   \
+    ::countlib::Status _st = (status_expr);              \
+    COUNTLIB_CHECK(_st.ok()) << _st.ToString();          \
+  } while (false)
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_UTIL_LOGGING_H_

@@ -1,0 +1,68 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace countlib {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCapacityExceeded:
+      return "CapacityExceeded";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return rep_ == nullptr ? kEmpty : rep_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& st) {
+  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace countlib

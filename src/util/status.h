@@ -1,0 +1,221 @@
+/// \file status.h
+/// \brief Error model for countlib: `Status` and `Result<T>`.
+///
+/// countlib follows the Arrow/RocksDB idiom: fallible public APIs return a
+/// `Status` (or a `Result<T>` carrying a value on success) instead of
+/// throwing. Exceptions are never thrown across the public API boundary.
+///
+/// Typical use:
+/// \code
+///   Result<MorrisCounter> r = MorrisCounter::Make(params);
+///   COUNTLIB_RETURN_NOT_OK(r.status());
+///   MorrisCounter counter = std::move(r).ValueOrDie();
+/// \endcode
+
+#ifndef COUNTLIB_UTIL_STATUS_H_
+#define COUNTLIB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace countlib {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+  kCapacityExceeded = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The OK state is represented without allocation; error states carry a
+/// heap-allocated message. `Status` is cheap to move and to copy in the OK
+/// case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  /// Returns an OK status (explicit spelling for readability).
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code (kOk for an OK status).
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message of a non-OK status with `context + ": "`.
+  Status WithContext(const std::string& context) const;
+
+  bool Equals(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.Equals(b); }
+  friend bool operator!=(const Status& a, const Status& b) { return !a.Equals(b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr <=> OK. shared_ptr keeps copies cheap and Status small.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// \brief A value of type `T`, or an error `Status`.
+///
+/// `Result` mirrors `arrow::Result`: it always holds exactly one of the two.
+/// Accessing the value of an errored result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      // A Result must never hold an OK status without a value.
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Const access to the value; aborts if errored.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+
+  /// Mutable access to the value; aborts if errored.
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+
+  /// Moves the value out; aborts if errored.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value, or `fallback` if errored.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const;
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& st);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::DieIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(repr_));
+}
+
+/// Propagates a non-OK status out of the enclosing function.
+#define COUNTLIB_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::countlib::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#define COUNTLIB_CONCAT_IMPL(x, y) x##y
+#define COUNTLIB_CONCAT(x, y) COUNTLIB_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define COUNTLIB_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  COUNTLIB_ASSIGN_OR_RETURN_IMPL(COUNTLIB_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define COUNTLIB_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace countlib
+
+#endif  // COUNTLIB_UTIL_STATUS_H_

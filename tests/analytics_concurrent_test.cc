@@ -1,0 +1,102 @@
+// Tests for the thread-safe striped counter store.
+
+#include "analytics/concurrent_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stats/error_metrics.h"
+
+namespace countlib {
+namespace {
+
+TEST(ConcurrentStoreTest, ValidationRejectsBadStripes) {
+  EXPECT_FALSE(analytics::ConcurrentCounterStore::Make(0, CounterKind::kSampling,
+                                                       18, 1u << 20, 1)
+                   .ok());
+  EXPECT_FALSE(analytics::ConcurrentCounterStore::Make(5000, CounterKind::kSampling,
+                                                       18, 1u << 20, 1)
+                   .ok());
+}
+
+TEST(ConcurrentStoreTest, SingleThreadedSemanticsMatchPlainStore) {
+  auto store = analytics::ConcurrentCounterStore::Make(8, CounterKind::kExact, 24,
+                                                       (1u << 24) - 1, 1)
+                   .ValueOrDie();
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_TRUE(store.Increment(key, key + 1).ok());
+  }
+  EXPECT_EQ(store.NumKeys(), 100u);
+  for (uint64_t key = 0; key < 100; ++key) {
+    ASSERT_DOUBLE_EQ(store.Estimate(key).ValueOrDie(),
+                     static_cast<double>(key + 1));
+  }
+  EXPECT_TRUE(store.Estimate(12345).status().IsNotFound());
+}
+
+TEST(ConcurrentStoreTest, ParallelIncrementsAreNotLost) {
+  // Exact counters: every increment must be accounted for under contention.
+  auto store = analytics::ConcurrentCounterStore::Make(16, CounterKind::kExact, 30,
+                                                       (1u << 30) - 1, 1)
+                   .ValueOrDie();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 64;
+  constexpr uint64_t kPerThreadPerKey = 500;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&store] {
+      for (uint64_t round = 0; round < kPerThreadPerKey; ++round) {
+        for (uint64_t key = 0; key < kKeys; ++key) {
+          ASSERT_TRUE(store.Increment(key, 1).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_DOUBLE_EQ(store.Estimate(key).ValueOrDie(),
+                     static_cast<double>(kThreads * kPerThreadPerKey))
+        << "key " << key;
+  }
+}
+
+TEST(ConcurrentStoreTest, ParallelApproximateCountingStaysAccurate) {
+  auto store = analytics::ConcurrentCounterStore::Make(
+                   16, CounterKind::kSampling, 18, 1u << 24, 99)
+                   .ValueOrDie();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 16;
+  constexpr uint64_t kWeight = 4000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&store] {
+      for (uint64_t key = 0; key < kKeys; ++key) {
+        ASSERT_TRUE(store.Increment(key, kWeight).ok());
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double truth = static_cast<double>(kThreads) * kWeight;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    const double est = store.Estimate(key).ValueOrDie();
+    EXPECT_LE(stats::RelativeError(est, truth), 0.3) << "key " << key;
+  }
+  EXPECT_EQ(store.NumKeys(), kKeys);
+  EXPECT_EQ(store.TotalStateBits(), kKeys * 18u);
+}
+
+TEST(ConcurrentStoreTest, StateAccountingSumsStripes) {
+  auto store = analytics::ConcurrentCounterStore::Make(4, CounterKind::kSampling,
+                                                       18, 1u << 20, 3)
+                   .ValueOrDie();
+  EXPECT_EQ(store.num_stripes(), 4u);
+  EXPECT_EQ(store.TotalStateBits(), 0u);
+  ASSERT_TRUE(store.Increment(1, 1).ok());
+  ASSERT_TRUE(store.Increment(2, 1).ok());
+  EXPECT_EQ(store.TotalStateBits(), 36u);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,154 @@
+// Tests for the analytics stores: the bit-packed multi-counter pool and
+// the sharded, merge-based aggregation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/counter_store.h"
+#include "analytics/sharded_store.h"
+#include "stats/error_metrics.h"
+#include "stream/trace.h"
+
+namespace countlib {
+namespace {
+
+TEST(CounterStoreTest, ExactKindStoresExactCounts) {
+  auto store = analytics::CounterStore::MakeWithBitBudget(
+                   CounterKind::kExact, 20, 999999, 1)
+                   .ValueOrDie();
+  ASSERT_TRUE(store.Increment(7, 100).ok());
+  ASSERT_TRUE(store.Increment(9, 250).ok());
+  ASSERT_TRUE(store.Increment(7, 11).ok());
+  EXPECT_DOUBLE_EQ(store.Estimate(7).ValueOrDie(), 111.0);
+  EXPECT_DOUBLE_EQ(store.Estimate(9).ValueOrDie(), 250.0);
+  EXPECT_EQ(store.num_keys(), 2u);
+  EXPECT_EQ(store.bits_per_key(), 20);
+  EXPECT_EQ(store.TotalStateBits(), 40u);
+}
+
+TEST(CounterStoreTest, UnknownKeyIsNotFound) {
+  auto store = analytics::CounterStore::MakeWithBitBudget(
+                   CounterKind::kSampling, 18, 1u << 20, 1)
+                   .ValueOrDie();
+  EXPECT_TRUE(store.Estimate(404).status().IsNotFound());
+}
+
+TEST(CounterStoreTest, ApproximateKindsTrackZipfTrace) {
+  auto trace = stream::Trace::GenerateBursty(50, 1.0, 32.0, 400000, 13).ValueOrDie();
+  const auto truth = trace.ExactCounts();
+  for (CounterKind kind :
+       {CounterKind::kSampling, CounterKind::kMorris, CounterKind::kCsuros}) {
+    auto store =
+        analytics::CounterStore::MakeWithBitBudget(kind, 18, 1u << 20, 99)
+            .ValueOrDie();
+    for (const auto& event : trace.events()) {
+      ASSERT_TRUE(store.Increment(event.key, event.weight).ok());
+    }
+    EXPECT_EQ(store.num_keys(), truth.size());
+    // Large keys should be tracked within loose relative error; tiny keys
+    // within additive slack (counters are exact in the deterministic
+    // prefix).
+    for (const auto& [key, count] : truth) {
+      const double est = store.Estimate(key).ValueOrDie();
+      if (count >= 2000) {
+        EXPECT_LE(stats::RelativeError(est, static_cast<double>(count)), 0.4)
+            << CounterKindToString(kind) << " key=" << key << " n=" << count;
+      }
+    }
+  }
+}
+
+TEST(CounterStoreTest, PackingIsDenserThanMachineWords) {
+  auto store = analytics::CounterStore::MakeWithBitBudget(
+                   CounterKind::kSampling, 17, 999999, 5)
+                   .ValueOrDie();
+  for (uint64_t key = 0; key < 1000; ++key) {
+    ASSERT_TRUE(store.Increment(key, 1 + key).ok());
+  }
+  EXPECT_EQ(store.TotalStateBits(), 17000u);  // vs 64000 for uint64 counters
+  EXPECT_EQ(store.AlgorithmName().find("sampling"), 0u);
+  EXPECT_GT(store.IndexBitsPerKey(), 0.0);
+}
+
+TEST(CounterStoreTest, StateSurvivesInterleavedAccess) {
+  // Interleave two keys heavily; per-key streams must remain coherent
+  // (deserialization/serialization must not leak state across slots).
+  auto exact = analytics::CounterStore::MakeWithBitBudget(
+                   CounterKind::kExact, 24, (1u << 24) - 1, 1)
+                   .ValueOrDie();
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(exact.Increment(0, 3).ok());
+    ASSERT_TRUE(exact.Increment(1, 5).ok());
+  }
+  EXPECT_DOUBLE_EQ(exact.Estimate(0).ValueOrDie(), 3000.0);
+  EXPECT_DOUBLE_EQ(exact.Estimate(1).ValueOrDie(), 5000.0);
+}
+
+SamplingCounterParams StoreParams() {
+  SamplingCounterParams p;
+  p.budget = 1024;
+  p.t_cap = 20;
+  return p;
+}
+
+TEST(ShardedStoreTest, ValidationAndRouting) {
+  EXPECT_FALSE(analytics::ShardedStore::Make(0, StoreParams(), 1).ok());
+  auto store = analytics::ShardedStore::Make(4, StoreParams(), 1).ValueOrDie();
+  EXPECT_TRUE(store.Increment(5, 42, 10).IsInvalidArgument());
+  ASSERT_TRUE(store.Increment(0, 42, 10).ok());
+  EXPECT_EQ(store.num_shards(), 4u);
+}
+
+TEST(ShardedStoreTest, MergedEstimateSumsAcrossShards) {
+  auto store = analytics::ShardedStore::Make(4, StoreParams(), 7).ValueOrDie();
+  // Key 1: 40k spread over all four shards; key 2: only shard 3.
+  for (uint64_t shard = 0; shard < 4; ++shard) {
+    ASSERT_TRUE(store.Increment(shard, 1, 10000).ok());
+  }
+  ASSERT_TRUE(store.Increment(3, 2, 5000).ok());
+
+  const double merged = store.MergedEstimate(1).ValueOrDie();
+  EXPECT_NEAR(merged, 40000.0, 0.25 * 40000);
+  EXPECT_NEAR(store.MergedEstimate(2).ValueOrDie(), 5000.0, 0.25 * 5000);
+  EXPECT_TRUE(store.MergedEstimate(99).status().IsNotFound());
+  // Per-shard view is smaller than the merged view.
+  EXPECT_LT(store.ShardEstimate(0, 1).ValueOrDie(), merged);
+}
+
+TEST(ShardedStoreTest, KeysUnionAndStateAccounting) {
+  auto store = analytics::ShardedStore::Make(2, StoreParams(), 7).ValueOrDie();
+  ASSERT_TRUE(store.Increment(0, 10, 5).ok());
+  ASSERT_TRUE(store.Increment(1, 10, 5).ok());
+  ASSERT_TRUE(store.Increment(1, 20, 5).ok());
+  auto keys = store.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 10u);
+  EXPECT_EQ(keys[1], 20u);
+  // 3 counters x 30 bits (budget 1024 -> 10 bits + t_cap 20 -> 5 bits).
+  EXPECT_EQ(store.TotalStateBits(), 3u * 15u);
+}
+
+TEST(ShardedStoreTest, MergedMatchesSingleStoreStatistically) {
+  // Means across repetitions: sharded-merged vs single-shard direct.
+  const uint64_t n = 60000;
+  double merged_sum = 0, direct_sum = 0;
+  const int reps = 60;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto sharded =
+        analytics::ShardedStore::Make(3, StoreParams(), 100 + rep).ValueOrDie();
+    ASSERT_TRUE(sharded.Increment(0, 1, n / 3).ok());
+    ASSERT_TRUE(sharded.Increment(1, 1, n / 3).ok());
+    ASSERT_TRUE(sharded.Increment(2, 1, n - 2 * (n / 3)).ok());
+    merged_sum += sharded.MergedEstimate(1).ValueOrDie();
+
+    auto single =
+        analytics::ShardedStore::Make(1, StoreParams(), 500 + rep).ValueOrDie();
+    ASSERT_TRUE(single.Increment(0, 1, n).ok());
+    direct_sum += single.MergedEstimate(1).ValueOrDie();
+  }
+  EXPECT_NEAR(merged_sum / reps, direct_sum / reps, 0.05 * n);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,111 @@
+// Tests for the heavy-hitter sketch with approximate count registers.
+
+#include "apps/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace countlib {
+namespace {
+
+Accuracy TestAcc() { return {0.1, 0.001, 1u << 22}; }
+
+TEST(HeavyHittersTest, ValidationRejectsBadCapacity) {
+  EXPECT_FALSE(
+      apps::HeavyHitterSketch::Make(0, CounterKind::kExact, TestAcc(), 1).ok());
+}
+
+TEST(HeavyHittersTest, ExactCountersNoEvictionIsExact) {
+  // Fewer distinct items than capacity: SpaceSaving degenerates to exact
+  // per-item counting.
+  auto sketch =
+      apps::HeavyHitterSketch::Make(10, CounterKind::kExact, TestAcc(), 3)
+          .ValueOrDie();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(sketch.Add(i % 3).ok());
+  }
+  auto top = sketch.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  for (const auto& hh : top) {
+    EXPECT_DOUBLE_EQ(hh.estimated_count, 100.0);
+  }
+}
+
+TEST(HeavyHittersTest, RecallsTrueHeavyHittersOnZipf) {
+  auto zipf = ZipfDistribution::Make(5000, 1.3).ValueOrDie();
+  Rng rng(17);
+  std::unordered_map<uint64_t, uint64_t> truth;
+  auto sketch =
+      apps::HeavyHitterSketch::Make(64, CounterKind::kSampling, TestAcc(), 5)
+          .ValueOrDie();
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t item = zipf.Sample(&rng);
+    ++truth[item];
+    ASSERT_TRUE(sketch.Add(item).ok());
+  }
+  // Every item above 2% of the stream must be reported with a roughly
+  // correct count (overestimates allowed by SpaceSaving semantics).
+  auto reported = sketch.Query(0.01 * n);
+  std::unordered_map<uint64_t, double> reported_map;
+  for (const auto& hh : reported) reported_map[hh.item] = hh.estimated_count;
+  for (const auto& [item, count] : truth) {
+    if (count < static_cast<uint64_t>(0.02 * n)) continue;
+    ASSERT_TRUE(reported_map.count(item)) << "missed heavy item " << item;
+    const double est = reported_map[item];
+    EXPECT_GE(est, 0.5 * static_cast<double>(count));
+    EXPECT_LE(est, 2.0 * static_cast<double>(count) + 2.0 * n / 64.0);
+  }
+}
+
+TEST(HeavyHittersTest, QueryIsSortedDescending) {
+  auto sketch =
+      apps::HeavyHitterSketch::Make(8, CounterKind::kExact, TestAcc(), 3)
+          .ValueOrDie();
+  for (int rep = 0; rep < 50; ++rep) {
+    for (int item = 0; item < 5; ++item) {
+      for (int k = 0; k <= item; ++k) {
+        ASSERT_TRUE(sketch.Add(item).ok());
+      }
+    }
+  }
+  auto all = sketch.Query(-1);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].estimated_count, all[i].estimated_count);
+  }
+  auto top2 = sketch.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].item, 4u);
+}
+
+TEST(HeavyHittersTest, ApproximateRegistersShrinkState) {
+  Accuracy acc{0.1, 0.001, uint64_t{1} << 40};
+  auto approx =
+      apps::HeavyHitterSketch::Make(32, CounterKind::kNelsonYu, acc, 5).ValueOrDie();
+  auto exact =
+      apps::HeavyHitterSketch::Make(32, CounterKind::kExact, acc, 5).ValueOrDie();
+  Rng rng(23);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t item = rng.UniformBelow(32);
+    ASSERT_TRUE(approx.Add(item).ok());
+    ASSERT_TRUE(exact.Add(item).ok());
+  }
+  // 40-bit exact registers vs O(log log + log 1/ε)-bit approximate ones.
+  EXPECT_LT(approx.CounterStateBits(), exact.CounterStateBits());
+}
+
+TEST(HeavyHittersTest, StreamLengthTracked) {
+  auto sketch =
+      apps::HeavyHitterSketch::Make(4, CounterKind::kExact, TestAcc(), 3)
+          .ValueOrDie();
+  for (int i = 0; i < 77; ++i) ASSERT_TRUE(sketch.Add(i).ok());
+  EXPECT_EQ(sketch.stream_length(), 77u);
+  EXPECT_EQ(sketch.capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,114 @@
+// Tests for streaming inversion counting.
+
+#include "apps/inversions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "random/rng.h"
+#include "stats/error_metrics.h"
+
+namespace countlib {
+namespace {
+
+Accuracy TestAcc() { return {0.05, 0.01, 1u << 26}; }
+
+TEST(ExactInversionsTest, HandCases) {
+  EXPECT_EQ(apps::ExactInversions({}), 0u);
+  EXPECT_EQ(apps::ExactInversions({1, 2, 3}), 0u);
+  EXPECT_EQ(apps::ExactInversions({3, 2, 1}), 3u);
+  EXPECT_EQ(apps::ExactInversions({2, 1, 3}), 1u);
+  EXPECT_EQ(apps::ExactInversions({5, 1, 4, 2, 3}), 6u);
+  // Duplicates: equal pairs are not inversions.
+  EXPECT_EQ(apps::ExactInversions({2, 2, 2}), 0u);
+  EXPECT_EQ(apps::ExactInversions({2, 2, 1}), 2u);
+}
+
+TEST(ExactInversionsTest, ReversedPermutationIsMaximal) {
+  const uint64_t n = 300;
+  std::vector<uint64_t> desc(n);
+  for (uint64_t i = 0; i < n; ++i) desc[i] = n - i;
+  EXPECT_EQ(apps::ExactInversions(desc), n * (n - 1) / 2);
+}
+
+TEST(ExactInversionsTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> seq(60);
+    for (auto& v : seq) v = rng.UniformBelow(30);
+    uint64_t brute = 0;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      for (size_t j = i + 1; j < seq.size(); ++j) {
+        if (seq[i] > seq[j]) ++brute;
+      }
+    }
+    ASSERT_EQ(apps::ExactInversions(seq), brute) << "round " << round;
+  }
+}
+
+TEST(InversionEstimatorTest, ValidationRejectsBadRate) {
+  EXPECT_FALSE(
+      apps::InversionEstimator::Make(0.0, CounterKind::kExact, TestAcc(), 1).ok());
+  EXPECT_FALSE(
+      apps::InversionEstimator::Make(1.5, CounterKind::kExact, TestAcc(), 1).ok());
+}
+
+TEST(InversionEstimatorTest, FullSamplingWithExactCounterIsExact) {
+  // q = 1 and an exact register: the estimator equals the true count.
+  Rng rng(9);
+  std::vector<uint64_t> seq(500);
+  std::iota(seq.begin(), seq.end(), 0);
+  std::shuffle(seq.begin(), seq.end(), rng);
+  auto est = apps::InversionEstimator::Make(1.0, CounterKind::kExact, TestAcc(), 3)
+                 .ValueOrDie();
+  for (uint64_t v : seq) est.Add(v);
+  EXPECT_DOUBLE_EQ(est.Estimate(),
+                   static_cast<double>(apps::ExactInversions(seq)));
+}
+
+TEST(InversionEstimatorTest, SubsamplingIsUnbiasedOnAverage) {
+  Rng rng(11);
+  std::vector<uint64_t> seq(2000);
+  std::iota(seq.begin(), seq.end(), 0);
+  std::shuffle(seq.begin(), seq.end(), rng);
+  const double truth = static_cast<double>(apps::ExactInversions(seq));
+  double total = 0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto est = apps::InversionEstimator::Make(0.05, CounterKind::kExact, TestAcc(),
+                                              1000 + rep)
+                   .ValueOrDie();
+    for (uint64_t v : seq) est.Add(v);
+    total += est.Estimate();
+  }
+  EXPECT_LE(stats::RelativeError(total / reps, truth), 0.1);
+}
+
+TEST(InversionEstimatorTest, ApproximateCounterEndToEnd) {
+  Rng rng(13);
+  std::vector<uint64_t> seq(3000);
+  std::iota(seq.begin(), seq.end(), 0);
+  std::shuffle(seq.begin(), seq.end(), rng);
+  const double truth = static_cast<double>(apps::ExactInversions(seq));
+  auto est = apps::InversionEstimator::Make(0.1, CounterKind::kNelsonYu, TestAcc(), 5)
+                 .ValueOrDie();
+  for (uint64_t v : seq) est.Add(v);
+  EXPECT_LE(stats::RelativeError(est.Estimate(), truth), 0.25)
+      << est.Estimate() << " vs " << truth;
+  // Memory: the retained sample is ~q n, the register is small.
+  EXPECT_LT(est.retained(), 600u);
+  EXPECT_GT(est.CounterStateBits(), 0);
+}
+
+TEST(InversionEstimatorTest, SortedStreamEstimatesZero) {
+  auto est = apps::InversionEstimator::Make(0.5, CounterKind::kExact, TestAcc(), 7)
+                 .ValueOrDie();
+  for (uint64_t v = 0; v < 1000; ++v) est.Add(v);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,98 @@
+// Tests for F_p moment estimation with approximate-counter subroutines.
+
+#include "apps/frequency_moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/distributions.h"
+#include "stats/error_metrics.h"
+
+namespace countlib {
+namespace {
+
+TEST(ExactFpTest, HandComputedCases) {
+  std::unordered_map<uint64_t, uint64_t> freq = {{1, 4}, {2, 9}, {3, 1}};
+  EXPECT_DOUBLE_EQ(apps::ExactFp(freq, 1.0), 14.0);        // F1 = stream length
+  EXPECT_DOUBLE_EQ(apps::ExactFp(freq, 0.5), 2 + 3 + 1);   // sqrt moments
+  EXPECT_DOUBLE_EQ(apps::ExactFp(freq, 2.0), 16 + 81 + 1);  // F2
+  EXPECT_DOUBLE_EQ(apps::ExactFp({}, 1.0), 0.0);
+}
+
+TEST(FpEstimatorTest, ValidationRejectsBadArgs) {
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  EXPECT_FALSE(apps::FpMomentEstimator::Make(0.0, 10, CounterKind::kExact, acc, 1).ok());
+  EXPECT_FALSE(apps::FpMomentEstimator::Make(3.0, 10, CounterKind::kExact, acc, 1).ok());
+  EXPECT_FALSE(apps::FpMomentEstimator::Make(1.0, 0, CounterKind::kExact, acc, 1).ok());
+}
+
+TEST(FpEstimatorTest, EmptyStreamFailsPrecondition) {
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  auto est =
+      apps::FpMomentEstimator::Make(1.0, 4, CounterKind::kExact, acc, 1).ValueOrDie();
+  EXPECT_TRUE(est.Estimate().status().IsFailedPrecondition());
+}
+
+TEST(FpEstimatorTest, F1IsStreamLengthWithExactCounters) {
+  // p = 1: the basic estimator is m (r^1 - (r-1)^1) = m, constant — so any
+  // number of samplers returns exactly the stream length.
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  auto est =
+      apps::FpMomentEstimator::Make(1.0, 3, CounterKind::kExact, acc, 7).ValueOrDie();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(est.Add(i % 17).ok());
+  }
+  EXPECT_DOUBLE_EQ(est.Estimate().ValueOrDie(), 500.0);
+}
+
+TEST(FpEstimatorTest, FHalfOnZipfStreamWithinTolerance) {
+  // F_{1/2} on a Zipf stream; mean over samplers concentrates. Use exact
+  // occurrence counters to isolate the AMS sampling error first.
+  Accuracy acc{0.05, 0.01, 1u << 20};
+  auto est = apps::FpMomentEstimator::Make(0.5, 600, CounterKind::kExact, acc, 11)
+                 .ValueOrDie();
+  auto zipf = ZipfDistribution::Make(64, 1.0).ValueOrDie();
+  Rng rng(13);
+  std::unordered_map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Sample(&rng);
+    ++freq[item];
+    ASSERT_TRUE(est.Add(item).ok());
+  }
+  const double truth = apps::ExactFp(freq, 0.5);
+  const double got = est.Estimate().ValueOrDie();
+  EXPECT_LE(stats::RelativeError(got, truth), 0.25)
+      << "got " << got << " truth " << truth;
+}
+
+TEST(FpEstimatorTest, ApproximateCountersPreserveAccuracy) {
+  // Same experiment with Nelson-Yu occurrence counters: the extra ε from
+  // approximate counting must not blow up the error.
+  Accuracy acc{0.05, 0.01, 1u << 20};
+  auto approx =
+      apps::FpMomentEstimator::Make(0.5, 600, CounterKind::kNelsonYu, acc, 17)
+          .ValueOrDie();
+  auto zipf = ZipfDistribution::Make(64, 1.0).ValueOrDie();
+  Rng rng(19);
+  std::unordered_map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t item = zipf.Sample(&rng);
+    ++freq[item];
+    ASSERT_TRUE(approx.Add(item).ok());
+  }
+  const double truth = apps::ExactFp(freq, 0.5);
+  EXPECT_LE(stats::RelativeError(approx.Estimate().ValueOrDie(), truth), 0.3);
+  EXPECT_GT(approx.CounterStateBits(), 0u);
+}
+
+TEST(FpEstimatorTest, StreamLengthTracked) {
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  auto est =
+      apps::FpMomentEstimator::Make(1.0, 2, CounterKind::kExact, acc, 1).ValueOrDie();
+  for (int i = 0; i < 123; ++i) ASSERT_TRUE(est.Add(0).ok());
+  EXPECT_EQ(est.stream_length(), 123u);
+}
+
+}  // namespace
+}  // namespace countlib

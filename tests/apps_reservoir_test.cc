@@ -1,0 +1,97 @@
+// Tests for approximate reservoir sampling.
+
+#include "apps/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/hypothesis.h"
+
+namespace countlib {
+namespace {
+
+Accuracy TestAcc() { return {0.1, 0.01, 1u << 22}; }
+
+TEST(ReservoirTest, ValidationRejectsBadCapacity) {
+  EXPECT_FALSE(
+      apps::ApproximateReservoir::Make(0, CounterKind::kExact, TestAcc(), 1).ok());
+}
+
+TEST(ReservoirTest, FillsToCapacityFirst) {
+  auto reservoir =
+      apps::ApproximateReservoir::Make(8, CounterKind::kExact, TestAcc(), 3)
+          .ValueOrDie();
+  for (uint64_t i = 0; i < 8; ++i) reservoir.Add(i);
+  ASSERT_EQ(reservoir.sample().size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) EXPECT_EQ(reservoir.sample()[i], i);
+  EXPECT_DOUBLE_EQ(reservoir.EstimatedLength(), 8.0);
+}
+
+TEST(ReservoirTest, ExactLengthGivesNearUniformSample) {
+  // With the exact counter this is not the textbook algorithm verbatim
+  // (victim chosen independently), but inclusion probabilities are still
+  // k/n in expectation: chi-square over item-inclusion counts.
+  const uint64_t n = 2000, k = 10;
+  const int trials = 8000;
+  std::vector<double> inclusion(n, 0);
+  Rng seeder(5);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto reservoir = apps::ApproximateReservoir::Make(
+                         k, CounterKind::kExact, TestAcc(), seeder.NextU64())
+                         .ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) reservoir.Add(i);
+    for (uint64_t item : reservoir.sample()) inclusion[item] += 1;
+  }
+  // Bucket the stream into 10 position deciles; each should hold ~k/10 of
+  // the samples per trial.
+  std::vector<double> observed(10, 0), expected(10, 0);
+  for (uint64_t i = 0; i < n; ++i) observed[i * 10 / n] += inclusion[i];
+  const double per_bucket = static_cast<double>(trials) * k / 10.0;
+  for (auto& e : expected) e = per_bucket;
+  auto result = stats::ChiSquareGoodnessOfFit(observed, expected).ValueOrDie();
+  // Uniformity within a tolerant threshold (the estimator-driven scheme is
+  // approximately, not exactly, uniform).
+  EXPECT_LT(result.statistic / static_cast<double>(result.dof), 3.0)
+      << "chi2/dof=" << result.statistic / result.dof;
+}
+
+TEST(ReservoirTest, ApproximateLengthStaysClose) {
+  // With a Nelson-Yu length register, inclusion stays near-uniform: compare
+  // first-half vs second-half inclusion mass.
+  const uint64_t n = 5000, k = 16;
+  const int trials = 3000;
+  double first_half = 0, second_half = 0;
+  Rng seeder(7);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto reservoir = apps::ApproximateReservoir::Make(
+                         k, CounterKind::kNelsonYu, TestAcc(), seeder.NextU64())
+                         .ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) reservoir.Add(i);
+    for (uint64_t item : reservoir.sample()) {
+      (item < n / 2 ? first_half : second_half) += 1;
+    }
+  }
+  const double ratio = first_half / second_half;
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.35);
+  // And the length register is tiny compared to log2(n) over long streams.
+  auto probe = apps::ApproximateReservoir::Make(k, CounterKind::kNelsonYu,
+                                                TestAcc(), 1)
+                   .ValueOrDie();
+  EXPECT_GT(probe.LengthStateBits(), 0);
+}
+
+TEST(ReservoirTest, SampleSizeNeverExceedsCapacity) {
+  auto reservoir =
+      apps::ApproximateReservoir::Make(5, CounterKind::kMorrisPlus, TestAcc(), 9)
+          .ValueOrDie();
+  for (uint64_t i = 0; i < 10000; ++i) {
+    reservoir.Add(i);
+    ASSERT_LE(reservoir.sample().size(), 5u);
+  }
+  EXPECT_EQ(reservoir.sample().size(), 5u);
+}
+
+}  // namespace
+}  // namespace countlib

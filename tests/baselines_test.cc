@@ -1,0 +1,189 @@
+// Tests for the baselines: exact counter, averaged Morris (the §1.1
+// comparison), and the Csűrös floating-point counter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/averaged_morris.h"
+#include "baselines/csuros.h"
+#include "baselines/exact_counter.h"
+#include "stats/error_metrics.h"
+#include "stats/summary.h"
+#include "util/bit_io.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+TEST(ExactCounterTest, CountsExactlyAndSaturates) {
+  auto counter = ExactCounter::Make(100).ValueOrDie();
+  counter.IncrementMany(99);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 99.0);
+  counter.Increment();
+  counter.Increment();  // beyond cap
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 100.0);
+  EXPECT_TRUE(counter.saturated());
+}
+
+TEST(ExactCounterTest, BitsAreLogN) {
+  auto counter = ExactCounter::Make(999999).ValueOrDie();
+  EXPECT_EQ(counter.StateBits(), 20);
+}
+
+TEST(ExactCounterTest, SerializeRoundTrip) {
+  auto counter = ExactCounter::Make(12345).ValueOrDie();
+  counter.IncrementMany(777);
+  BitWriter w;
+  ASSERT_TRUE(counter.SerializeState(&w).ok());
+  auto other = ExactCounter::Make(12345).ValueOrDie();
+  BitReader r(w.bytes().data(), w.bit_count());
+  ASSERT_TRUE(other.DeserializeState(&r).ok());
+  EXPECT_EQ(other.count(), 777u);
+}
+
+TEST(AveragedMorrisTest, AveragingReducesVariance) {
+  MorrisParams params;
+  params.a = 1.0;
+  params.x_cap = 64;
+  const uint64_t n = 1024;
+  const int trials = 4000;
+  stats::StreamingSummary single, averaged;
+  Rng seeder(3);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto one = AveragedMorrisCounter::Make(params, 1, seeder.NextU64()).ValueOrDie();
+    one.IncrementMany(n);
+    single.Add(one.Estimate());
+    auto many = AveragedMorrisCounter::Make(params, 16, seeder.NextU64()).ValueOrDie();
+    many.IncrementMany(n);
+    averaged.Add(many.Estimate());
+  }
+  // Mean preserved, variance ~16x smaller.
+  EXPECT_NEAR(averaged.mean(), static_cast<double>(n), 0.05 * n);
+  EXPECT_LT(averaged.variance(), single.variance() / 8.0);
+}
+
+TEST(AveragedMorrisTest, SpaceMultipliesByCopies) {
+  MorrisParams params;
+  params.a = 1.0;
+  params.x_cap = 63;  // 6 bits
+  auto counter = AveragedMorrisCounter::Make(params, 10, 1).ValueOrDie();
+  EXPECT_EQ(counter.StateBits(), 60);
+}
+
+// The §1.1 punchline as an assertion: at equal (ε, δ), averaging costs
+// asymptotically more space than the base-changed Morris+.
+TEST(AveragedMorrisTest, FromAccuracySpaceBlowupVsBaseChange) {
+  Accuracy acc{0.05, 0.05, 1u << 20};
+  auto averaged = AveragedMorrisCounter::FromAccuracy(acc, 1).ValueOrDie();
+  auto base_changed = MorrisFromAccuracy(acc, true).ValueOrDie();
+  EXPECT_GT(averaged.StateBits(), 20 * base_changed.TotalBits());
+}
+
+TEST(AveragedMorrisTest, SerializeRoundTrip) {
+  MorrisParams params;
+  params.a = 1.0;
+  params.x_cap = 63;
+  auto counter = AveragedMorrisCounter::Make(params, 4, 5).ValueOrDie();
+  counter.IncrementMany(5000);
+  BitWriter w;
+  ASSERT_TRUE(counter.SerializeState(&w).ok());
+  EXPECT_EQ(static_cast<int>(w.bit_count()), counter.StateBits());
+  auto other = AveragedMorrisCounter::Make(params, 4, 99).ValueOrDie();
+  BitReader r(w.bytes().data(), w.bit_count());
+  ASSERT_TRUE(other.DeserializeState(&r).ok());
+  EXPECT_DOUBLE_EQ(other.Estimate(), counter.Estimate());
+}
+
+CsurosParams SmallCsuros(uint32_t d = 6) {
+  CsurosParams p;
+  p.mantissa_bits = d;
+  p.exponent_cap = 24;
+  return p;
+}
+
+TEST(CsurosTest, ValidationRejectsBadParams) {
+  CsurosParams p;
+  p.mantissa_bits = 0;
+  EXPECT_FALSE(CsurosCounter::Make(p, 1).ok());
+  p.mantissa_bits = 33;
+  EXPECT_FALSE(CsurosCounter::Make(p, 1).ok());
+  p = SmallCsuros();
+  p.exponent_cap = 0;
+  EXPECT_FALSE(CsurosCounter::Make(p, 1).ok());
+}
+
+TEST(CsurosTest, ExactWhileExponentZero) {
+  auto counter = CsurosCounter::Make(SmallCsuros(), 3).ValueOrDie();
+  // First 2^d increments are deterministic (e = 0).
+  for (uint64_t n = 1; n <= 64; ++n) {
+    counter.Increment();
+    ASSERT_DOUBLE_EQ(counter.Estimate(), static_cast<double>(n));
+  }
+  EXPECT_EQ(counter.exponent(), 1u);
+}
+
+// Csűrös' Theorem 1: the estimator is exactly unbiased.
+TEST(CsurosTest, EstimatorIsUnbiased) {
+  const uint64_t n = 20000;
+  const int trials = 40000;
+  stats::StreamingSummary summary;
+  Rng seeder(31);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = CsurosCounter::Make(SmallCsuros(), seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    summary.Add(counter.Estimate());
+  }
+  const double se = summary.stddev() / std::sqrt(static_cast<double>(trials));
+  EXPECT_NEAR(summary.mean(), static_cast<double>(n), 6 * se);
+}
+
+TEST(CsurosTest, BiggerMantissaIsMoreAccurate) {
+  const uint64_t n = 100000;
+  const int trials = 3000;
+  stats::StreamingSummary narrow, wide;
+  Rng seeder(37);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto small = CsurosCounter::Make(SmallCsuros(4), seeder.NextU64()).ValueOrDie();
+    small.IncrementMany(n);
+    narrow.Add(small.Estimate());
+    auto big = CsurosCounter::Make(SmallCsuros(10), seeder.NextU64()).ValueOrDie();
+    big.IncrementMany(n);
+    wide.Add(big.Estimate());
+  }
+  EXPECT_LT(wide.variance(), narrow.variance() / 8.0);
+}
+
+TEST(CsurosTest, FastForwardMatchesSingleSteps) {
+  // Deterministic regime + moderate n: compare means across paths.
+  const uint64_t n = 3000;
+  const int trials = 8000;
+  stats::StreamingSummary by_one, by_batch;
+  Rng seeder(41);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto slow = CsurosCounter::Make(SmallCsuros(), seeder.NextU64()).ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) slow.Increment();
+    by_one.Add(slow.Estimate());
+    auto fast = CsurosCounter::Make(SmallCsuros(), seeder.NextU64()).ValueOrDie();
+    fast.IncrementMany(n);
+    by_batch.Add(fast.Estimate());
+  }
+  const double se = std::sqrt(by_one.variance() / trials + by_batch.variance() / trials);
+  EXPECT_NEAR(by_one.mean(), by_batch.mean(), 6 * se);
+}
+
+TEST(CsurosTest, SerializeRoundTrip) {
+  auto counter = CsurosCounter::Make(SmallCsuros(), 3).ValueOrDie();
+  counter.IncrementMany(99999);
+  BitWriter w;
+  ASSERT_TRUE(counter.SerializeState(&w).ok());
+  EXPECT_EQ(static_cast<int>(w.bit_count()), counter.StateBits());
+  auto other = CsurosCounter::Make(SmallCsuros(), 9).ValueOrDie();
+  BitReader r(w.bytes().data(), w.bit_count());
+  ASSERT_TRUE(other.DeserializeState(&r).ok());
+  EXPECT_EQ(other.s(), counter.s());
+  EXPECT_DOUBLE_EQ(other.Estimate(), counter.Estimate());
+}
+
+}  // namespace
+}  // namespace countlib

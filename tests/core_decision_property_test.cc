@@ -1,0 +1,85 @@
+// Property sweep for the §1.2 promise decision problem over a
+// (T, ε, η) grid: the decision must be correct with probability 1 - η on
+// both promise sides, and the state footprint must follow
+// O(log(1/ε) + log log(1/η)) — not log T.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "core/decision_counter.h"
+#include "stats/error_metrics.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+using DecisionGrid = std::tuple<uint64_t, double, double>;  // T, eps, eta
+
+class DecisionGridTest : public testing::TestWithParam<DecisionGrid> {
+ protected:
+  DecisionParams params() const {
+    auto [t, eps, eta] = GetParam();
+    DecisionParams p;
+    p.threshold_n = t;
+    p.epsilon = eps;
+    p.eta = eta;
+    return p;
+  }
+};
+
+TEST_P(DecisionGridTest, BothPromiseSidesDecidedWithinEta) {
+  const DecisionParams p = params();
+  const uint64_t below =
+      static_cast<uint64_t>((1.0 - p.epsilon / 10.0) * p.threshold_n);
+  const uint64_t above = static_cast<uint64_t>(
+      std::ceil((1.0 + p.epsilon / 10.0) * p.threshold_n));
+  const uint64_t trials = 600;
+  uint64_t wrong_below = 0, wrong_above = 0;
+  Rng seeder(0xD15C0);
+  for (uint64_t tr = 0; tr < trials; ++tr) {
+    auto low = DecisionCounter::Make(p, seeder.NextU64()).ValueOrDie();
+    low.IncrementMany(below);
+    if (low.DecideAbove()) ++wrong_below;
+    auto high = DecisionCounter::Make(p, seeder.NextU64()).ValueOrDie();
+    high.IncrementMany(above);
+    if (!high.DecideAbove()) ++wrong_above;
+  }
+  EXPECT_TRUE(stats::FailureRateConsistentWith(wrong_below, trials, p.eta))
+      << wrong_below << "/" << trials << " false-above";
+  EXPECT_TRUE(stats::FailureRateConsistentWith(wrong_above, trials, p.eta))
+      << wrong_above << "/" << trials << " false-below";
+}
+
+TEST_P(DecisionGridTest, StateBitsIndependentOfT) {
+  const DecisionParams p = params();
+  auto counter = DecisionCounter::Make(p, 1).ValueOrDie();
+  // αT = min(T, C ln(1/η)/ε²): once T is past the clamp point the register
+  // width depends only on (ε, η).
+  const double alpha_t =
+      std::min(static_cast<double>(p.threshold_n),
+               p.c * std::log(1.0 / p.eta) / (p.epsilon * p.epsilon));
+  EXPECT_LE(counter.StateBits(), BitWidth(static_cast<uint64_t>(alpha_t) + 2) + 1);
+}
+
+std::string DecisionName(const testing::TestParamInfo<DecisionGrid>& info) {
+  std::ostringstream os;
+  os << "T" << std::get<0>(info.param) << "_eps"
+     << static_cast<int>(std::get<1>(info.param) * 100) << "_eta"
+     << static_cast<int>(std::get<2>(info.param) * 1000);
+  return os.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DecisionGridTest,
+    testing::Combine(testing::Values(uint64_t{2000}, uint64_t{50000},
+                                     uint64_t{500000}),
+                     testing::Values(0.5, 0.3),
+                     testing::Values(0.1, 0.02)),
+    DecisionName);
+
+}  // namespace
+}  // namespace countlib

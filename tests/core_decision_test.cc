@@ -1,0 +1,106 @@
+// Tests for the §1.2 promise decision problem solver.
+
+#include "core/decision_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/rng.h"
+#include "stats/error_metrics.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+DecisionParams MakeParams(uint64_t t, double eps, double eta) {
+  DecisionParams p;
+  p.threshold_n = t;
+  p.epsilon = eps;
+  p.eta = eta;
+  return p;
+}
+
+TEST(DecisionTest, ValidationRejectsBadParams) {
+  EXPECT_FALSE(DecisionCounter::Make(MakeParams(0, 0.1, 0.01), 1).ok());
+  EXPECT_FALSE(DecisionCounter::Make(MakeParams(10, 0.0, 0.01), 1).ok());
+  EXPECT_FALSE(DecisionCounter::Make(MakeParams(10, 0.1, 0.7), 1).ok());
+}
+
+TEST(DecisionTest, AlphaMatchesFormulaAndClamps) {
+  auto counter = DecisionCounter::Make(MakeParams(1000000, 0.1, 0.01), 1).ValueOrDie();
+  const double expected =
+      1200.0 * std::log(100.0) / (0.01 * 1000000.0);
+  EXPECT_NEAR(counter.alpha(), expected, 1e-12);
+  // Small T: α clamps to 1 and the counter is exact.
+  auto exact = DecisionCounter::Make(MakeParams(10, 0.3, 0.01), 1).ValueOrDie();
+  EXPECT_DOUBLE_EQ(exact.alpha(), 1.0);
+}
+
+TEST(DecisionTest, ExactRegimeDecidesPerfectly) {
+  // α = 1: below-threshold streams must answer "below", above must answer
+  // "above", deterministically.
+  auto below = DecisionCounter::Make(MakeParams(100, 0.3, 0.01), 7).ValueOrDie();
+  below.IncrementMany(80);
+  EXPECT_FALSE(below.DecideAbove());
+  auto above = DecisionCounter::Make(MakeParams(100, 0.3, 0.01), 7).ValueOrDie();
+  above.IncrementMany(120);
+  EXPECT_TRUE(above.DecideAbove());
+}
+
+TEST(DecisionTest, PromiseGapDecidedWithinEta) {
+  // T = 50000, ε = 0.5 → promise sides at 0.95T and 1.05T; η = 0.05.
+  const DecisionParams params = MakeParams(50000, 0.5, 0.05);
+  const int trials = 2000;
+  Rng seeder(33);
+  uint64_t wrong_below = 0, wrong_above = 0;
+  for (int tr = 0; tr < trials; ++tr) {
+    auto low = DecisionCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    low.IncrementMany(static_cast<uint64_t>(50000 * (1 - 0.05)));
+    if (low.DecideAbove()) ++wrong_below;
+    auto high = DecisionCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    high.IncrementMany(static_cast<uint64_t>(50000 * (1 + 0.05)));
+    if (!high.DecideAbove()) ++wrong_above;
+  }
+  EXPECT_TRUE(stats::FailureRateConsistentWith(wrong_below, trials, params.eta))
+      << wrong_below << "/" << trials;
+  EXPECT_TRUE(stats::FailureRateConsistentWith(wrong_above, trials, params.eta))
+      << wrong_above << "/" << trials;
+}
+
+TEST(DecisionTest, StateBitsAreLogOfAlphaT) {
+  // The paper's point: memory is O(log(αT)) = O(log(1/ε) + log log(1/η)),
+  // not O(log T).
+  auto counter =
+      DecisionCounter::Make(MakeParams(uint64_t{1} << 40, 0.1, 1e-6), 1).ValueOrDie();
+  EXPECT_LE(counter.StateBits(), 28);  // vs 40 bits for exact counting
+  EXPECT_EQ(counter.StateBits(), BitWidth(counter.y_threshold() + 1));
+}
+
+TEST(DecisionTest, YStopsOnePastThreshold) {
+  // Y must not grow unboundedly — it stops at threshold + 1.
+  auto counter = DecisionCounter::Make(MakeParams(1000, 0.5, 0.1), 5).ValueOrDie();
+  counter.IncrementMany(1u << 22);
+  EXPECT_LE(counter.y(), counter.y_threshold() + 1);
+  EXPECT_TRUE(counter.DecideAbove());
+}
+
+TEST(DecisionTest, BatchAndSingleAgreeOnExactRegime) {
+  const DecisionParams params = MakeParams(64, 0.3, 0.01);  // α = 1
+  auto batch = DecisionCounter::Make(params, 5).ValueOrDie();
+  auto single = DecisionCounter::Make(params, 5).ValueOrDie();
+  batch.IncrementMany(100);
+  for (int i = 0; i < 100; ++i) single.Increment();
+  EXPECT_EQ(batch.y(), single.y());
+}
+
+TEST(DecisionTest, ResetClearsY) {
+  auto counter = DecisionCounter::Make(MakeParams(1000, 0.5, 0.1), 5).ValueOrDie();
+  counter.IncrementMany(5000);
+  counter.Reset();
+  EXPECT_EQ(counter.y(), 0u);
+  EXPECT_FALSE(counter.DecideAbove());
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,259 @@
+// Tests for mergeability (Remark 2.4 and [CY20]): the merged counter's
+// state distribution must equal that of a single counter over the
+// concatenated stream. Verified by chi-square over Monte-Carlo state
+// histograms for all three mergeable counter types.
+
+#include "core/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/error_metrics.h"
+#include "stats/hypothesis.h"
+
+namespace countlib {
+namespace {
+
+TEST(MorrisMergeTest, DistributionMatchesDirectCounting) {
+  MorrisParams params;
+  params.a = 0.5;
+  params.x_cap = 256;
+  const uint64_t n1 = 400, n2 = 900;
+  const int trials = 15000;
+  const size_t levels = 40;
+  std::vector<uint64_t> hist_merged(levels, 0), hist_direct(levels, 0);
+  Rng seeder(42);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto b = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(n1);
+    b.IncrementMany(n2);
+    auto merged = Merge(a, b).ValueOrDie();
+    ++hist_merged[std::min<uint64_t>(merged.x(), levels - 1)];
+
+    auto direct = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    direct.IncrementMany(n1 + n2);
+    ++hist_direct[std::min<uint64_t>(direct.x(), levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_merged, hist_direct).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(MorrisMergeTest, OrderDoesNotMatter) {
+  MorrisParams params;
+  params.a = 0.5;
+  params.x_cap = 256;
+  const int trials = 12000;
+  const size_t levels = 40;
+  std::vector<uint64_t> hist_ab(levels, 0), hist_ba(levels, 0);
+  Rng seeder(43);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto b = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(100);
+    b.IncrementMany(2000);
+    ++hist_ab[std::min<uint64_t>(Merge(a, b).ValueOrDie().x(), levels - 1)];
+    auto c = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto d = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    c.IncrementMany(2000);
+    d.IncrementMany(100);
+    ++hist_ba[std::min<uint64_t>(Merge(c, d).ValueOrDie().x(), levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_ab, hist_ba).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(MorrisMergeTest, MismatchedParamsRejected) {
+  MorrisParams pa;
+  pa.a = 0.5;
+  pa.x_cap = 64;
+  MorrisParams pb = pa;
+  pb.a = 0.25;
+  auto a = MorrisCounter::Make(pa, 1).ValueOrDie();
+  auto b = MorrisCounter::Make(pb, 2).ValueOrDie();
+  EXPECT_TRUE(Merge(a, b).status().IsInvalidArgument());
+}
+
+SamplingCounterParams SamplingParams() {
+  SamplingCounterParams p;
+  p.budget = 32;
+  p.t_cap = 16;
+  return p;
+}
+
+TEST(SamplingMergeTest, DistributionMatchesDirectCounting) {
+  const uint64_t n1 = 700, n2 = 1500;
+  const int trials = 15000;
+  SamplingCounterParams params = SamplingParams();
+  std::vector<uint64_t> hist_merged(params.budget, 0), hist_direct(params.budget, 0);
+  Rng seeder(44);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto b = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(n1);
+    b.IncrementMany(n2);
+    auto merged = Merge(a, b).ValueOrDie();
+    ++hist_merged[merged.y()];
+    auto direct = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    direct.IncrementMany(n1 + n2);
+    ++hist_direct[direct.y()];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_merged, hist_direct).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(SamplingMergeTest, MergeIntoAdoptsHigherDonor) {
+  SamplingCounterParams params = SamplingParams();
+  auto small = SamplingCounter::Make(params, 1).ValueOrDie();
+  auto big = SamplingCounter::Make(params, 2).ValueOrDie();
+  small.IncrementMany(10);
+  big.IncrementMany(100000);
+  // Merging the big donor into the small dest must still represent the sum.
+  ASSERT_TRUE(MergeInto(&small, big).ok());
+  EXPECT_NEAR(small.Estimate(), 100010.0, 0.4 * 100010.0);
+}
+
+TEST(SamplingMergeTest, EmptyCounterIsIdentity) {
+  SamplingCounterParams params = SamplingParams();
+  const int trials = 10000;
+  std::vector<uint64_t> hist_merged(params.budget, 0), hist_direct(params.budget, 0);
+  Rng seeder(46);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto empty = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(5000);
+    auto merged = Merge(a, empty).ValueOrDie();
+    ++hist_merged[merged.y()];
+    auto direct = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    direct.IncrementMany(5000);
+    ++hist_direct[direct.y()];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_merged, hist_direct).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+NelsonYuParams NyParams() {
+  NelsonYuParams p;
+  p.epsilon = 0.25;
+  p.delta_log2 = 6;
+  p.c = 16.0;
+  p.x_cap = 2048;
+  p.y_cap = uint64_t{1} << 32;
+  p.t_cap = 40;
+  return p;
+}
+
+TEST(NelsonYuMergeTest, DistributionMatchesDirectCounting) {
+  const uint64_t n1 = 30000, n2 = 80000;
+  const int trials = 4000;
+  NelsonYuParams params = NyParams();
+  const uint64_t x0 = params.X0();
+  const size_t levels = 48;
+  std::vector<uint64_t> hist_merged(levels, 0), hist_direct(levels, 0);
+  Rng seeder(47);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto b = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(n1);
+    b.IncrementMany(n2);
+    auto merged = Merge(a, b).ValueOrDie();
+    ++hist_merged[std::min<uint64_t>(merged.x() - x0, levels - 1)];
+    auto direct = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    direct.IncrementMany(n1 + n2);
+    ++hist_direct[std::min<uint64_t>(direct.x() - x0, levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_merged, hist_direct).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(NelsonYuMergeTest, BothInEpochZeroSumsExactly) {
+  NelsonYuParams params = NyParams();
+  auto a = NelsonYuCounter::Make(params, 1).ValueOrDie();
+  auto b = NelsonYuCounter::Make(params, 2).ValueOrDie();
+  a.IncrementMany(50);
+  b.IncrementMany(70);
+  auto merged = Merge(a, b).ValueOrDie();
+  // Epoch-0 counters are exact, and their merge stays exact while the sum
+  // remains inside epoch 0.
+  EXPECT_DOUBLE_EQ(merged.Estimate(), 120.0);
+}
+
+TEST(NelsonYuMergeTest, MergeEstimateIsAccurate) {
+  NelsonYuParams params = NyParams();
+  Rng seeder(48);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto a = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    auto b = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(250000);
+    b.IncrementMany(750000);
+    auto merged = Merge(a, b).ValueOrDie();
+    const double rel = stats::RelativeError(merged.Estimate(), 1000000.0);
+    // ε_internal = 0.25; conditioned error ≤ ~1.5ε ≈ 0.4.
+    ASSERT_LE(rel, 0.5) << "rep=" << rep;
+  }
+}
+
+MorrisParams PlusParams() {
+  MorrisParams p;
+  p.a = 0.02;
+  p.x_cap = 4096;
+  p.prefix_limit = 400;  // 8 / a
+  return p;
+}
+
+TEST(MorrisPlusMergeTest, ExactWhileUnionInsidePrefix) {
+  auto a = MorrisPlusCounter::Make(PlusParams(), 1).ValueOrDie();
+  auto b = MorrisPlusCounter::Make(PlusParams(), 2).ValueOrDie();
+  a.IncrementMany(150);
+  b.IncrementMany(200);
+  auto merged = Merge(a, b).ValueOrDie();
+  // 350 <= N_a = 400: the merged prefix answers exactly.
+  EXPECT_DOUBLE_EQ(merged.Estimate(), 350.0);
+  EXPECT_FALSE(merged.UsingEstimator());
+}
+
+TEST(MorrisPlusMergeTest, SaturationForcesEstimator) {
+  auto a = MorrisPlusCounter::Make(PlusParams(), 3).ValueOrDie();
+  auto b = MorrisPlusCounter::Make(PlusParams(), 4).ValueOrDie();
+  a.IncrementMany(300);
+  b.IncrementMany(300);  // union 600 > 400: must switch to the estimator
+  auto merged = Merge(a, b).ValueOrDie();
+  EXPECT_TRUE(merged.UsingEstimator());
+  EXPECT_NEAR(merged.Estimate(), 600.0, 0.5 * 600.0);
+}
+
+TEST(MorrisPlusMergeTest, DistributionMatchesDirectCounting) {
+  const uint64_t n1 = 2000, n2 = 5000;
+  const int trials = 12000;
+  // X concentrates near ln(1 + a(n1+n2))/ln(1+a) ~ 250 for a = 0.02.
+  const size_t levels = 320;
+  std::vector<uint64_t> hist_merged(levels, 0), hist_direct(levels, 0);
+  Rng seeder(77);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto a = MorrisPlusCounter::Make(PlusParams(), seeder.NextU64()).ValueOrDie();
+    auto b = MorrisPlusCounter::Make(PlusParams(), seeder.NextU64()).ValueOrDie();
+    a.IncrementMany(n1);
+    b.IncrementMany(n2);
+    auto merged = Merge(a, b).ValueOrDie();
+    ++hist_merged[std::min<uint64_t>(merged.morris().x(), levels - 1)];
+    auto direct =
+        MorrisPlusCounter::Make(PlusParams(), seeder.NextU64()).ValueOrDie();
+    direct.IncrementMany(n1 + n2);
+    ++hist_direct[std::min<uint64_t>(direct.morris().x(), levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_merged, hist_direct).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(NelsonYuMergeTest, MismatchedParamsRejected) {
+  NelsonYuParams pa = NyParams();
+  NelsonYuParams pb = NyParams();
+  pb.delta_log2 = 8;
+  auto a = NelsonYuCounter::Make(pa, 1).ValueOrDie();
+  auto b = NelsonYuCounter::Make(pb, 2).ValueOrDie();
+  EXPECT_TRUE(Merge(a, b).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace countlib

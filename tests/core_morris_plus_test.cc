@@ -1,0 +1,117 @@
+// Tests for Morris+ — the deterministic-prefix tweak and its exactness
+// window (the property Appendix A shows is load-bearing).
+
+#include "core/morris_plus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bit_io.h"
+
+namespace countlib {
+namespace {
+
+MorrisParams TestParams() {
+  MorrisParams p;
+  p.a = 0.01;
+  p.x_cap = 1u << 14;
+  p.prefix_limit = 800;  // = 8 / a
+  return p;
+}
+
+TEST(MorrisPlusTest, RequiresPrefix) {
+  MorrisParams p = TestParams();
+  p.prefix_limit = 0;
+  EXPECT_FALSE(MorrisPlusCounter::Make(p, 1).ok());
+}
+
+TEST(MorrisPlusTest, ExactUpToPrefixLimit) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+  for (uint64_t n = 1; n <= 800; ++n) {
+    counter.Increment();
+    ASSERT_DOUBLE_EQ(counter.Estimate(), static_cast<double>(n)) << "n=" << n;
+    ASSERT_FALSE(counter.UsingEstimator());
+  }
+  // One past the limit: switch to the Morris estimator.
+  counter.Increment();
+  EXPECT_TRUE(counter.UsingEstimator());
+}
+
+TEST(MorrisPlusTest, ExactWindowAlsoViaIncrementMany) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+  counter.IncrementMany(555);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 555.0);
+  EXPECT_FALSE(counter.UsingEstimator());
+  counter.IncrementMany(300);  // crosses 800
+  EXPECT_TRUE(counter.UsingEstimator());
+}
+
+TEST(MorrisPlusTest, PrefixSaturatesAndStays) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+  counter.IncrementMany(10000);
+  EXPECT_EQ(counter.prefix(), 801u);
+  counter.IncrementMany(10000);
+  EXPECT_EQ(counter.prefix(), 801u);  // stays at N_a + 1
+}
+
+TEST(MorrisPlusTest, EstimatorReasonableBeyondPrefix) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 11).ValueOrDie();
+  const uint64_t n = 100000;
+  counter.IncrementMany(n);
+  // sd of relative error ~ sqrt(a/2) ~ 7%; allow 6 sigma.
+  EXPECT_NEAR(counter.Estimate(), static_cast<double>(n), 0.45 * n);
+}
+
+TEST(MorrisPlusTest, StateBitsIncludePrefixRegister) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+  // prefix stores up to 801 -> 10 bits; X register BitWidth(2^14) = 15.
+  EXPECT_EQ(counter.StateBits(), 10 + 15);
+}
+
+TEST(MorrisPlusTest, FromAccuracyPrefixMatchesEightOverA) {
+  Accuracy acc{0.1, 0.01, 1u << 22};
+  auto counter = MorrisPlusCounter::FromAccuracy(acc, 5).ValueOrDie();
+  const double a = counter.morris().params().a;
+  EXPECT_EQ(counter.morris().params().prefix_limit,
+            static_cast<uint64_t>(std::ceil(8.0 / a)));
+}
+
+TEST(MorrisPlusTest, ResetClearsPrefixAndMorris) {
+  auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+  counter.IncrementMany(5000);
+  counter.Reset();
+  EXPECT_EQ(counter.prefix(), 0u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_FALSE(counter.UsingEstimator());
+}
+
+TEST(MorrisPlusTest, SerializeRoundTripBothRegimes) {
+  for (uint64_t n : {500ull, 5000ull}) {
+    auto counter = MorrisPlusCounter::Make(TestParams(), 3).ValueOrDie();
+    counter.IncrementMany(n);
+    BitWriter writer;
+    ASSERT_TRUE(counter.SerializeState(&writer).ok());
+    EXPECT_EQ(static_cast<int>(writer.bit_count()), counter.StateBits());
+    auto other = MorrisPlusCounter::Make(TestParams(), 77).ValueOrDie();
+    BitReader reader(writer.bytes().data(), writer.bit_count());
+    ASSERT_TRUE(other.DeserializeState(&reader).ok());
+    EXPECT_EQ(other.prefix(), counter.prefix());
+    EXPECT_DOUBLE_EQ(other.Estimate(), counter.Estimate());
+  }
+}
+
+TEST(MorrisPlusTest, DeserializeRejectsOverSaturatedPrefix) {
+  MorrisParams p = TestParams();
+  p.prefix_limit = 6;  // stores up to 7 in 3 bits... BitWidth(7) = 3
+  auto counter = MorrisPlusCounter::Make(p, 3).ValueOrDie();
+  BitWriter writer;
+  writer.WriteBits(7, counter.morris().params().PrefixBits());
+  writer.WriteBits(0, counter.morris().params().XBits());
+  BitReader reader(writer.bytes().data(), writer.bit_count());
+  // 7 == prefix_limit + 1 is legal (saturated); 1 more would not encode.
+  EXPECT_TRUE(counter.DeserializeState(&reader).ok());
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,185 @@
+// Tests for the Morris(a) counter: estimator identities, unbiasedness,
+// variance, path equivalence (per-increment vs geometric fast-forward),
+// and saturation behavior.
+
+#include "core/morris.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/hypothesis.h"
+#include "stats/summary.h"
+#include "util/bit_io.h"
+
+namespace countlib {
+namespace {
+
+MorrisParams SmallParams(double a) {
+  MorrisParams p;
+  p.a = a;
+  p.x_cap = 4096;
+  return p;
+}
+
+TEST(MorrisTest, ValidationRejectsBadParams) {
+  MorrisParams p;
+  p.a = 0.0;
+  p.x_cap = 10;
+  EXPECT_FALSE(MorrisCounter::Make(p, 1).ok());
+  p.a = 1.0;
+  p.x_cap = 0;
+  EXPECT_FALSE(MorrisCounter::Make(p, 1).ok());
+}
+
+TEST(MorrisTest, FirstIncrementIsDeterministic) {
+  // p_0 = 1, so the first increment always raises X to 1 and the estimate
+  // becomes exactly 1.
+  auto counter = MorrisCounter::Make(SmallParams(1.0), 7).ValueOrDie();
+  EXPECT_EQ(counter.x(), 0u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  counter.Increment();
+  EXPECT_EQ(counter.x(), 1u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 1.0);
+}
+
+TEST(MorrisTest, LevelProbabilityFormula) {
+  auto counter = MorrisCounter::Make(SmallParams(0.5), 7).ValueOrDie();
+  EXPECT_DOUBLE_EQ(counter.LevelProbability(0), 1.0);
+  EXPECT_NEAR(counter.LevelProbability(3), std::pow(1.5, -3), 1e-12);
+}
+
+// E[2^X - 1] = N for a = 1 — the classical unbiasedness. Checked by Monte
+// Carlo with a 6-sigma band derived from Var = N(N-1)/2.
+TEST(MorrisTest, EstimatorIsUnbiasedA1) {
+  const uint64_t n = 256;
+  const int trials = 60000;
+  stats::StreamingSummary summary;
+  Rng seeder(12345);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = MorrisCounter::Make(SmallParams(1.0), seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    summary.Add(counter.Estimate());
+  }
+  const double sd_mean =
+      std::sqrt(n * (n - 1.0) / 2.0 / trials);
+  EXPECT_NEAR(summary.mean(), static_cast<double>(n), 6 * sd_mean);
+}
+
+// Var[estimator] = a N(N-1)/2 (§1.2) for general a.
+TEST(MorrisTest, EstimatorVarianceMatchesFormula) {
+  const uint64_t n = 4096;
+  const double a = 0.125;
+  const int trials = 40000;
+  stats::StreamingSummary summary;
+  Rng seeder(777);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = MorrisCounter::Make(SmallParams(a), seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    summary.Add(counter.Estimate());
+  }
+  const double expected_var = a * n * (n - 1.0) / 2.0;
+  // Variance estimate has relative sd ~ sqrt(2/trials + kurtosis term);
+  // allow 15%.
+  EXPECT_NEAR(summary.variance(), expected_var, 0.15 * expected_var);
+}
+
+// The fast-forward path must produce the same law of X as per-increment
+// coin flips: chi-square homogeneity on final levels.
+TEST(MorrisTest, FastForwardMatchesPerIncrementDistribution) {
+  const uint64_t n = 300;
+  const double a = 1.0;
+  const int trials = 20000;
+  const size_t levels = 16;
+  std::vector<uint64_t> hist_single(levels, 0), hist_batch(levels, 0);
+  Rng seeder(31337);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto slow = MorrisCounter::Make(SmallParams(a), seeder.NextU64()).ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) slow.Increment();
+    ++hist_single[std::min<uint64_t>(slow.x(), levels - 1)];
+    auto fast = MorrisCounter::Make(SmallParams(a), seeder.NextU64()).ValueOrDie();
+    fast.IncrementMany(n);
+    ++hist_batch[std::min<uint64_t>(fast.x(), levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_single, hist_batch).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+// Splitting a batch across IncrementMany calls must not change the law
+// (memorylessness of the geometric wait).
+TEST(MorrisTest, BatchSplitInvariance) {
+  const double a = 0.25;
+  const int trials = 20000;
+  const size_t levels = 40;
+  std::vector<uint64_t> hist_whole(levels, 0), hist_split(levels, 0);
+  Rng seeder(999);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto whole = MorrisCounter::Make(SmallParams(a), seeder.NextU64()).ValueOrDie();
+    whole.IncrementMany(1000);
+    ++hist_whole[std::min<uint64_t>(whole.x(), levels - 1)];
+    auto split = MorrisCounter::Make(SmallParams(a), seeder.NextU64()).ValueOrDie();
+    split.IncrementMany(1);
+    split.IncrementMany(999);
+    ++hist_split[std::min<uint64_t>(split.x(), levels - 1)];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_whole, hist_split).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(MorrisTest, SaturatesAtCapInsteadOfOverflowing) {
+  MorrisParams p;
+  p.a = 1.0;
+  p.x_cap = 3;
+  auto counter = MorrisCounter::Make(p, 5).ValueOrDie();
+  counter.IncrementMany(1u << 16);
+  EXPECT_LE(counter.x(), 3u);
+  counter.Increment();
+  EXPECT_TRUE(counter.saturated() || counter.x() < 3);
+}
+
+TEST(MorrisTest, ResetRestoresFreshState) {
+  auto counter = MorrisCounter::Make(SmallParams(1.0), 5).ValueOrDie();
+  counter.IncrementMany(1000);
+  EXPECT_GT(counter.x(), 0u);
+  counter.Reset();
+  EXPECT_EQ(counter.x(), 0u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_FALSE(counter.saturated());
+}
+
+TEST(MorrisTest, StateBitsAreProvisionedFromCap) {
+  auto counter = MorrisCounter::Make(SmallParams(1.0), 5).ValueOrDie();
+  EXPECT_EQ(counter.StateBits(), 13);  // BitWidth(4096)
+  EXPECT_EQ(counter.CurrentStateBits(), 1);  // X = 0
+  counter.IncrementMany(100);
+  EXPECT_GE(counter.CurrentStateBits(), 3);
+}
+
+TEST(MorrisTest, SerializeRoundTrip) {
+  auto counter = MorrisCounter::Make(SmallParams(0.5), 5).ValueOrDie();
+  counter.IncrementMany(500);
+  BitWriter writer;
+  ASSERT_TRUE(counter.SerializeState(&writer).ok());
+  EXPECT_EQ(static_cast<int>(writer.bit_count()), counter.StateBits());
+
+  auto other = MorrisCounter::Make(SmallParams(0.5), 99).ValueOrDie();
+  BitReader reader(writer.bytes().data(), writer.bit_count());
+  ASSERT_TRUE(other.DeserializeState(&reader).ok());
+  EXPECT_EQ(other.x(), counter.x());
+  EXPECT_DOUBLE_EQ(other.Estimate(), counter.Estimate());
+}
+
+TEST(MorrisTest, DeserializeRejectsOutOfCap) {
+  MorrisParams p;
+  p.a = 1.0;
+  p.x_cap = 5;  // 3 bits
+  auto counter = MorrisCounter::Make(p, 5).ValueOrDie();
+  BitWriter writer;
+  writer.WriteBits(7, 3);  // > x_cap
+  BitReader reader(writer.bytes().data(), writer.bit_count());
+  EXPECT_TRUE(counter.DeserializeState(&reader).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,129 @@
+// Property sweeps over the (ε, δ, n_max) parameter grid: every derivation
+// must produce valid, internally-consistent knobs, with the monotonicity
+// the theory demands (tighter targets never shrink the provisioned space).
+// Uses TEST_P / INSTANTIATE_TEST_SUITE_P over the cross product.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/counter_factory.h"
+#include "core/morris_plus.h"
+#include "core/params.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+using GridParam = std::tuple<double, double, uint64_t>;  // eps, delta, n_max
+
+class ParamGridTest : public testing::TestWithParam<GridParam> {
+ protected:
+  Accuracy acc() const {
+    auto [eps, delta, n_max] = GetParam();
+    return Accuracy{eps, delta, n_max};
+  }
+};
+
+TEST_P(ParamGridTest, MorrisDerivationIsConsistent) {
+  auto params = MorrisFromAccuracy(acc(), /*with_prefix=*/true).ValueOrDie();
+  EXPECT_GT(params.a, 0.0);
+  EXPECT_LT(params.a, 1.0);
+  // The cap covers the typical level with room: log_{1+a}(n) << x_cap.
+  const double typical = Log1pBase(params.a, static_cast<double>(acc().n_max));
+  EXPECT_LT(typical, static_cast<double>(params.x_cap));
+  // Prefix is exactly ceil(8/a).
+  EXPECT_EQ(params.prefix_limit,
+            static_cast<uint64_t>(std::ceil(8.0 / params.a)));
+  // Counter construction succeeds with the derived params.
+  EXPECT_TRUE(MorrisPlusCounter::Make(params, 1).ok());
+}
+
+TEST_P(ParamGridTest, NelsonYuDerivationIsConsistent) {
+  auto params = NelsonYuFromAccuracy(acc()).ValueOrDie();
+  EXPECT_GT(params.X0(), 0u);
+  EXPECT_GT(params.x_cap, params.X0());
+  EXPECT_GE(params.t_cap, 1u);
+  EXPECT_LE(params.t_cap, 63u);
+  // Y cap covers epoch 0's exact count T0.
+  const double t0 = Pow1p(params.epsilon, static_cast<double>(params.X0()));
+  EXPECT_GE(static_cast<double>(params.y_cap), t0);
+  // δ = 2^-Δ is at most the target δ / 4 (constant-factor folding).
+  EXPECT_LE(params.Delta(), acc().delta / 4.0 * (1 + 1e-12));
+}
+
+TEST_P(ParamGridTest, SamplingDerivationIsConsistent) {
+  auto params = SamplingFromAccuracy(acc()).ValueOrDie();
+  EXPECT_GE(params.budget, 4u);
+  EXPECT_EQ(params.budget & (params.budget - 1), 0u);
+  // Capacity covers n_max: 2^{t_cap} * budget / 2 >= n_max.
+  const double capacity = std::ldexp(static_cast<double>(params.budget) / 2.0,
+                                     static_cast<int>(params.t_cap));
+  EXPECT_GE(capacity, static_cast<double>(acc().n_max));
+}
+
+TEST_P(ParamGridTest, EveryKindConstructsAndSerializesAtStateBits) {
+  for (CounterKind kind : kAllCounterKinds) {
+    // Averaged Morris at tiny eps*delta would need too many copies; skip
+    // infeasible combinations (the factory reports them cleanly).
+    auto counter_or = MakeCounter(kind, acc(), 5);
+    if (!counter_or.ok()) {
+      EXPECT_TRUE(counter_or.status().IsInvalidArgument())
+          << CounterKindToString(kind) << ": " << counter_or.status().ToString();
+      continue;
+    }
+    auto& counter = *counter_or;
+    BitWriter writer;
+    ASSERT_TRUE(counter->SerializeState(&writer).ok());
+    EXPECT_EQ(static_cast<int>(writer.bit_count()), counter->StateBits())
+        << CounterKindToString(kind);
+  }
+}
+
+// Monotonicity across the δ axis: a tighter δ never shrinks provisioned
+// space (holding ε, n fixed).
+TEST_P(ParamGridTest, TighterDeltaNeverShrinksSpace) {
+  Accuracy tighter = acc();
+  tighter.delta = acc().delta / 16.0;
+  if (tighter.delta <= 0.0) GTEST_SKIP();
+  auto base_ny = NelsonYuFromAccuracy(acc()).ValueOrDie();
+  auto tight_ny = NelsonYuFromAccuracy(tighter).ValueOrDie();
+  EXPECT_GE(tight_ny.TotalBits(), base_ny.TotalBits());
+  auto base_mp = MorrisFromAccuracy(acc(), true).ValueOrDie();
+  auto tight_mp = MorrisFromAccuracy(tighter, true).ValueOrDie();
+  EXPECT_GE(tight_mp.TotalBits(), base_mp.TotalBits());
+}
+
+// Monotonicity across the ε axis.
+TEST_P(ParamGridTest, TighterEpsilonNeverShrinksSpace) {
+  Accuracy tighter = acc();
+  tighter.epsilon = acc().epsilon / 2.0;
+  auto base = NelsonYuFromAccuracy(acc()).ValueOrDie();
+  auto tight = NelsonYuFromAccuracy(tighter).ValueOrDie();
+  EXPECT_GE(tight.TotalBits(), base.TotalBits());
+  auto base_s = SamplingFromAccuracy(acc()).ValueOrDie();
+  auto tight_s = SamplingFromAccuracy(tighter).ValueOrDie();
+  EXPECT_GE(tight_s.TotalBits(), base_s.TotalBits());
+}
+
+std::string GridName(const testing::TestParamInfo<GridParam>& info) {
+  const double eps = std::get<0>(info.param);
+  const double delta = std::get<1>(info.param);
+  const uint64_t n_max = std::get<2>(info.param);
+  return "eps" + std::to_string(static_cast<int>(eps * 1000)) + "_dexp" +
+         std::to_string(static_cast<int>(-std::log10(delta))) + "_n2e" +
+         std::to_string(static_cast<int>(std::log2(static_cast<double>(n_max))));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamGridTest,
+    testing::Combine(testing::Values(0.3, 0.1, 0.02),
+                     testing::Values(1e-1, 1e-3, 1e-9),
+                     testing::Values(uint64_t{1} << 12, uint64_t{1} << 24,
+                                     uint64_t{1} << 40)),
+    GridName);
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,153 @@
+// Tests for parameter derivation and bit-budget calibration, including the
+// headline asymptotic claims (log log δ-dependence of the optimal
+// parameterizations vs log δ for the classical one).
+
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace countlib {
+namespace {
+
+TEST(AccuracyValidationTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ValidateAccuracy({0.0, 0.01, 1000}).ok());
+  EXPECT_FALSE(ValidateAccuracy({0.5, 0.01, 1000}).ok());
+  EXPECT_FALSE(ValidateAccuracy({0.1, 0.0, 1000}).ok());
+  EXPECT_FALSE(ValidateAccuracy({0.1, 0.5, 1000}).ok());
+  EXPECT_FALSE(ValidateAccuracy({0.1, 0.01, 0}).ok());
+  EXPECT_TRUE(ValidateAccuracy({0.1, 0.01, 1000}).ok());
+}
+
+TEST(MorrisParamsTest, FromAccuracyFollowsSection22) {
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  auto params = MorrisFromAccuracy(acc, /*with_prefix=*/true).ValueOrDie();
+  // a = (ε/2)² / (8 ln(2/δ)).
+  const double expected_a = 0.05 * 0.05 / (8.0 * std::log(200.0));
+  EXPECT_NEAR(params.a, expected_a, 1e-12);
+  EXPECT_EQ(params.prefix_limit,
+            static_cast<uint64_t>(std::ceil(8.0 / expected_a)));
+  EXPECT_GT(params.x_cap, 0u);
+}
+
+TEST(MorrisParamsTest, BitsBreakdown) {
+  MorrisParams p;
+  p.a = 0.001;
+  p.x_cap = 1023;  // 10 bits
+  p.prefix_limit = 0;
+  EXPECT_EQ(p.XBits(), 10);
+  EXPECT_EQ(p.PrefixBits(), 0);
+  EXPECT_EQ(p.TotalBits(), 10);
+  p.prefix_limit = 100;  // stores up to 101 -> 7 bits
+  EXPECT_EQ(p.PrefixBits(), 7);
+  EXPECT_EQ(p.TotalBits(), 17);
+}
+
+TEST(MorrisParamsTest, ForStateBitsFitsBudgetWithHeadroom) {
+  const int bits = 17;
+  const uint64_t n_max = 999999;
+  auto params = MorrisForStateBits(bits, n_max).ValueOrDie();
+  EXPECT_EQ(params.XBits(), bits);
+  // Typical X at n_max is about half the register (slack = 2).
+  const double typical_x = std::log(static_cast<double>(n_max)) / std::log1p(params.a);
+  EXPECT_NEAR(typical_x, static_cast<double>(params.x_cap) / 2.0,
+              static_cast<double>(params.x_cap) * 0.02);
+}
+
+TEST(MorrisParamsTest, ForStateBitsRejectsBadInput) {
+  EXPECT_FALSE(MorrisForStateBits(1, 1000).ok());
+  EXPECT_FALSE(MorrisForStateBits(63, 1000).ok());
+  EXPECT_FALSE(MorrisForStateBits(17, 1).ok());
+  EXPECT_FALSE(MorrisForStateBits(17, 1000, 0.5).ok());
+}
+
+TEST(MorrisParamsTest, SmallerAMeansSmallerPredictedError) {
+  EXPECT_LT(MorrisRelativeStddev(1e-6), MorrisRelativeStddev(1e-2));
+  EXPECT_NEAR(MorrisRelativeStddev(0.02), std::sqrt(0.01), 1e-12);
+}
+
+TEST(NelsonYuParamsTest, FromAccuracyDerivation) {
+  Accuracy acc{0.2, 0.01, 1u << 20};
+  auto p = NelsonYuFromAccuracy(acc).ValueOrDie();
+  EXPECT_DOUBLE_EQ(p.epsilon, 0.1);
+  // Δ = ceil(log2(4/δ)) = ceil(log2(400)) = 9.
+  EXPECT_EQ(p.delta_log2, 9u);
+  EXPECT_NEAR(p.Delta(), std::exp2(-9), 1e-15);
+  EXPECT_GT(p.X0(), 0u);
+  EXPECT_GT(p.x_cap, p.X0());
+  EXPECT_GT(p.y_cap, 0u);
+  EXPECT_GE(p.t_cap, 1u);
+  EXPECT_LE(p.t_cap, 63u);
+}
+
+TEST(NelsonYuParamsTest, X0MatchesAlgorithmLine3) {
+  NelsonYuParams p;
+  p.epsilon = 0.1;
+  p.delta_log2 = 10;
+  p.c = 16.0;
+  const double arg = 16.0 * (10.0 * std::log(2.0)) / (0.1 * 0.1 * 0.1);
+  const uint64_t expected =
+      static_cast<uint64_t>(std::ceil(std::log(arg) / std::log1p(0.1)));
+  EXPECT_EQ(p.X0(), expected);
+}
+
+// The headline scaling claim: for the optimal algorithms, total provisioned
+// bits grow like log log(1/δ); for the naive Chebyshev parameterization
+// they grow like log(1/δ). Check the growth across 20 orders of magnitude
+// in δ.
+TEST(ScalingTest, DeltaDependenceIsDoublyLogarithmic) {
+  const Accuracy mild{0.1, 1e-2, uint64_t{1} << 30};
+  const Accuracy harsh{0.1, 1e-18, uint64_t{1} << 30};
+
+  auto ny_mild = NelsonYuFromAccuracy(mild).ValueOrDie();
+  auto ny_harsh = NelsonYuFromAccuracy(harsh).ValueOrDie();
+  // 16 orders of magnitude tighter δ costs only a handful of bits.
+  EXPECT_LE(ny_harsh.TotalBits() - ny_mild.TotalBits(), 12);
+
+  auto mp_mild = MorrisFromAccuracy(mild, true).ValueOrDie();
+  auto mp_harsh = MorrisFromAccuracy(harsh, true).ValueOrDie();
+  EXPECT_LE(mp_harsh.TotalBits() - mp_mild.TotalBits(), 14);
+
+  // The analytic bound expressions order correctly.
+  EXPECT_LT(OptimalSpaceBound(harsh), ClassicalSpaceBound(harsh));
+  EXPECT_LE(LowerSpaceBound(harsh), OptimalSpaceBound(harsh) + 1e-12);
+}
+
+TEST(SamplingParamsTest, FromAccuracyBudgetIsPowerOfTwo) {
+  Accuracy acc{0.1, 0.01, 1u << 24};
+  auto p = SamplingFromAccuracy(acc).ValueOrDie();
+  EXPECT_GE(p.budget, 4u);
+  EXPECT_EQ(p.budget & (p.budget - 1), 0u);
+  EXPECT_GE(p.t_cap, 1u);
+}
+
+TEST(SamplingParamsTest, ForStateBitsSplitsBudget) {
+  // The Figure-1 configuration: 17 bits, N < 10^6.
+  auto p = SamplingForStateBits(17, 999999).ValueOrDie();
+  EXPECT_EQ(p.TotalBits(), 17);
+  // Capacity covers n_max with margin: 2^{t_cap} * budget / 2 >= 8 n_max.
+  const double capacity = std::ldexp(static_cast<double>(p.budget) / 2.0,
+                                     static_cast<int>(p.t_cap));
+  EXPECT_GE(capacity, 8.0 * 999999);
+}
+
+TEST(SamplingParamsTest, ForStateBitsInfeasibleFails) {
+  EXPECT_FALSE(SamplingForStateBits(5, uint64_t{1} << 40).ok());
+}
+
+TEST(SamplingParamsTest, PredictedStddevDecreasesWithBudget) {
+  EXPECT_LT(SamplingRelativeStddev(1 << 14), SamplingRelativeStddev(1 << 8));
+}
+
+TEST(BoundsTest, RegimeOrdering) {
+  // For tiny n the deterministic counter wins the min in the lower bound.
+  Accuracy tiny{0.1, 0.01, 16};
+  EXPECT_DOUBLE_EQ(LowerSpaceBound(tiny), std::log2(16.0));
+  // For huge n the approximate-counting term wins.
+  Accuracy huge{0.1, 0.01, uint64_t{1} << 60};
+  EXPECT_LT(LowerSpaceBound(huge), std::log2(std::exp2(60)));
+}
+
+}  // namespace
+}  // namespace countlib

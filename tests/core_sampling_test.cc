@@ -1,0 +1,179 @@
+// Tests for the sampling counter (the Figure-1 simplified algorithm):
+// martingale unbiasedness, exact-DP agreement, folding mechanics,
+// saturation, and path equivalence.
+
+#include "core/sampling_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/sampling_exact_dist.h"
+#include "stats/hypothesis.h"
+#include "stats/summary.h"
+#include "util/bit_io.h"
+
+namespace countlib {
+namespace {
+
+SamplingCounterParams SmallParams(uint64_t budget = 64, uint32_t t_cap = 20) {
+  SamplingCounterParams p;
+  p.budget = budget;
+  p.t_cap = t_cap;
+  return p;
+}
+
+TEST(SamplingTest, ValidationRejectsBadParams) {
+  SamplingCounterParams p;
+  p.budget = 3;  // not a power of two
+  p.t_cap = 8;
+  EXPECT_FALSE(SamplingCounter::Make(p, 1).ok());
+  p.budget = 2;  // too small
+  EXPECT_FALSE(SamplingCounter::Make(p, 1).ok());
+  p.budget = 64;
+  p.t_cap = 0;
+  EXPECT_FALSE(SamplingCounter::Make(p, 1).ok());
+  p.t_cap = 64;
+  EXPECT_FALSE(SamplingCounter::Make(p, 1).ok());
+}
+
+TEST(SamplingTest, ExactWhileRateIsOne) {
+  auto counter = SamplingCounter::Make(SmallParams(), 3).ValueOrDie();
+  for (uint64_t n = 1; n < 64; ++n) {
+    counter.Increment();
+    ASSERT_DOUBLE_EQ(counter.Estimate(), static_cast<double>(n));
+    ASSERT_EQ(counter.t(), 0u);
+  }
+  // The 64th survivor folds: y 64 -> 32, t -> 1; estimate preserved.
+  counter.Increment();
+  EXPECT_EQ(counter.t(), 1u);
+  EXPECT_EQ(counter.y(), 32u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 64.0);
+}
+
+TEST(SamplingTest, FoldPreservesEstimateExactly) {
+  auto counter = SamplingCounter::Make(SmallParams(), 5).ValueOrDie();
+  counter.IncrementMany(1u << 14);
+  const double before = counter.Estimate();
+  const uint32_t t_before = counter.t();
+  // Feed until the next fold and check the estimate is continuous across it
+  // (V = Y 2^t is preserved by construction).
+  while (counter.t() == t_before) counter.Increment();
+  EXPECT_NEAR(counter.Estimate(), before, before * 0.1 + 64);
+}
+
+// Unbiasedness: V - N is a martingale, so E[estimate] == N exactly.
+TEST(SamplingTest, EstimatorIsUnbiased) {
+  const uint64_t n = 5000;
+  const int trials = 50000;
+  stats::StreamingSummary summary;
+  Rng seeder(9001);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = SamplingCounter::Make(SmallParams(), seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    summary.Add(counter.Estimate());
+  }
+  const double se = summary.stddev() / std::sqrt(static_cast<double>(trials));
+  EXPECT_NEAR(summary.mean(), static_cast<double>(n), 6 * se);
+}
+
+// The exact DP is the ground truth: the simulated histogram of (y, t) must
+// match it (chi-square against exact probabilities).
+TEST(SamplingTest, MatchesExactDistribution) {
+  SamplingCounterParams params = SmallParams(16, 8);
+  const uint64_t n = 300;
+  const int trials = 30000;
+
+  auto dp = sim::SamplingExactDistribution::Make(params).ValueOrDie();
+  dp.Step(n);
+
+  // Histogram simulated states; index = t * budget + y.
+  std::vector<double> observed(params.budget * (params.t_cap + 1), 0.0);
+  Rng seeder(555);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    observed[counter.t() * params.budget + counter.y()] += 1;
+  }
+  std::vector<double> expected(observed.size(), 0.0);
+  for (uint32_t t = 0; t <= params.t_cap; ++t) {
+    for (uint64_t y = 0; y < params.budget; ++y) {
+      expected[t * params.budget + y] = dp.Pmf(y, t) * trials;
+    }
+  }
+  auto result = stats::ChiSquareGoodnessOfFit(observed, expected).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic
+                                  << " dof=" << result.dof;
+}
+
+TEST(SamplingTest, PathEquivalenceSingleVsBatch) {
+  SamplingCounterParams params = SmallParams(32, 12);
+  const uint64_t n = 2000;
+  const int trials = 15000;
+  std::vector<uint64_t> hist_single(params.budget, 0), hist_batch(params.budget, 0);
+  Rng seeder(31);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto slow = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    for (uint64_t i = 0; i < n; ++i) slow.Increment();
+    ++hist_single[slow.y()];
+    auto fast = SamplingCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    fast.IncrementMany(n);
+    ++hist_batch[fast.y()];
+  }
+  auto result = stats::ChiSquareTwoSample(hist_single, hist_batch).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(SamplingTest, SaturationHoldsAtCap) {
+  SamplingCounterParams params = SmallParams(4, 2);  // capacity ~ 4 * 2^2
+  auto counter = SamplingCounter::Make(params, 3).ValueOrDie();
+  counter.IncrementMany(10000);
+  EXPECT_TRUE(counter.saturated());
+  EXPECT_EQ(counter.y(), params.budget - 1);
+  EXPECT_EQ(counter.t(), params.t_cap);
+}
+
+TEST(SamplingTest, StateBitsBreakdown) {
+  auto counter = SamplingCounter::Make(SmallParams(8192, 15), 3).ValueOrDie();
+  EXPECT_EQ(counter.StateBits(), 13 + 4);  // the Figure-1 "17 bits"
+}
+
+TEST(SamplingTest, SerializeRoundTrip) {
+  auto counter = SamplingCounter::Make(SmallParams(), 3).ValueOrDie();
+  counter.IncrementMany(123456);
+  BitWriter writer;
+  ASSERT_TRUE(counter.SerializeState(&writer).ok());
+  EXPECT_EQ(static_cast<int>(writer.bit_count()), counter.StateBits());
+  auto other = SamplingCounter::Make(SmallParams(), 77).ValueOrDie();
+  BitReader reader(writer.bytes().data(), writer.bit_count());
+  ASSERT_TRUE(other.DeserializeState(&reader).ok());
+  EXPECT_EQ(other.y(), counter.y());
+  EXPECT_EQ(other.t(), counter.t());
+  EXPECT_DOUBLE_EQ(other.Estimate(), counter.Estimate());
+}
+
+TEST(SamplingTest, DeserializeRejectsOutOfRange) {
+  // t_cap = 5 occupies 3 bits, so the field can encode the out-of-range
+  // value 7 (> t_cap) — deserialization must reject it.
+  SamplingCounterParams params = SmallParams(64, 5);
+  auto counter = SamplingCounter::Make(params, 3).ValueOrDie();
+  BitWriter writer;
+  writer.WriteBits(10, params.YBits());
+  writer.WriteBits(7, params.TBits());
+  BitReader reader(writer.bytes().data(), writer.bit_count());
+  EXPECT_TRUE(counter.DeserializeState(&reader).IsInvalidArgument());
+}
+
+TEST(SamplingTest, ResetClearsState) {
+  auto counter = SamplingCounter::Make(SmallParams(), 3).ValueOrDie();
+  counter.IncrementMany(100000);
+  counter.Reset();
+  EXPECT_EQ(counter.y(), 0u);
+  EXPECT_EQ(counter.t(), 0u);
+  EXPECT_FALSE(counter.saturated());
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace countlib

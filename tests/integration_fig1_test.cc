@@ -1,0 +1,76 @@
+// A miniature of the paper's Figure-1 experiment (§4), run at reduced
+// trial count as an integration test: Morris and the simplified
+// Nelson-Yu (sampling counter), both squeezed into 17 bits of state,
+// N ~ Uniform[500000, 999999]. The paper's finding — "the two algorithms'
+// empirical performances are nearly identical" — becomes assertions on
+// the two error ECDFs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/counter_factory.h"
+#include "stats/ecdf.h"
+#include "stats/error_metrics.h"
+#include "stream/stream_runner.h"
+#include "stream/workload.h"
+
+namespace countlib {
+namespace {
+
+constexpr int kStateBits = 17;
+constexpr uint64_t kLo = 500000;
+constexpr uint64_t kHi = 999999;
+constexpr uint64_t kTrials = 600;  // the bench runs the full 5000
+
+stream::TrialReport RunFig1Arm(CounterKind kind, uint64_t seed) {
+  stream::CounterFactory factory = [kind, seed](uint64_t trial) {
+    return MakeCounterForBits(kind, kStateBits, kHi,
+                              seed + 0x9E3779B97F4A7C15ull * trial);
+  };
+  auto workload = stream::UniformCountWorkload::Make(kLo, kHi).ValueOrDie();
+  stream::CountSampler sampler = [workload, seed](uint64_t trial) {
+    Rng rng(seed ^ (trial * 0xD1B54A32D192ED03ull + 1));
+    return workload.Sample(&rng);
+  };
+  return stream::RunTrials(factory, sampler, kTrials).ValueOrDie();
+}
+
+TEST(Fig1IntegrationTest, BothAlgorithmsFitIn17Bits) {
+  for (CounterKind kind : {CounterKind::kMorris, CounterKind::kSampling}) {
+    auto probe = MakeCounterForBits(kind, kStateBits, kHi, 1).ValueOrDie();
+    EXPECT_LE(probe->StateBits(), kStateBits) << CounterKindToString(kind);
+  }
+}
+
+TEST(Fig1IntegrationTest, ErrorsAreSmallAndComparable) {
+  auto morris = RunFig1Arm(CounterKind::kMorris, 1);
+  auto sampling = RunFig1Arm(CounterKind::kSampling, 2);
+
+  auto morris_ecdf = stats::Ecdf::Make(morris.relative_errors).ValueOrDie();
+  auto sampling_ecdf = stats::Ecdf::Make(sampling.relative_errors).ValueOrDie();
+
+  // The paper observed max relative error ~2.37% over 5000 trials. Allow
+  // headroom at our smaller trial count and slightly different constants.
+  EXPECT_LT(morris_ecdf.Max(), 0.10);
+  EXPECT_LT(sampling_ecdf.Max(), 0.10);
+
+  // "Nearly identical" CDFs: medians within 3x of each other and KS
+  // distance below 0.35 (the two algorithms differ by design in constants;
+  // the claim is about the overall shape).
+  const double m_median = morris_ecdf.Quantile(0.5);
+  const double s_median = sampling_ecdf.Quantile(0.5);
+  EXPECT_LT(m_median / s_median, 3.0);
+  EXPECT_LT(s_median / m_median, 3.0);
+  EXPECT_LT(morris_ecdf.KsDistance(sampling_ecdf), 0.35);
+}
+
+TEST(Fig1IntegrationTest, StateNeverExceedsBudgetDuringRuns) {
+  auto morris = RunFig1Arm(CounterKind::kMorris, 3);
+  auto sampling = RunFig1Arm(CounterKind::kSampling, 4);
+  EXPECT_LE(morris.state_bits.max(), kStateBits);
+  EXPECT_LE(sampling.state_bits.max(), kStateBits);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,89 @@
+// Tests for the Remark-2.2 Bernoulli(2^-t) coin-ANDing sampler.
+
+#include "random/bernoulli.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+TEST(BitBernoulliTest, TZeroAlwaysAccepts) {
+  Rng rng(1);
+  BitBernoulli coin(&rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(coin.SampleInversePowerOfTwo(0).ValueOrDie());
+  }
+  EXPECT_EQ(coin.bits_consumed(), 0u);  // t = 0 needs no entropy
+}
+
+TEST(BitBernoulliTest, RejectsTAbove63) {
+  Rng rng(1);
+  BitBernoulli coin(&rng);
+  EXPECT_TRUE(coin.SampleInversePowerOfTwo(64).status().IsInvalidArgument());
+}
+
+TEST(BitBernoulliTest, FrequencyMatchesRate) {
+  Rng rng(7);
+  BitBernoulli coin(&rng);
+  for (uint32_t t : {1u, 2u, 4u, 6u}) {
+    const int n = 1 << (t + 14);  // keep expected hits ~2^14
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      hits += coin.SampleInversePowerOfTwo(t).ValueOrDie() ? 1 : 0;
+    }
+    const double expected = std::ldexp(n, -static_cast<int>(t));
+    // 5 sigma band on Binomial(n, 2^-t).
+    const double sigma = std::sqrt(expected * (1 - std::ldexp(1.0, -(int)t)));
+    EXPECT_NEAR(hits, expected, 5 * sigma) << "t=" << t;
+  }
+}
+
+TEST(BitBernoulliTest, EntropyLedgerCountsTBitsPerDraw) {
+  Rng rng(9);
+  BitBernoulli coin(&rng);
+  ASSERT_TRUE(coin.SampleInversePowerOfTwo(5).ok());
+  ASSERT_TRUE(coin.SampleInversePowerOfTwo(7).ok());
+  EXPECT_EQ(coin.bits_consumed(), 12u);
+  coin.ResetLedger();
+  EXPECT_EQ(coin.bits_consumed(), 0u);
+}
+
+TEST(BitBernoulliTest, DyadicFrequency) {
+  Rng rng(11);
+  BitBernoulli coin(&rng);
+  // p = 3/8.
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    hits += coin.SampleDyadic(3, 3).ValueOrDie() ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 3.0 / 8.0, 0.005);
+}
+
+TEST(BitBernoulliTest, DyadicEdgeCases) {
+  Rng rng(13);
+  BitBernoulli coin(&rng);
+  // numerator == 2^t: always true. numerator == 0: always false.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(coin.SampleDyadic(8, 3).ValueOrDie());
+    EXPECT_FALSE(coin.SampleDyadic(0, 3).ValueOrDie());
+  }
+  EXPECT_TRUE(coin.SampleDyadic(9, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(coin.SampleDyadic(1, 64).status().IsInvalidArgument());
+}
+
+TEST(BernoulliScratchBitsTest, MatchesRemark22Formula) {
+  EXPECT_EQ(BernoulliScratchBits(0), 0);
+  // 1 bit for the AND + ceil(log2(t+1)) for the flip counter.
+  EXPECT_EQ(BernoulliScratchBits(1), 2);
+  EXPECT_EQ(BernoulliScratchBits(3), 3);
+  EXPECT_EQ(BernoulliScratchBits(4), 1 + 3);
+  EXPECT_EQ(BernoulliScratchBits(63), 7);
+}
+
+}  // namespace
+}  // namespace countlib

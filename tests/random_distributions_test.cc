@@ -1,0 +1,99 @@
+// Tests for the workload distributions (Zipf, alias table, Poisson).
+
+#include "random/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace countlib {
+namespace {
+
+TEST(ZipfTest, ValidationRejectsBadArguments) {
+  EXPECT_FALSE(ZipfDistribution::Make(0, 1.0).ok());
+  EXPECT_FALSE(ZipfDistribution::Make(10, -1.0).ok());
+  EXPECT_FALSE(ZipfDistribution::Make(10, std::nan("")).ok());
+}
+
+TEST(ZipfTest, PmfSumsToOneAndIsMonotone) {
+  auto zipf = ZipfDistribution::Make(100, 1.1).ValueOrDie();
+  double total = 0;
+  for (uint64_t k = 0; k < 100; ++k) {
+    total += zipf.Pmf(k);
+    if (k > 0) {
+      EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-15);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  auto zipf = ZipfDistribution::Make(8, 0.0).ValueOrDie();
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.125, 1e-12);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  auto zipf = ZipfDistribution::Make(16, 1.0).ValueOrDie();
+  Rng rng(101);
+  const int n = 200000;
+  std::vector<double> hist(16, 0);
+  for (int i = 0; i < n; ++i) ++hist[zipf.Sample(&rng)];
+  for (uint64_t k = 0; k < 16; ++k) {
+    const double expected = zipf.Pmf(k) * n;
+    EXPECT_NEAR(hist[k], expected, 6 * std::sqrt(expected) + 1) << "k=" << k;
+  }
+}
+
+TEST(AliasTableTest, ValidationRejectsBadWeights) {
+  EXPECT_FALSE(AliasTable::Make({}).ok());
+  EXPECT_FALSE(AliasTable::Make({1.0, -0.5}).ok());
+  EXPECT_FALSE(AliasTable::Make({0.0, 0.0}).ok());
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> weights = {1, 2, 3, 4};
+  auto table = AliasTable::Make(weights).ValueOrDie();
+  Rng rng(103);
+  const int n = 200000;
+  std::vector<double> hist(4, 0);
+  for (int i = 0; i < n; ++i) ++hist[table.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    const double expected = weights[k] / 10.0 * n;
+    EXPECT_NEAR(hist[k], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(AliasTableTest, DegenerateSingleton) {
+  auto table = AliasTable::Make({42.0}).ValueOrDie();
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(PoissonTest, ZeroLambda) {
+  Rng rng(107);
+  EXPECT_EQ(SamplePoisson(&rng, 0.0), 0u);
+}
+
+TEST(PoissonTest, MeanAndVariance) {
+  Rng rng(109);
+  for (double lambda : {0.5, 4.0, 60.0, 1200.0}) {
+    const int n = 50000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+      const double x = static_cast<double>(SamplePoisson(&rng, lambda));
+      sum += x;
+      sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    const double se = std::sqrt(lambda / n);
+    EXPECT_NEAR(mean, lambda, 6 * se + 0.01) << "lambda=" << lambda;
+    EXPECT_NEAR(var, lambda, 0.1 * lambda + 0.1) << "lambda=" << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,106 @@
+// Distributional tests for geometric sampling and binomial skipping — the
+// exactness of the fast-forward path rests on these.
+
+#include "random/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+TEST(GeometricTest, PIsOneAlwaysReturnsOne) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleGeometric(&rng, 1.0), 1u);
+  }
+}
+
+TEST(GeometricTest, SupportStartsAtOne) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(SampleGeometric(&rng, 0.7), 1u);
+  }
+}
+
+TEST(GeometricTest, MeanMatchesOneOverP) {
+  Rng rng(7);
+  for (double p : {0.5, 0.1, 0.01}) {
+    const int n = 200000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(SampleGeometric(&rng, p));
+    const double mean = sum / n;
+    // sd of the sample mean ~ sqrt((1-p)/p^2 / n).
+    const double tol = 6.0 * std::sqrt((1 - p) / (p * p) / n);
+    EXPECT_NEAR(mean, 1.0 / p, tol) << "p=" << p;
+  }
+}
+
+TEST(GeometricTest, PmfMatchesChiSquare) {
+  // Histogram the first few outcomes for p = 0.3 and compare to the exact
+  // pmf with a generous chi-square threshold.
+  Rng rng(11);
+  const double p = 0.3;
+  const int n = 300000;
+  const size_t k_max = 20;
+  std::vector<double> observed(k_max + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t z = SampleGeometric(&rng, p);
+    observed[std::min<uint64_t>(z, k_max)] += 1;
+  }
+  double chi2 = 0;
+  double tail = static_cast<double>(n);
+  for (size_t k = 1; k < k_max; ++k) {
+    const double pk = std::pow(1 - p, static_cast<double>(k - 1)) * p;
+    const double expected = n * pk;
+    chi2 += (observed[k] - expected) * (observed[k] - expected) / expected;
+    tail -= expected;
+  }
+  chi2 += (observed[k_max] - tail) * (observed[k_max] - tail) / tail;
+  // ~20 dof; P(chi2 > 45) < 0.001.
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(GeometricTest, TinyPDoesNotOverflowOrZero) {
+  Rng rng(13);
+  const uint64_t z = SampleGeometric(&rng, 1e-12);
+  EXPECT_GE(z, 1u);
+}
+
+TEST(BinomialSkipTest, EdgeCases) {
+  Rng rng(17);
+  EXPECT_EQ(SampleBinomialBySkipping(&rng, 0, 0.5), 0u);
+  EXPECT_EQ(SampleBinomialBySkipping(&rng, 100, 0.0), 0u);
+  EXPECT_EQ(SampleBinomialBySkipping(&rng, 100, 1.0), 100u);
+}
+
+TEST(BinomialSkipTest, MeanAndVarianceMatchBinomial) {
+  Rng rng(19);
+  const uint64_t n = 2000;
+  const double p = 0.05;
+  const int trials = 30000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < trials; ++i) {
+    const double s = static_cast<double>(SampleBinomialBySkipping(&rng, n, p));
+    sum += s;
+    sum2 += s * s;
+  }
+  const double mean = sum / trials;
+  const double var = sum2 / trials - mean * mean;
+  EXPECT_NEAR(mean, n * p, 0.8);        // se ~ 0.056
+  EXPECT_NEAR(var, n * p * (1 - p), 6.0);  // ~6% rel tolerance
+}
+
+TEST(BinomialSkipTest, NeverExceedsN) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(SampleBinomialBySkipping(&rng, 50, 0.9), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace countlib

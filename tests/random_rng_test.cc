@@ -1,0 +1,135 @@
+// Statistical sanity tests for the PRNG engines and Rng samplers.
+
+#include "random/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace countlib {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndNondegenerate) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t v = a.Next();
+    EXPECT_EQ(v, b.Next());
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);  // no short cycles
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference values for seed 1234567 (from the public-domain reference
+  // implementation).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.Next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.Next(), 3203168211198807973ull);
+}
+
+TEST(Xoshiro256Test, SeedsDiffer) {
+  Xoshiro256pp a(1), b(2);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+TEST(Xoshiro256Test, BitBalance) {
+  Xoshiro256pp rng(99);
+  int64_t ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcountll(rng.Next());
+  const double frac = static_cast<double>(ones) / (64.0 * n);
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+TEST(Pcg32Test, DeterministicStreamSeparation) {
+  Pcg32 s1(42, 1), s2(42, 2);
+  bool differ = false;
+  for (int i = 0; i < 16; ++i) {
+    if (s1.Next() != s2.Next()) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.NextDoublePositive();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanAndVariance) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.003);        // se ~ 0.00065
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);  // uniform variance
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.006) << "p=" << p;
+  }
+}
+
+TEST(RngTest, UniformBelowIsUnbiased) {
+  Rng rng(31);
+  const uint64_t bound = 7;
+  std::vector<int> histogram(bound, 0);
+  const int n = 140000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.UniformBelow(bound)];
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(histogram[k] * bound / static_cast<double>(n), 1.0, 0.05)
+        << "bucket " << k;
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(37);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);
+}
+
+}  // namespace
+}  // namespace countlib

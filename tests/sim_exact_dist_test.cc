@@ -1,0 +1,172 @@
+// Tests for the exact-distribution engines: classical identities of the
+// Morris chain ([Fla85]) and agreement between DP, theory, and Monte Carlo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/morris.h"
+#include "sim/morris_exact_dist.h"
+#include "sim/sampling_exact_dist.h"
+#include "stats/hypothesis.h"
+
+namespace countlib {
+namespace {
+
+TEST(MorrisExactTest, ValidationRejectsBadArgs) {
+  EXPECT_FALSE(sim::MorrisExactDistribution::Make(0.0, 10).ok());
+  EXPECT_FALSE(sim::MorrisExactDistribution::Make(1.0, 0).ok());
+}
+
+TEST(MorrisExactTest, FirstStepsAreDeterministicThenBranch) {
+  auto dist = sim::MorrisExactDistribution::Make(1.0, 32).ValueOrDie();
+  EXPECT_DOUBLE_EQ(dist.Pmf(0), 1.0);
+  dist.Step();
+  // p_0 = 1: X = 1 with certainty after one increment.
+  EXPECT_DOUBLE_EQ(dist.Pmf(1), 1.0);
+  dist.Step();
+  // Second increment: X = 2 w.p. 1/2, stays 1 w.p. 1/2.
+  EXPECT_DOUBLE_EQ(dist.Pmf(1), 0.5);
+  EXPECT_DOUBLE_EQ(dist.Pmf(2), 0.5);
+}
+
+TEST(MorrisExactTest, PmfSumsToOne) {
+  auto dist = sim::MorrisExactDistribution::Make(0.5, 64).ValueOrDie();
+  dist.Step(1000);
+  double total = 0;
+  for (double p : dist.pmf()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// The unbiasedness identity E[((1+a)^X - 1)/a] = n, exactly, for all n —
+// the cleanest possible correctness check of the chain.
+TEST(MorrisExactTest, EstimatorMeanEqualsNExactly) {
+  for (double a : {1.0, 0.3, 0.05}) {
+    auto dist = sim::MorrisExactDistribution::Make(a, 256).ValueOrDie();
+    for (uint64_t n = 1; n <= 2000; ++n) {
+      dist.Step();
+      if (n % 500 == 0 || n < 5) {
+        ASSERT_NEAR(dist.EstimatorMean(), static_cast<double>(n), 1e-6 * n + 1e-9)
+            << "a=" << a << " n=" << n;
+      }
+    }
+  }
+}
+
+// Var = a n(n-1)/2, exactly (§1.2).
+TEST(MorrisExactTest, EstimatorVarianceMatchesFormulaExactly) {
+  const double a = 0.25;
+  auto dist = sim::MorrisExactDistribution::Make(a, 256).ValueOrDie();
+  dist.Step(1500);
+  const double n = 1500;
+  EXPECT_NEAR(dist.EstimatorVariance(), a * n * (n - 1) / 2.0,
+              1e-6 * a * n * n);
+}
+
+// [Fla85] Proposition 3's qualitative content: for a = 1 the failure
+// probability at constant relative error does not vanish as n grows.
+TEST(MorrisExactTest, A1FailureProbabilityIsConstantInN) {
+  auto dist = sim::MorrisExactDistribution::Make(1.0, 64).ValueOrDie();
+  dist.Step(1u << 10);
+  const double fail_1k = dist.FailureProbability(0.5);
+  dist.Step((1u << 14) - (1u << 10));
+  const double fail_16k = dist.FailureProbability(0.5);
+  EXPECT_GT(fail_1k, 0.05);
+  EXPECT_GT(fail_16k, 0.05);
+  EXPECT_NEAR(fail_1k, fail_16k, 0.1);  // roughly n-independent
+}
+
+// Smaller a drives the failure probability down (the Theorem 1.2 knob).
+// Note the comparison must be made at an n that falls *between* the a = 1
+// estimator's lattice points (..., 4095, 8191, ...): at lattice-adjacent n
+// the coarse counter can be luckily accurate.
+TEST(MorrisExactTest, SmallerAIsMoreReliable) {
+  const uint64_t n = 6000;  // both 4095 and 8191 err by > 20% here
+  auto coarse = sim::MorrisExactDistribution::Make(1.0, 64).ValueOrDie();
+  auto fine = sim::MorrisExactDistribution::Make(0.01, 2048).ValueOrDie();
+  coarse.Step(n);
+  fine.Step(n);
+  EXPECT_GT(coarse.FailureProbability(0.2), 0.5);
+  EXPECT_LT(fine.FailureProbability(0.2), 0.05);
+}
+
+TEST(MorrisExactTest, SpaceTailDropsDoublyExponentially) {
+  auto dist = sim::MorrisExactDistribution::Make(1.0, 128).ValueOrDie();
+  dist.Step(1u << 16);
+  // X concentrates near log2(n) = 16 -> 5 bits; the tail above 6 bits is
+  // already tiny, and above 7 bits it is essentially zero.
+  const double tail5 = dist.SpaceTail(5);
+  const double tail6 = dist.SpaceTail(6);
+  EXPECT_LT(tail6, 1e-8);
+  EXPECT_LT(tail6, tail5);
+}
+
+TEST(MorrisExactTest, AgreesWithMonteCarlo) {
+  const double a = 0.5;
+  const uint64_t n = 400;
+  auto dp = sim::MorrisExactDistribution::Make(a, 64).ValueOrDie();
+  dp.Step(n);
+  MorrisParams params;
+  params.a = a;
+  params.x_cap = 64;
+  const int trials = 30000;
+  std::vector<double> observed(65, 0.0), expected(65, 0.0);
+  Rng seeder(77);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = MorrisCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    observed[counter.x()] += 1;
+  }
+  for (uint64_t x = 0; x <= 64; ++x) expected[x] = dp.Pmf(x) * trials;
+  auto result = stats::ChiSquareGoodnessOfFit(observed, expected).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4) << "chi2=" << result.statistic;
+}
+
+TEST(SamplingExactTest, ValidationCatchesHugeStateSpaces) {
+  SamplingCounterParams p;
+  p.budget = 1u << 20;
+  p.t_cap = 40;
+  EXPECT_FALSE(sim::SamplingExactDistribution::Make(p).ok());
+}
+
+TEST(SamplingExactTest, MassConservedAndMeanExact) {
+  SamplingCounterParams p;
+  p.budget = 16;
+  p.t_cap = 10;
+  auto dist = sim::SamplingExactDistribution::Make(p).ValueOrDie();
+  dist.Step(2000);
+  double total = 0;
+  for (uint32_t t = 0; t <= p.t_cap; ++t) {
+    for (uint64_t y = 0; y < p.budget; ++y) total += dist.Pmf(y, t);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Martingale: E[Y 2^t] = n exactly.
+  EXPECT_NEAR(dist.EstimatorMean(), 2000.0, 1e-6 * 2000);
+}
+
+TEST(SamplingExactTest, DeterministicPrefixIsExact) {
+  SamplingCounterParams p;
+  p.budget = 16;
+  p.t_cap = 4;
+  auto dist = sim::SamplingExactDistribution::Make(p).ValueOrDie();
+  dist.Step(10);  // below the budget: all mass at (10, 0)
+  EXPECT_DOUBLE_EQ(dist.Pmf(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.FailureProbability(0.01), 0.0);
+}
+
+TEST(SamplingExactTest, FailureProbabilityDecreasesWithBudget) {
+  SamplingCounterParams small;
+  small.budget = 8;
+  small.t_cap = 12;
+  SamplingCounterParams large;
+  large.budget = 128;
+  large.t_cap = 12;
+  auto d_small = sim::SamplingExactDistribution::Make(small).ValueOrDie();
+  auto d_large = sim::SamplingExactDistribution::Make(large).ValueOrDie();
+  d_small.Step(3000);
+  d_large.Step(3000);
+  EXPECT_LT(d_large.FailureProbability(0.3), d_small.FailureProbability(0.3));
+}
+
+}  // namespace
+}  // namespace countlib

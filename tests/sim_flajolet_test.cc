@@ -1,0 +1,85 @@
+// Tests for the [Fla85]-derived quantities (Proposition 3 behavior, level
+// moments) — the §1.1 justification for why Morris(1) cannot achieve high
+// success probability.
+
+#include "sim/flajolet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace countlib {
+namespace {
+
+TEST(FlajoletTest, ValidationRejectsBadArgs) {
+  EXPECT_FALSE(sim::ComputeMorrisLevelMoments(1.0, 0).ok());
+  EXPECT_FALSE(sim::MorrisLevelEscapeProbability(1.0, 0, 1.0).ok());
+  EXPECT_FALSE(sim::MorrisLevelEscapeProbability(1.0, 100, -1.0).ok());
+  EXPECT_FALSE(sim::Proposition3Series(1.0, 0, 5).ok());
+  EXPECT_FALSE(sim::Proposition3Series(1.0, 8, 4).ok());
+}
+
+TEST(FlajoletTest, LevelMeanTracksCenter) {
+  // For a = 1, E[X_n] ~ log2 n + constant (~0.27 by Flajolet's analysis);
+  // check the mean stays within 1 of the center across scales.
+  for (int k : {8, 12, 16}) {
+    auto m = sim::ComputeMorrisLevelMoments(1.0, uint64_t{1} << k).ValueOrDie();
+    EXPECT_NEAR(m.mean_x, m.center, 1.0) << "k=" << k;
+  }
+}
+
+TEST(FlajoletTest, LevelVarianceIsOrderOneForA1) {
+  // [Fla85]: Var[X_n] converges to a constant ~0.76 (plus tiny periodic
+  // fluctuations) for a = 1. Assert it is Theta(1) and stable across n.
+  auto v1 = sim::ComputeMorrisLevelMoments(1.0, 1u << 10).ValueOrDie();
+  auto v2 = sim::ComputeMorrisLevelMoments(1.0, 1u << 16).ValueOrDie();
+  EXPECT_GT(v1.var_x, 0.3);
+  EXPECT_LT(v1.var_x, 1.5);
+  EXPECT_NEAR(v1.var_x, v2.var_x, 0.2);
+}
+
+// Proposition 3, the §1.1 load-bearing fact: the escape probability for
+// a = 1 converges to a positive constant — it is NOT o(1) in n.
+TEST(FlajoletTest, Prop3EscapeProbabilityIsConstantInN) {
+  auto rows = sim::Proposition3Series(/*c=*/1.0, /*k_lo=*/8, /*k_hi=*/18)
+                  .ValueOrDie();
+  ASSERT_EQ(rows.size(), 11u);
+  double min_escape = 1.0, max_escape = 0.0;
+  for (const auto& row : rows) {
+    min_escape = std::min(min_escape, row.escape_prob);
+    max_escape = std::max(max_escape, row.escape_prob);
+  }
+  // Bounded away from zero at every n, and not drifting to zero.
+  EXPECT_GT(min_escape, 0.05);
+  EXPECT_LT(max_escape, 0.9);
+  EXPECT_GT(rows.back().escape_prob, 0.5 * rows.front().escape_prob);
+}
+
+TEST(FlajoletTest, WiderBandEscapesLess) {
+  const uint64_t n = 1u << 14;
+  const double narrow =
+      sim::MorrisLevelEscapeProbability(1.0, n, 0.5).ValueOrDie();
+  const double wide = sim::MorrisLevelEscapeProbability(1.0, n, 3.0).ValueOrDie();
+  EXPECT_LT(wide, narrow);
+  EXPECT_LT(wide, 0.05);
+}
+
+TEST(FlajoletTest, SmallBaseEscapesVanish) {
+  // Compare escape probabilities from a band worth ±10% of *relative
+  // error* (band-in-levels = 0.1 / ln(1+a)). The estimator's relative
+  // stddev is sqrt(a/2), so at a = 4e-3 the band is ~2.2 sigma (escape a
+  // few percent) while at a = 1 it is ~0.14 *levels* — hopeless. This is
+  // the quantitative content of §1.1's "change the base" discussion.
+  const uint64_t n = 1u << 14;
+  const double a = 4e-3;  // n >> 8/a = 2000, so the §2.2 regime applies
+  const double escape_small_a =
+      sim::MorrisLevelEscapeProbability(a, n, 0.1 / std::log1p(a)).ValueOrDie();
+  const double escape_a1 =
+      sim::MorrisLevelEscapeProbability(1.0, n, 0.1 / std::log(2.0))
+          .ValueOrDie();
+  EXPECT_LT(escape_small_a, 0.05);
+  EXPECT_GT(escape_a1, 0.5);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,150 @@
+// Ground-truth validation of Algorithm 1: the exact forward-DP law of
+// (X, Y) must agree with the production NelsonYuCounter's Monte-Carlo
+// behavior, and the exact failure probabilities must verify Theorem 2.1
+// without sampling noise.
+
+#include "sim/nelson_yu_exact_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/hypothesis.h"
+#include "util/math.h"
+
+namespace countlib {
+namespace {
+
+NelsonYuParams SmallParams() {
+  NelsonYuParams p;
+  p.epsilon = 0.5;
+  p.delta_log2 = 4;
+  p.c = 4.0;
+  p.x_cap = 512;
+  p.y_cap = uint64_t{1} << 24;
+  p.t_cap = 40;
+  return p;
+}
+
+// Levels far above what n can reach have exploding thresholds once t hits
+// t_cap (T keeps growing, alpha cannot shrink further), so the DP is built
+// with an explicit x_limit covering the reachable range plus slack.
+sim::NelsonYuExactDistribution MakeDist(uint64_t extra_levels = 30) {
+  NelsonYuParams p = SmallParams();
+  NelsonYuCounter probe = NelsonYuCounter::Make(p, 1).ValueOrDie();
+  return sim::NelsonYuExactDistribution::Make(p, probe.X0() + extra_levels)
+      .ValueOrDie();
+}
+
+TEST(NelsonYuExactTest, ValidationRejectsBadLimits) {
+  NelsonYuParams p = SmallParams();
+  NelsonYuCounter probe = NelsonYuCounter::Make(p, 1).ValueOrDie();
+  EXPECT_FALSE(sim::NelsonYuExactDistribution::Make(p, probe.X0()).ok());
+  EXPECT_FALSE(sim::NelsonYuExactDistribution::Make(p, p.x_cap + 1).ok());
+}
+
+TEST(NelsonYuExactTest, MassConservation) {
+  auto dist = MakeDist();
+  dist.Step(5000);
+  double total = dist.AbsorbedMass();
+  for (uint64_t x = dist.x0(); x <= dist.x_limit(); ++x) {
+    total += dist.LevelPmf(x);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LT(dist.AbsorbedMass(), 1e-12);  // x_cap provisioning is generous
+}
+
+TEST(NelsonYuExactTest, EpochZeroIsDeterministic) {
+  auto dist = MakeDist();
+  // During epoch 0 the state is exactly (X0, n).
+  for (uint64_t n = 1; n <= 20; ++n) {
+    dist.Step();
+    ASSERT_DOUBLE_EQ(dist.Pmf(dist.x0(), n), 1.0) << "n=" << n;
+    ASSERT_DOUBLE_EQ(dist.EstimatorMean(), static_cast<double>(n));
+  }
+}
+
+TEST(NelsonYuExactTest, ExactFailureVerifiesTheorem21) {
+  // Exact P(|N-hat - n| > eps n): with the internal ε = 0.5 the theorem's
+  // conditioned error is ~1.5ε; check the exact failure probability at
+  // 2ε relative error stays below the (generous) union-bound budget.
+  auto dist = MakeDist();
+  const uint64_t checkpoints[] = {100, 1000, 20000};
+  uint64_t done = 0;
+  for (uint64_t n : checkpoints) {
+    dist.Step(n - done);
+    done = n;
+    const double failure = dist.FailureProbability(2.0 * 0.5);
+    ASSERT_LT(failure, 0.2) << "n=" << n;  // δ_internal = 2^-4 plus slack
+  }
+}
+
+TEST(NelsonYuExactTest, EstimatorMeanTracksN) {
+  // The query output is quantized to the (1+ε) grid, so it is not
+  // unbiased; but its mean must stay within ~1.5ε of n past epoch 0.
+  auto dist = MakeDist();
+  dist.Step(5000);
+  EXPECT_NEAR(dist.EstimatorMean(), 5000.0, 0.8 * 5000.0 * 0.5 * 1.5 + 1);
+}
+
+TEST(NelsonYuExactTest, AgreesWithProductionCounterMonteCarlo) {
+  // The strongest implementation check in the suite: histogram the
+  // production counter's joint (X, Y) over many trials and chi-square it
+  // against the exact DP probabilities.
+  NelsonYuParams params = SmallParams();
+  const uint64_t n = 3000;
+  auto dp = MakeDist();
+  dp.Step(n);
+
+  const int trials = 30000;
+  // Bin by level and coarse Y-offset within the level (8 bins per level).
+  constexpr int kYBins = 8;
+  const uint64_t x0 = dp.x0();
+  const size_t levels = 24;
+  std::vector<double> observed(levels * kYBins, 0.0);
+  std::vector<double> expected(levels * kYBins, 0.0);
+
+  Rng seeder(314159);
+  for (int tr = 0; tr < trials; ++tr) {
+    auto counter = NelsonYuCounter::Make(params, seeder.NextU64()).ValueOrDie();
+    counter.IncrementMany(n);
+    const uint64_t k = std::min<uint64_t>(counter.x() - x0, levels - 1);
+    const auto sched = counter.ScheduleAt(counter.x());
+    const uint64_t y_start = counter.YStartAt(counter.x());
+    const uint64_t width = sched.threshold - y_start + 1;
+    const uint64_t bin =
+        std::min<uint64_t>((counter.y() - y_start) * kYBins / width, kYBins - 1);
+    observed[k * kYBins + bin] += 1;
+  }
+  for (uint64_t x = x0; x < x0 + levels && x <= dp.x_limit(); ++x) {
+    const auto& level = dp.levels()[x - x0];
+    const uint64_t width = level.threshold - level.y_start + 1;
+    for (uint64_t y = level.y_start; y <= level.threshold; ++y) {
+      const uint64_t bin =
+          std::min<uint64_t>((y - level.y_start) * kYBins / width, kYBins - 1);
+      expected[(x - x0) * kYBins + bin] += dp.Pmf(x, y) * trials;
+    }
+  }
+  auto result = stats::ChiSquareGoodnessOfFit(observed, expected).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4)
+      << "chi2=" << result.statistic << " dof=" << result.dof;
+}
+
+TEST(NelsonYuExactTest, LevelMarginalConcentratesGeometrically) {
+  auto dist = MakeDist();
+  dist.Step(50000);
+  // Find the modal level, then check the marginal decays on both sides.
+  uint64_t mode = dist.x0();
+  double best = 0;
+  for (uint64_t x = dist.x0(); x <= dist.x_limit(); ++x) {
+    if (dist.LevelPmf(x) > best) {
+      best = dist.LevelPmf(x);
+      mode = x;
+    }
+  }
+  EXPECT_GT(best, 0.2);
+  EXPECT_LT(dist.LevelPmf(mode + 3) + dist.LevelPmf(mode - 3), best / 2);
+}
+
+}  // namespace
+}  // namespace countlib

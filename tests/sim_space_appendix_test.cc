@@ -1,0 +1,100 @@
+// Tests for the space-distribution harness (Theorem 2.3) and the
+// Appendix-A necessity experiment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/counter_factory.h"
+#include "sim/appendix_a.h"
+#include "sim/space_dist.h"
+#include "stats/bounds.h"
+
+namespace countlib {
+namespace {
+
+TEST(SpaceDistTest, ExactCounterIsDeterministic) {
+  auto factory = [](uint64_t) -> Result<std::unique_ptr<Counter>> {
+    return MakeCounter(CounterKind::kExact, Accuracy{0.1, 0.01, 1u << 20}, 0);
+  };
+  auto dist = sim::MeasureSpaceDistribution(factory, 1000, 50, 1).ValueOrDie();
+  EXPECT_EQ(dist.MaxBits(), 10);  // BitWidth(1000)
+  EXPECT_DOUBLE_EQ(dist.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(dist.Tail(10), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Tail(9), 1.0);
+}
+
+TEST(SpaceDistTest, MorrisSpaceConcentratesNearLogLog) {
+  Accuracy acc{0.1, 0.01, 1u << 24};
+  auto factory = [acc](uint64_t seed) {
+    return MakeCounter(CounterKind::kMorris, acc, seed);
+  };
+  auto dist =
+      sim::MeasureSpaceDistribution(factory, 1u << 20, 400, 99).ValueOrDie();
+  // X ~ ln(n)/a with a ~ 2.36e-4 -> X ~ 59k -> ~16 bits. The tail above
+  // MaxBits+? must vanish and the mean must be far below log2(n) + margin.
+  EXPECT_LE(dist.MaxBits(), 18);
+  EXPECT_GE(dist.Mean(), 10.0);
+  EXPECT_DOUBLE_EQ(dist.Tail(dist.MaxBits()), 0.0);
+}
+
+TEST(SpaceDistTest, TailIsMonotone) {
+  Accuracy acc{0.2, 0.05, 1u << 20};
+  auto factory = [acc](uint64_t seed) {
+    return MakeCounter(CounterKind::kNelsonYu, acc, seed);
+  };
+  auto dist = sim::MeasureSpaceDistribution(factory, 100000, 300, 5).ValueOrDie();
+  for (int b = 1; b < 60; ++b) {
+    EXPECT_GE(dist.Tail(b - 1), dist.Tail(b));
+  }
+}
+
+TEST(BoundsShapeTest, DoublyExponentialTailShape) {
+  // exp(-exp(c(s - s0))): 1 at s <= s0, then collapses violently.
+  EXPECT_DOUBLE_EQ(stats::DoublyExponentialTail(3, 5, 1), 1.0);
+  const double at1 = stats::DoublyExponentialTail(6, 5, 1.0);
+  const double at3 = stats::DoublyExponentialTail(8, 5, 1.0);
+  EXPECT_LT(at3, std::pow(at1, 5));
+}
+
+TEST(AppendixATest, ValidationRejectsBadArgs) {
+  EXPECT_FALSE(sim::RunAppendixAExact(0.3, 0.01, 1.0 / 256).ok());
+  EXPECT_FALSE(sim::RunAppendixAExact(0.1, 0.01, 0.5).ok());
+}
+
+// The headline necessity claim: vanilla Morris(a) at N'_a fails with
+// probability >> δ, while Morris+ is exact there.
+TEST(AppendixATest, VanillaFailsAboveDeltaPlusIsExact) {
+  // δ < ε^{8/3} c² / 16 per the appendix; ε = 0.1, c = 2^-8 needs
+  // δ < 2.6e-8. Use δ = 1e-9.
+  auto result = sim::RunAppendixAExact(0.1, 1e-9, 1.0 / 256).ValueOrDie();
+  EXPECT_GE(result.n, 2u);
+  EXPECT_LE(result.n, result.prefix_limit) << "N'_a must precede the switchover";
+  EXPECT_GT(result.ratio_vs_delta, 10.0)
+      << "vanilla failure " << result.vanilla_failure_exact << " vs delta "
+      << result.delta;
+  EXPECT_DOUBLE_EQ(result.plus_failure_exact, 0.0);
+  // The analytic event bound is a lower bound on the exact failure.
+  EXPECT_GE(result.vanilla_failure_exact,
+            result.analytic_event_prob * 0.999999);
+}
+
+TEST(AppendixATest, FailureRatioGrowsAsDeltaShrinks) {
+  auto mild = sim::RunAppendixAExact(0.1, 1e-6, 1.0 / 256).ValueOrDie();
+  auto harsh = sim::RunAppendixAExact(0.1, 1e-12, 1.0 / 256).ValueOrDie();
+  EXPECT_GT(harsh.ratio_vs_delta, mild.ratio_vs_delta);
+}
+
+TEST(AppendixATest, McCrossCheckInMeasurableRegime) {
+  // With moderate δ the exact failure probability is large enough for MC:
+  // compare the two within sampling error.
+  const double eps = 0.1, delta = 1e-4, c = 1.0 / 256;
+  auto exact = sim::RunAppendixAExact(eps, delta, c).ValueOrDie();
+  auto mc = sim::AppendixAVanillaFailureMc(eps, delta, c, 200000, 11).ValueOrDie();
+  const double se =
+      std::sqrt(exact.vanilla_failure_exact / 200000.0) + 1e-6;
+  EXPECT_NEAR(mc, exact.vanilla_failure_exact, 6 * se);
+}
+
+}  // namespace
+}  // namespace countlib

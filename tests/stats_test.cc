@@ -1,0 +1,200 @@
+// Tests for the statistics toolkit: summaries, ECDF, error metrics,
+// hypothesis tests, and the analytic bound evaluators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/rng.h"
+#include "stats/bounds.h"
+#include "stats/ecdf.h"
+#include "stats/error_metrics.h"
+#include "stats/hypothesis.h"
+#include "stats/summary.h"
+
+namespace countlib {
+namespace {
+
+TEST(StreamingSummaryTest, MatchesClosedForms) {
+  stats::StreamingSummary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingSummaryTest, MergeEqualsConcatenation) {
+  Rng rng(1);
+  stats::StreamingSummary whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(QuantileTest, InterpolatesOrderStatistics) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(stats::Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile({7}, 0.3), 7.0);
+}
+
+TEST(EcdfTest, EvalAndQuantile) {
+  auto ecdf = stats::Ecdf::Make({3, 1, 2, 2}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ecdf.Eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Eval(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.Eval(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.Eval(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 3.0);
+  EXPECT_FALSE(stats::Ecdf::Make({}).ok());
+  EXPECT_FALSE(stats::Ecdf::Make({1.0, std::nan("")}).ok());
+}
+
+TEST(EcdfTest, KsDistanceOfIdenticalSamplesIsZero) {
+  auto a = stats::Ecdf::Make({1, 2, 3, 4, 5}).ValueOrDie();
+  auto b = stats::Ecdf::Make({1, 2, 3, 4, 5}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.KsDistance(b), 0.0);
+  auto shifted = stats::Ecdf::Make({11, 12, 13, 14, 15}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a.KsDistance(shifted), 1.0);
+}
+
+TEST(ErrorMetricsTest, RelativeErrorAndFailureRate) {
+  EXPECT_DOUBLE_EQ(stats::RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(stats::RelativeError(90, 100), 0.1);
+  std::vector<double> errors = {0.01, 0.05, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(stats::FailureRate(errors, 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(stats::FailureRate({}, 0.1), 0.0);
+}
+
+TEST(WilsonTest, IntervalCoversTruthAndShrinks) {
+  auto wide = stats::Wilson(5, 50);
+  auto narrow = stats::Wilson(500, 5000);
+  EXPECT_NEAR(wide.point, 0.1, 1e-12);
+  EXPECT_LT(wide.lo, 0.1);
+  EXPECT_GT(wide.hi, 0.1);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+  // Degenerate corners stay in [0, 1].
+  auto zero = stats::Wilson(0, 100);
+  EXPECT_DOUBLE_EQ(zero.point, 0.0);
+  EXPECT_GE(zero.lo, 0.0);
+  auto all = stats::Wilson(100, 100);
+  EXPECT_LE(all.hi, 1.0);
+}
+
+TEST(WilsonTest, ConsistencyPredicate) {
+  // 3 failures in 1000 with δ = 0.01: clearly consistent.
+  EXPECT_TRUE(stats::FailureRateConsistentWith(3, 1000, 0.01));
+  // 300 failures in 1000 with δ = 0.01: clearly not.
+  EXPECT_FALSE(stats::FailureRateConsistentWith(300, 1000, 0.01));
+}
+
+TEST(ChiSquareGofTest, AcceptsMatchingAndRejectsMismatched) {
+  Rng rng(5);
+  // Sample from a fair 6-sided die.
+  std::vector<double> observed(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++observed[rng.UniformBelow(6)];
+  std::vector<double> fair(6, n / 6.0);
+  auto good = stats::ChiSquareGoodnessOfFit(observed, fair).ValueOrDie();
+  EXPECT_GT(good.p_value, 1e-4);
+  // Against a loaded expectation, rejection is decisive.
+  std::vector<double> loaded = {n * 0.3, n * 0.14, n * 0.14,
+                                n * 0.14, n * 0.14, n * 0.14};
+  auto bad = stats::ChiSquareGoodnessOfFit(observed, loaded).ValueOrDie();
+  EXPECT_LT(bad.p_value, 1e-6);
+}
+
+TEST(ChiSquareGofTest, PoolsSparseBins) {
+  // Many near-empty bins must be pooled rather than dividing by ~0.
+  std::vector<double> observed = {100, 1, 0, 1, 0, 0, 98};
+  std::vector<double> expected = {100, 0.5, 0.5, 0.5, 0.2, 0.3, 98};
+  auto result = stats::ChiSquareGoodnessOfFit(observed, expected).ValueOrDie();
+  EXPECT_GE(result.dof, 1u);
+  EXPECT_TRUE(std::isfinite(result.statistic));
+}
+
+TEST(ChiSquareTwoSampleTest, SameSourceAccepted) {
+  Rng rng(7);
+  std::vector<uint64_t> a(10, 0), b(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++a[rng.UniformBelow(10)];
+    ++b[rng.UniformBelow(10)];
+  }
+  auto result = stats::ChiSquareTwoSample(a, b).ValueOrDie();
+  EXPECT_GT(result.p_value, 1e-4);
+}
+
+TEST(ChiSquareTwoSampleTest, DifferentSourcesRejected) {
+  Rng rng(9);
+  std::vector<uint64_t> a(10, 0), b(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++a[rng.UniformBelow(10)];
+    ++b[rng.UniformBelow(5)];  // concentrated on half the bins
+  }
+  auto result = stats::ChiSquareTwoSample(a, b).ValueOrDie();
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KsTwoSampleTest, SameVsShiftedDistributions) {
+  Rng rng(11);
+  std::vector<double> a, b, c;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+    c.push_back(rng.NextDouble() + 0.2);
+  }
+  auto same = stats::KolmogorovSmirnovTwoSample(a, b).ValueOrDie();
+  EXPECT_GT(same.p_value, 1e-4);
+  auto shifted = stats::KolmogorovSmirnovTwoSample(a, c).ValueOrDie();
+  EXPECT_LT(shifted.p_value, 1e-6);
+  EXPECT_GT(shifted.statistic, 0.15);
+}
+
+TEST(BinomialTestTest, PValuesMatchTails) {
+  // 60 successes in 100 fair coin flips: p ~ 0.028.
+  auto result = stats::BinomialTestUpper(60, 100, 0.5).ValueOrDie();
+  EXPECT_NEAR(result.p_value, 0.0284, 0.002);
+  EXPECT_TRUE(stats::BinomialTestUpper(5, 4, 0.5).status().IsInvalidArgument());
+}
+
+TEST(BoundsTest, MorrisFailureBounds) {
+  // Chebyshev: a/(2ε²)-ish, capped at 1.
+  EXPECT_NEAR(stats::MorrisChebyshevFailureBound(0.002, 1u << 20, 0.1),
+              0.002 / 0.02, 1e-3);
+  EXPECT_DOUBLE_EQ(stats::MorrisChebyshevFailureBound(1.0, 1u << 20, 0.01), 1.0);
+  // MGF bound decays exponentially in 1/a.
+  EXPECT_LT(stats::MorrisMgfFailureBound(1e-4, 0.1),
+            stats::MorrisMgfFailureBound(1e-3, 0.1));
+  EXPECT_NEAR(stats::MorrisMgfFailureBound(0.01 / 8.0, 0.1),
+              2.0 * std::exp(-1.0), 1e-9);
+}
+
+TEST(BoundsTest, AppendixAEventBoundShape) {
+  const double eps = 0.1;
+  const double delta = 1e-9;
+  const double a = eps * eps / (8 * std::log(1 / delta));
+  auto bound = stats::AppendixAEventBound(a, eps, 1.0 / 256);
+  EXPECT_GE(bound.n, 1u);
+  EXPECT_GE(bound.t, 1u);
+  EXPECT_GT(bound.event_prob, 0.0);
+  // The stalled estimate undershoots the failure threshold — that is the
+  // whole construction.
+  EXPECT_LT(bound.estimate_at_t, bound.failure_threshold);
+  // And the event probability beats δ (the necessity claim).
+  EXPECT_GT(bound.event_prob, delta);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,78 @@
+// Tests for the parallel trial runner.
+
+#include "stream/stream_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace countlib {
+namespace {
+
+TEST(RunTrialsTest, ExactCounterHasZeroError) {
+  Accuracy acc{0.1, 0.01, 1u << 20};
+  auto report = stream::RunAccuracyTrials(CounterKind::kExact, acc, 12345, 64, 1)
+                    .ValueOrDie();
+  EXPECT_EQ(report.trials, 64u);
+  for (double e : report.relative_errors) EXPECT_DOUBLE_EQ(e, 0.0);
+  EXPECT_EQ(report.CountFailures(0.0001), 0u);
+  EXPECT_DOUBLE_EQ(report.state_bits.mean(), 14.0);  // BitWidth(12345)
+}
+
+TEST(RunTrialsTest, TrialsAreIndependentAcrossSeeds) {
+  Accuracy acc{0.1, 0.01, 1u << 22};
+  auto report =
+      stream::RunAccuracyTrials(CounterKind::kMorris, acc, 1u << 20, 32, 7)
+          .ValueOrDie();
+  // Signed errors must not all coincide (distinct streams).
+  bool all_same = true;
+  for (double e : report.signed_errors) {
+    if (e != report.signed_errors[0]) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+}
+
+TEST(RunTrialsTest, SingleThreadMatchesRequestedCount) {
+  Accuracy acc{0.2, 0.05, 1u << 16};
+  auto report = stream::RunAccuracyTrials(CounterKind::kSampling, acc, 5000, 17, 3,
+                                          /*threads=*/1)
+                    .ValueOrDie();
+  EXPECT_EQ(report.relative_errors.size(), 17u);
+}
+
+TEST(RunTrialsTest, FactoryErrorsPropagate) {
+  stream::CounterFactory bad_factory =
+      [](uint64_t) -> Result<std::unique_ptr<Counter>> {
+    return Status::InvalidArgument("deliberate");
+  };
+  stream::CountSampler sampler = [](uint64_t) { return uint64_t{10}; };
+  auto result = stream::RunTrials(bad_factory, sampler, 8);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(RunTrialsTest, PerTrialCountSamplerIsHonored) {
+  std::atomic<uint64_t> builds{0};
+  stream::CounterFactory factory =
+      [&builds](uint64_t) -> Result<std::unique_ptr<Counter>> {
+    ++builds;
+    return MakeCounter(CounterKind::kExact, Accuracy{0.1, 0.01, 1u << 20}, 0);
+  };
+  stream::CountSampler sampler = [](uint64_t trial) { return 100 + trial; };
+  auto report = stream::RunTrials(factory, sampler, 16, 4).ValueOrDie();
+  EXPECT_EQ(builds.load(), 16u);
+  // Exact counters: estimate == n(trial), so all relative errors are 0 and
+  // state bits reflect varying n.
+  EXPECT_EQ(report.CountFailures(1e-12), 0u);
+}
+
+TEST(RunTrialsTest, ZeroTrialsRejected) {
+  stream::CounterFactory factory =
+      [](uint64_t) -> Result<std::unique_ptr<Counter>> {
+    return MakeCounter(CounterKind::kExact, Accuracy{0.1, 0.01, 1u << 20}, 0);
+  };
+  stream::CountSampler sampler = [](uint64_t) { return uint64_t{1}; };
+  EXPECT_TRUE(stream::RunTrials(factory, sampler, 0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,164 @@
+// Unit + property tests for bit-granular I/O (the substrate of the space
+// accounting and of the analytics pool).
+
+#include "util/bit_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace countlib {
+namespace {
+
+TEST(BitWriterTest, SingleBitsPackLsbFirst) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b101);
+}
+
+TEST(BitWriterTest, CrossByteFields) {
+  BitWriter w;
+  w.WriteBits(0b110, 3);
+  w.WriteBits(0b10110101011, 11);  // spills into the second byte
+  EXPECT_EQ(w.bit_count(), 14u);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_EQ(r.ReadBits(3).ValueOrDie(), 0b110u);
+  EXPECT_EQ(r.ReadBits(11).ValueOrDie(), 0b10110101011u);
+}
+
+TEST(BitWriterTest, ZeroWidthIsNoop) {
+  BitWriter w;
+  w.WriteBits(0, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriterTest, FullWidth64) {
+  BitWriter w;
+  const uint64_t v = 0xDEADBEEFCAFEBABEull;
+  w.WriteBits(v, 64);
+  BitReader r(w.bytes().data(), 64);
+  EXPECT_EQ(r.ReadBits(64).ValueOrDie(), v);
+}
+
+TEST(BitReaderTest, ReadPastEndFails) {
+  BitWriter w;
+  w.WriteBits(0x3, 2);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_TRUE(r.ReadBits(3).status().IsOutOfRange());
+  EXPECT_EQ(r.remaining(), 2u);  // failed read consumes nothing usable
+}
+
+TEST(BitReaderTest, PositionTracksReads) {
+  BitWriter w;
+  w.WriteBits(0xFF, 8);
+  w.WriteBits(0x0F, 4);
+  BitReader r(w.bytes().data(), w.bit_count());
+  ASSERT_TRUE(r.ReadBits(5).ok());
+  EXPECT_EQ(r.position(), 5u);
+  EXPECT_EQ(r.remaining(), 7u);
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  ~uint64_t{0} >> 1, ~uint64_t{0}};
+  BitWriter w;
+  for (uint64_t v : values) w.WriteVarint(v);
+  BitReader r(w.bytes().data(), w.bit_count());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.ReadVarint().ValueOrDie(), v);
+  }
+}
+
+TEST(EliasGammaTest, RoundTripAndLength) {
+  BitWriter w;
+  w.WriteEliasGamma(1);
+  EXPECT_EQ(w.bit_count(), 1u);  // "1"
+  w.Reset();
+  w.WriteEliasGamma(2);
+  EXPECT_EQ(w.bit_count(), 3u);  // "010" body 0
+  w.Reset();
+  for (uint64_t v : {1ull, 2ull, 3ull, 4ull, 100ull, 65535ull, 1ull << 40}) {
+    w.Reset();
+    w.WriteEliasGamma(v);
+    BitReader r(w.bytes().data(), w.bit_count());
+    EXPECT_EQ(r.ReadEliasGamma().ValueOrDie(), v);
+  }
+}
+
+TEST(EliasDeltaTest, RoundTripAndShorterForLarge) {
+  BitWriter gamma, delta;
+  const uint64_t big = uint64_t{1} << 40;
+  gamma.WriteEliasGamma(big);
+  delta.WriteEliasDelta(big);
+  EXPECT_LT(delta.bit_count(), gamma.bit_count());
+  BitReader r(delta.bytes().data(), delta.bit_count());
+  EXPECT_EQ(r.ReadEliasDelta().ValueOrDie(), big);
+}
+
+TEST(BitIoPropertyTest, RandomizedMixedRoundTrip) {
+  Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    BitWriter w;
+    struct Field {
+      int kind;  // 0 bits, 1 varint, 2 gamma, 3 delta
+      uint64_t value;
+      int width;
+    };
+    std::vector<Field> fields;
+    const int n = 1 + static_cast<int>(rng.UniformBelow(30));
+    for (int i = 0; i < n; ++i) {
+      Field f;
+      f.kind = static_cast<int>(rng.UniformBelow(4));
+      switch (f.kind) {
+        case 0:
+          f.width = 1 + static_cast<int>(rng.UniformBelow(64));
+          f.value = rng.NextU64() &
+                    (f.width == 64 ? ~uint64_t{0}
+                                   : ((uint64_t{1} << f.width) - 1));
+          w.WriteBits(f.value, f.width);
+          break;
+        case 1:
+          f.value = rng.NextU64() >> rng.UniformBelow(64);
+          w.WriteVarint(f.value);
+          break;
+        default:
+          f.value = 1 + (rng.NextU64() >> (1 + rng.UniformBelow(63)));
+          if (f.kind == 2) {
+            w.WriteEliasGamma(f.value);
+          } else {
+            w.WriteEliasDelta(f.value);
+          }
+      }
+      fields.push_back(f);
+    }
+    BitReader r(w.bytes().data(), w.bit_count());
+    for (const Field& f : fields) {
+      uint64_t got = 0;
+      switch (f.kind) {
+        case 0:
+          got = r.ReadBits(f.width).ValueOrDie();
+          break;
+        case 1:
+          got = r.ReadVarint().ValueOrDie();
+          break;
+        case 2:
+          got = r.ReadEliasGamma().ValueOrDie();
+          break;
+        default:
+          got = r.ReadEliasDelta().ValueOrDie();
+      }
+      ASSERT_EQ(got, f.value) << "round " << round;
+    }
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,115 @@
+// Unit tests for the flag parser used by examples and benches.
+
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace countlib {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddUint64("trials", 5000, "number of trials");
+  parser.AddDouble("epsilon", 0.1, "target accuracy");
+  parser.AddBool("verbose", false, "chatty output");
+  parser.AddString("algo", "morris", "algorithm name");
+  parser.AddInt64("offset", -3, "signed knob");
+  return parser;
+}
+
+TEST(FlagParserTest, DefaultsSurviveEmptyArgv) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  EXPECT_EQ(parser.GetUint64("trials"), 5000u);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("epsilon"), 0.1);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetString("algo"), "morris");
+  EXPECT_EQ(parser.GetInt64("offset"), -3);
+}
+
+TEST(FlagParserTest, EqualsAndSpaceForms) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--trials=100", "--epsilon", "0.02",
+                        "--algo=nelson-yu"};
+  ASSERT_TRUE(parser.Parse(5, argv).ok());
+  EXPECT_EQ(parser.GetUint64("trials"), 100u);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("epsilon"), 0.02);
+  EXPECT_EQ(parser.GetString("algo"), "nelson-yu");
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, ExplicitBoolValues) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--verbose=true"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  const char* argv2[] = {"tool", "--verbose=0"};
+  ASSERT_TRUE(parser2.Parse(2, argv2).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, UnknownFlagFailsLoudly) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--trails=100"};  // typo
+  EXPECT_TRUE(parser.Parse(2, argv).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BadValuesRejected) {
+  {
+    FlagParser parser = MakeParser();
+    const char* argv[] = {"tool", "--trials=ten"};
+    EXPECT_FALSE(parser.Parse(2, argv).ok());
+  }
+  {
+    FlagParser parser = MakeParser();
+    const char* argv[] = {"tool", "--trials=-5"};
+    EXPECT_FALSE(parser.Parse(2, argv).ok());
+  }
+  {
+    FlagParser parser = MakeParser();
+    const char* argv[] = {"tool", "--epsilon=fast"};
+    EXPECT_FALSE(parser.Parse(2, argv).ok());
+  }
+  {
+    FlagParser parser = MakeParser();
+    const char* argv[] = {"tool", "--verbose=maybe"};
+    EXPECT_FALSE(parser.Parse(2, argv).ok());
+  }
+}
+
+TEST(FlagParserTest, HelpRequestedAndText) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--help"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  EXPECT_TRUE(parser.help_requested());
+  const std::string help = parser.HelpText();
+  EXPECT_NE(help.find("test tool"), std::string::npos);
+  EXPECT_NE(help.find("--trials"), std::string::npos);
+  EXPECT_NE(help.find("default: 5000"), std::string::npos);
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "input.trace", "--trials=7", "out.csv"};
+  ASSERT_TRUE(parser.Parse(4, argv).ok());
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.trace");
+  EXPECT_EQ(parser.positional()[1], "out.csv");
+}
+
+TEST(FlagParserTest, MissingValueAtEndFails) {
+  FlagParser parser = MakeParser();
+  const char* argv[] = {"tool", "--trials"};
+  EXPECT_TRUE(parser.Parse(2, argv).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,64 @@
+// Unit tests for the CSV table emitter.
+
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace countlib {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("3.14"), "3.14");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, SpecialsAreQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(FormatDoubleTest, CompactAndSpecials) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1e300), "1e+300");
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+  EXPECT_EQ(FormatDouble(-1.0 / 0.0), "-inf");
+}
+
+TEST(TableWriterTest, HeaderAndRows) {
+  std::ostringstream os;
+  TableWriter table(&os, {"algo", "n", "err"});
+  table.BeginRow() << "morris" << uint64_t{1000} << 0.0123;
+  ASSERT_TRUE(table.EndRow().ok());
+  table.BeginRow() << "nelson-yu" << uint64_t{1000} << 0.004;
+  ASSERT_TRUE(table.EndRow().ok());
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(os.str(), "algo,n,err\nmorris,1000,0.0123\nnelson-yu,1000,0.004\n");
+}
+
+TEST(TableWriterTest, WrongArityIsRejected) {
+  std::ostringstream os;
+  TableWriter table(&os, {"a", "b"});
+  table.BeginRow() << "only-one";
+  EXPECT_TRUE(table.EndRow().IsInvalidArgument());
+  // The bad row was not emitted.
+  EXPECT_EQ(table.row_count(), 0u);
+  table.BeginRow() << "x" << "y";
+  EXPECT_TRUE(table.EndRow().ok());
+}
+
+TEST(TableWriterTest, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  TableWriter table(&os, {"name"});
+  table.BeginRow() << "morris(a=1, prefix)";
+  ASSERT_TRUE(table.EndRow().ok());
+  EXPECT_EQ(os.str(), "name\n\"morris(a=1, prefix)\"\n");
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,161 @@
+// Unit tests for the numeric helpers, including the stable (1+a)^x family
+// the counters depend on and the special functions behind the hypothesis
+// tests.
+
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace countlib {
+namespace {
+
+TEST(Pow1pTest, MatchesPowForModerateArguments) {
+  EXPECT_NEAR(Pow1p(0.5, 10), std::pow(1.5, 10), 1e-9);
+  EXPECT_NEAR(Pow1p(1.0, 20), std::pow(2.0, 20), 1e-3);
+}
+
+TEST(Pow1pTest, StableForTinyBase) {
+  // (1 + 1e-12)^(1e12) -> e; naive pow(1+a, x) loses a entirely.
+  EXPECT_NEAR(Pow1p(1e-12, 1e12), std::exp(1.0), 1e-3);
+}
+
+TEST(Pow1pm1OverATest, MorrisEstimatorIdentities) {
+  // a = 1: ((2^x) - 1)/1.
+  EXPECT_DOUBLE_EQ(Pow1pm1OverA(1.0, 10), 1023.0);
+  // x = 0 -> 0; x = 1 -> 1 for every a (the estimator is exact at N=0,1).
+  for (double a : {1.0, 0.1, 1e-3, 1e-9}) {
+    EXPECT_DOUBLE_EQ(Pow1pm1OverA(a, 0), 0.0);
+    EXPECT_NEAR(Pow1pm1OverA(a, 1), 1.0, 1e-12);
+  }
+  // a -> 0 limit is x (deterministic counter).
+  EXPECT_DOUBLE_EQ(Pow1pm1OverA(0.0, 123), 123.0);
+  EXPECT_NEAR(Pow1pm1OverA(1e-14, 1000), 1000.0, 1e-6);
+}
+
+TEST(Log1pBaseTest, InvertsPow1p) {
+  for (double a : {1.0, 0.05, 2e-4}) {
+    for (double x : {1.0, 17.0, 300.0}) {
+      EXPECT_NEAR(Log1pBase(a, Pow1p(a, x)), x, 1e-6 * x + 1e-9);
+    }
+  }
+}
+
+TEST(Log2Test, FloorCeilBitWidth) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1025), 11);
+  EXPECT_EQ(BitWidth(0), 1);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(~uint64_t{0}), 64);
+}
+
+TEST(CeilDivTest, Basics) {
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 3), 1u);
+  EXPECT_EQ(CeilDiv(3, 3), 1u);
+  EXPECT_EQ(CeilDiv(4, 3), 2u);
+  // No overflow on x near UINT64_MAX (the x + y - 1 idiom would overflow).
+  EXPECT_EQ(CeilDiv(~uint64_t{0}, 2), (uint64_t{1} << 63));
+}
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(LogBinomial(60, 30), std::log(118264581564861424.0), 1e-6);
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-12);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 3, 0.25),
+              1 - std::pow(0.75, 3), 1e-12);
+  // Symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.5, 2.25, 0.4),
+              1.0 - RegularizedIncompleteBeta(2.25, 3.5, 0.6), 1e-12);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 2, 1.0), 1.0);
+}
+
+TEST(BinomialTailTest, MatchesDirectSummation) {
+  // n = 10, p = 0.3: P(X >= 4) by direct sum.
+  const uint64_t n = 10;
+  const double p = 0.3;
+  double direct = 0;
+  for (uint64_t k = 4; k <= n; ++k) {
+    direct += std::exp(LogBinomial(n, k)) * std::pow(p, k) *
+              std::pow(1 - p, static_cast<double>(n - k));
+  }
+  EXPECT_NEAR(BinomialUpperTail(n, p, 4), direct, 1e-12);
+  EXPECT_NEAR(BinomialLowerTail(n, p, 3), 1.0 - direct, 1e-12);
+}
+
+TEST(BinomialTailTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0.5, 11), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 1.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(10, 0.5, 10), 1.0);
+}
+
+TEST(GammaQTest, ChiSquareTailKnownValues) {
+  // Chi-square with 1 dof at x: Q(0.5, x/2) = erfc(sqrt(x/2)).
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 3.841 / 2), 0.05, 2e-3);
+  // Chi-square with 2 dof: tail = exp(-x/2).
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 3.0), std::exp(-3.0), 1e-12);
+  // Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.5, 0.0), 1.0);
+}
+
+TEST(ChernoffTest, BoundsAreValidAndMonotone) {
+  // The bound at delta=0 is 1 and decreases with delta.
+  EXPECT_NEAR(ChernoffUpperBound(100, 0.0), 1.0, 1e-12);
+  EXPECT_LT(ChernoffUpperBound(100, 0.5), ChernoffUpperBound(100, 0.25));
+  EXPECT_LT(ChernoffLowerBound(100, 0.5), ChernoffLowerBound(100, 0.25));
+  // It actually bounds the exact binomial tail.
+  const uint64_t n = 2000;
+  const double p = 0.05;
+  const double mean = n * p;
+  for (double d : {0.2, 0.5, 1.0}) {
+    const uint64_t k = static_cast<uint64_t>(std::ceil((1 + d) * mean));
+    EXPECT_LE(BinomialUpperTail(n, p, k), ChernoffUpperBound(mean, d) * 1.0000001);
+  }
+}
+
+TEST(KahanTest, CompensatesCatastrophicCancellation) {
+  KahanSum sum;
+  sum.Add(1.0);
+  for (int i = 0; i < 1000000; ++i) sum.Add(1e-16);
+  // Naive summation would stay at 1.0; Kahan captures the 1e-10 total.
+  EXPECT_NEAR(sum.Total(), 1.0 + 1e-10, 1e-14);
+  sum.Reset();
+  EXPECT_EQ(sum.Total(), 0.0);
+}
+
+TEST(MeanVarianceTest, SmallSamples) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+  EXPECT_NEAR(Variance({2, 4, 6}), 8.0 / 3.0, 1e-12);
+}
+
+TEST(SaturatingTest, ClampsAtMax) {
+  const uint64_t max = ~uint64_t{0};
+  EXPECT_EQ(SaturatingAdd(max, 1), max);
+  EXPECT_EQ(SaturatingAdd(2, 3), 5u);
+  EXPECT_EQ(SaturatingMul(uint64_t{1} << 33, uint64_t{1} << 33), max);
+  EXPECT_EQ(SaturatingMul(6, 7), 42u);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -1,0 +1,122 @@
+// Unit tests for Status / Result<T> and their macros.
+
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace countlib {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad epsilon");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad epsilon");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad epsilon");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Status::OK());
+  EXPECT_NE(a, Status::Internal("other"));
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status st = Status::NotFound("key 7").WithContext("CounterStore::Estimate");
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "CounterStore::Estimate: key 7");
+  // OK status is unchanged by context.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).ValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  Result<int> r = Status::OK();  // programming error: normalized to Internal
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  COUNTLIB_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+}
+
+Result<int> MakeEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x;
+}
+
+Result<int> DoubleIfEven(int x) {
+  COUNTLIB_ASSIGN_OR_RETURN(int v, MakeEven(x));
+  return v * 2;
+}
+
+TEST(MacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  Result<int> ok = DoubleIfEven(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  EXPECT_TRUE(DoubleIfEven(3).status().IsInvalidArgument());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCapacityExceeded),
+               "CapacityExceeded");
+}
+
+}  // namespace
+}  // namespace countlib
