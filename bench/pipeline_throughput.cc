@@ -1,0 +1,203 @@
+/// \file pipeline_throughput.cc
+/// \brief PIPELINE: ingest throughput — direct locked `Increment` vs the
+/// async batched pipeline, single- and multi-producer.
+///
+/// Replays the same Zipf trace through (a) producer threads calling
+/// `ConcurrentCounterStore::Increment` directly (a stripe-lock round trip
+/// and a packed-slot deserialize/serialize per event) and (b) the
+/// `IngestPipeline` (lock-free SPSC submit, background workers that
+/// pre-aggregate duplicate keys and batch per stripe). Under Zipfian
+/// traffic the batched path does one slot update per *distinct* key per
+/// batch, which is where the win comes from even on a single core.
+///
+/// Emits a human table plus one machine-readable JSON document (stdout,
+/// and `--json_out=FILE` for the BENCH_*.json trajectory).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "pipeline/ingest_pipeline.h"
+#include "stream/trace.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace {
+
+struct RunResult {
+  std::string mode;
+  uint64_t producers;
+  uint64_t events;
+  double elapsed_s;
+  double events_per_sec;
+  double agg_factor;  // events applied per store update (1.0 for direct)
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+analytics::ConcurrentCounterStore MakeStore(uint64_t stripes, uint64_t n_max) {
+  return analytics::ConcurrentCounterStore::Make(stripes, CounterKind::kSampling,
+                                                 16, n_max, 7)
+      .ValueOrDie();
+}
+
+/// Splits the trace round-robin so every producer sees the same key skew.
+std::vector<std::vector<pipeline::Event>> Partition(
+    const std::vector<stream::KeyEvent>& events, uint64_t producers) {
+  std::vector<std::vector<pipeline::Event>> parts(producers);
+  for (auto& p : parts) p.reserve(events.size() / producers + 1);
+  for (size_t i = 0; i < events.size(); ++i) {
+    parts[i % producers].push_back(
+        pipeline::Event{events[i].key, events[i].weight});
+  }
+  return parts;
+}
+
+RunResult RunDirect(const std::vector<std::vector<pipeline::Event>>& parts,
+                    uint64_t stripes, uint64_t n_max) {
+  auto store = MakeStore(stripes, n_max);
+  uint64_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  const double start = Now();
+  std::vector<std::thread> threads;
+  for (const auto& part : parts) {
+    threads.emplace_back([&store, &part] {
+      for (const pipeline::Event& e : part) {
+        COUNTLIB_CHECK_OK(store.Increment(e.key, e.weight));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = Now() - start;
+  return RunResult{"direct", parts.size(), total, elapsed,
+                   static_cast<double>(total) / elapsed, 1.0};
+}
+
+RunResult RunPipeline(const std::vector<std::vector<pipeline::Event>>& parts,
+                      uint64_t stripes, uint64_t n_max, uint64_t workers,
+                      uint64_t queue_capacity, uint64_t max_batch) {
+  auto store = MakeStore(stripes, n_max);
+  pipeline::PipelineOptions opt;
+  opt.num_producers = parts.size();
+  opt.num_workers = workers;
+  opt.queue_capacity = queue_capacity;
+  opt.max_batch = max_batch;
+  auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  uint64_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  const double start = Now();
+  std::vector<std::thread> threads;
+  for (uint64_t p = 0; p < parts.size(); ++p) {
+    threads.emplace_back([&ingest, &parts, p] {
+      for (const pipeline::Event& e : parts[p]) {
+        COUNTLIB_CHECK_OK(ingest->Submit(p, e.key, e.weight));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  COUNTLIB_CHECK_OK(ingest->Drain());
+  const double elapsed = Now() - start;
+  const pipeline::PipelineStats stats = ingest->Stats();
+  COUNTLIB_CHECK_EQ(stats.events_applied, total);
+  const double agg = stats.updates_applied == 0
+                         ? 1.0
+                         : static_cast<double>(stats.events_applied) /
+                               static_cast<double>(stats.updates_applied);
+  return RunResult{"pipeline", parts.size(), total, elapsed,
+                   static_cast<double>(total) / elapsed, agg};
+}
+
+std::string ToJson(const std::vector<RunResult>& results,
+                   uint64_t keys, double skew) {
+  std::string out = "{\"bench\":\"pipeline_throughput\",\"keys\":" +
+                    std::to_string(keys) + ",\"skew\":" + std::to_string(skew) +
+                    ",\"configs\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (i > 0) out += ",";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\":\"%s\",\"producers\":%llu,\"events\":%llu,"
+                  "\"elapsed_s\":%.6f,\"events_per_sec\":%.1f,"
+                  "\"agg_factor\":%.3f}",
+                  r.mode.c_str(), static_cast<unsigned long long>(r.producers),
+                  static_cast<unsigned long long>(r.events), r.elapsed_s,
+                  r.events_per_sec, r.agg_factor);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+int Main(int argc, const char* const* argv) {
+  FlagParser flags("pipeline_throughput: direct locked ingest vs async batched pipeline");
+  flags.AddUint64("keys", 10000, "distinct keys in the trace");
+  flags.AddUint64("events", 1000000, "events per configuration");
+  flags.AddDouble("skew", 1.0, "Zipf skew");
+  flags.AddUint64("stripes", 16, "store stripes");
+  flags.AddUint64("workers", 1, "pipeline drain threads");
+  flags.AddUint64("queue_capacity", 8192, "per-producer queue capacity");
+  flags.AddUint64("max_batch", 2048, "max events per pre-aggregated batch");
+  flags.AddString("json_out", "", "also write the JSON document to this file");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+  const uint64_t keys = flags.GetUint64("keys");
+  const uint64_t events = flags.GetUint64("events");
+  const double skew = flags.GetDouble("skew");
+
+  auto trace = stream::Trace::GenerateZipf(keys, skew, events, 4242).ValueOrDie();
+  std::printf("# PIPELINE: %llu events over %llu keys, Zipf skew %.2f\n",
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(keys), skew);
+
+  std::vector<RunResult> results;
+  TableWriter table(&std::cout, {"mode", "producers", "events_per_sec",
+                                 "elapsed_s", "agg_factor"});
+  for (uint64_t producers : {uint64_t{1}, uint64_t{4}}) {
+    const auto parts = Partition(trace.events(), producers);
+    for (int mode = 0; mode < 2; ++mode) {
+      RunResult r = mode == 0
+                        ? RunDirect(parts, flags.GetUint64("stripes"), events)
+                        : RunPipeline(parts, flags.GetUint64("stripes"), events,
+                                      flags.GetUint64("workers"),
+                                      flags.GetUint64("queue_capacity"),
+                                      flags.GetUint64("max_batch"));
+      table.BeginRow() << r.mode << r.producers << r.events_per_sec
+                       << r.elapsed_s << r.agg_factor;
+      COUNTLIB_CHECK_OK(table.EndRow());
+      results.push_back(std::move(r));
+    }
+  }
+
+  const std::string json = ToJson(results, keys, skew);
+  std::printf("%s\n", json.c_str());
+  const std::string json_out = flags.GetString("json_out");
+  if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    f << json << "\n";
+    if (!f.good()) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace countlib
+
+int main(int argc, char** argv) { return countlib::Main(argc, argv); }

@@ -1,5 +1,7 @@
 #include "analytics/concurrent_store.h"
 
+#include <algorithm>
+
 namespace countlib {
 namespace analytics {
 
@@ -23,20 +25,79 @@ Result<ConcurrentCounterStore> ConcurrentCounterStore::Make(
   return ConcurrentCounterStore(std::move(out));
 }
 
-ConcurrentCounterStore::Stripe& ConcurrentCounterStore::StripeFor(
-    uint64_t key) const {
+uint64_t ConcurrentCounterStore::StripeIndexFor(uint64_t key) const {
   // SplitMix-style mix so adjacent keys spread across stripes.
   uint64_t z = key + 0x9E3779B97F4A7C15ull;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   z ^= z >> 31;
-  return *stripes_[z % stripes_.size()];
+  return z % stripes_.size();
+}
+
+ConcurrentCounterStore::Stripe& ConcurrentCounterStore::StripeFor(
+    uint64_t key) const {
+  return *stripes_[StripeIndexFor(key)];
 }
 
 Status ConcurrentCounterStore::Increment(uint64_t key, uint64_t weight) {
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
   return stripe.store->Increment(key, weight);
+}
+
+Status ConcurrentCounterStore::IncrementBatch(const KeyWeight* updates, size_t n) {
+  if (n == 0) return Status::OK();
+  // Counting sort by stripe: one pass to count, one to scatter, then each
+  // touched stripe's lock is taken exactly once for its contiguous run.
+  const uint64_t num_stripes = stripes_.size();
+  std::vector<uint32_t> stripe_of(n);
+  std::vector<size_t> offsets(num_stripes + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t s = StripeIndexFor(updates[i].key);
+    stripe_of[i] = static_cast<uint32_t>(s);
+    ++offsets[s + 1];
+  }
+  for (uint64_t s = 0; s < num_stripes; ++s) offsets[s + 1] += offsets[s];
+  std::vector<KeyWeight> sorted(n);
+  std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    sorted[cursor[stripe_of[i]]++] = updates[i];
+  }
+  for (uint64_t s = 0; s < num_stripes; ++s) {
+    const size_t begin = offsets[s], end = offsets[s + 1];
+    if (begin == end) continue;
+    std::lock_guard<std::mutex> lock(stripes_[s]->mu);
+    COUNTLIB_RETURN_NOT_OK(
+        stripes_[s]->store->IncrementBatch(sorted.data() + begin, end - begin));
+  }
+  return Status::OK();
+}
+
+Status ConcurrentCounterStore::ForEach(
+    const std::function<void(uint64_t, double)>& fn) const {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    COUNTLIB_RETURN_NOT_OK(stripe->store->ForEach(fn));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<KeyEstimate>> ConcurrentCounterStore::TopK(size_t k) const {
+  std::vector<KeyEstimate> all;
+  COUNTLIB_RETURN_NOT_OK(ForEach([&all](uint64_t key, double estimate) {
+    all.push_back(KeyEstimate{key, estimate});
+  }));
+  const auto by_estimate_desc = [](const KeyEstimate& a, const KeyEstimate& b) {
+    if (a.estimate != b.estimate) return a.estimate > b.estimate;
+    return a.key < b.key;
+  };
+  if (k < all.size()) {
+    std::partial_sort(all.begin(), all.begin() + k, all.end(), by_estimate_desc);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), by_estimate_desc);
+  }
+  return all;
 }
 
 Result<double> ConcurrentCounterStore::Estimate(uint64_t key) const {

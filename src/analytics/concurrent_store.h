@@ -9,6 +9,7 @@
 #define COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -31,8 +32,25 @@ class ConcurrentCounterStore {
   /// Thread-safe: adds `weight` increments to `key`.
   Status Increment(uint64_t key, uint64_t weight = 1);
 
+  /// Thread-safe batched ingest: routes the updates to their stripes and
+  /// takes each touched stripe's lock ONCE for all of its updates, instead
+  /// of once per event — the pipeline workers' fast path. Updates for a
+  /// stripe are applied contiguously; updates of distinct stripes may
+  /// interleave with concurrent writers. Stops at the first error.
+  Status IncrementBatch(const KeyWeight* updates, size_t n);
+
   /// Thread-safe: the key's estimate (NotFound if never incremented).
   Result<double> Estimate(uint64_t key) const;
+
+  /// Thread-safe snapshot iteration: invokes `fn(key, estimate)` for every
+  /// key. Locks one stripe at a time, so the view is per-stripe consistent
+  /// but not a global atomic snapshot. Do not call store methods from `fn`.
+  Status ForEach(const std::function<void(uint64_t, double)>& fn) const;
+
+  /// Thread-safe: the `k` keys with the largest estimates, descending
+  /// (ties broken by key, ascending). Built on ForEach — one slot decode
+  /// per key, no per-key Estimate() round trips.
+  Result<std::vector<KeyEstimate>> TopK(size_t k) const;
 
   /// Total distinct keys across stripes (takes all locks; O(stripes)).
   uint64_t NumKeys() const;
@@ -51,6 +69,7 @@ class ConcurrentCounterStore {
   explicit ConcurrentCounterStore(std::vector<std::unique_ptr<Stripe>> stripes)
       : stripes_(std::move(stripes)) {}
 
+  uint64_t StripeIndexFor(uint64_t key) const;
   Stripe& StripeFor(uint64_t key) const;
 
   std::vector<std::unique_ptr<Stripe>> stripes_;

@@ -62,9 +62,9 @@ Result<CounterStore> CounterStore::MakeWithAccuracy(CounterKind kind,
 
 Status CounterStore::LoadSlot(uint64_t slot) const {
   const uint64_t bit_off = slot * static_cast<uint64_t>(stride_bits_);
-  std::vector<uint8_t> buf((static_cast<size_t>(stride_bits_) + 7) / 8, 0);
-  CopyBits(pool_.data(), bit_off, buf.data(), 0, stride_bits_);
-  BitReader reader(buf.data(), stride_bits_);
+  slot_buf_.assign((static_cast<size_t>(stride_bits_) + 7) / 8, 0);
+  CopyBits(pool_.data(), bit_off, slot_buf_.data(), 0, stride_bits_);
+  BitReader reader(slot_buf_.data(), stride_bits_);
   return scratch_->DeserializeState(&reader);
 }
 
@@ -96,6 +96,21 @@ Status CounterStore::Increment(uint64_t key, uint64_t weight) {
   COUNTLIB_RETURN_NOT_OK(LoadSlot(slot));
   scratch_->IncrementMany(weight);
   return StoreSlot(slot);
+}
+
+Status CounterStore::IncrementBatch(const KeyWeight* updates, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    COUNTLIB_RETURN_NOT_OK(Increment(updates[i].key, updates[i].weight));
+  }
+  return Status::OK();
+}
+
+Status CounterStore::ForEach(const std::function<void(uint64_t, double)>& fn) const {
+  for (const auto& [key, slot] : index_) {
+    COUNTLIB_RETURN_NOT_OK(LoadSlot(slot));
+    fn(key, scratch_->Estimate());
+  }
+  return Status::OK();
 }
 
 Result<double> CounterStore::Estimate(uint64_t key) const {

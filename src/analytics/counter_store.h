@@ -20,6 +20,7 @@
 #define COUNTLIB_ANALYTICS_COUNTER_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,19 @@
 
 namespace countlib {
 namespace analytics {
+
+/// \brief One weighted update: `weight` increments to `key`. The unit of
+/// the batch APIs and of the ingestion pipeline's queues.
+struct KeyWeight {
+  uint64_t key;
+  uint64_t weight;
+};
+
+/// \brief A key together with its current estimate (snapshot accessors).
+struct KeyEstimate {
+  uint64_t key;
+  double estimate;
+};
 
 /// \brief Bit-packed pool of many per-key approximate counters.
 class CounterStore {
@@ -50,8 +64,18 @@ class CounterStore {
   /// Adds `weight` increments to `key`'s counter (creating it on first use).
   Status Increment(uint64_t key, uint64_t weight = 1);
 
+  /// Applies `n` updates in one pass. Callers that pre-aggregate duplicate
+  /// keys (the ingestion pipeline does) pay one packed-slot
+  /// deserialize/serialize per *distinct* key instead of per event.
+  /// Stops at the first error; already-applied updates stay applied.
+  Status IncrementBatch(const KeyWeight* updates, size_t n);
+
   /// The key's current estimate; NotFound if never incremented.
   Result<double> Estimate(uint64_t key) const;
+
+  /// Invokes `fn(key, estimate)` for every key in the store, decoding each
+  /// packed slot once. Iteration order is unspecified.
+  Status ForEach(const std::function<void(uint64_t, double)>& fn) const;
 
   /// Number of distinct keys.
   uint64_t num_keys() const { return index_.size(); }
@@ -99,6 +123,9 @@ class CounterStore {
   Result<uint64_t> GetOrCreateSlot(uint64_t key);
 
   std::unique_ptr<Counter> scratch_;
+  // Slot decode buffer, reused by LoadSlot under the same
+  // single-caller-at-a-time contract scratch_ already relies on.
+  mutable std::vector<uint8_t> slot_buf_;
   std::vector<uint8_t> zero_state_;  // serialized fresh state (stride bits)
   int stride_bits_;
   std::vector<uint8_t> pool_;        // bit-packed states, stride per slot

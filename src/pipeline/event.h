@@ -1,0 +1,58 @@
+/// \file event.h
+/// \brief Shared vocabulary of the ingestion pipeline: the event type that
+/// flows through the producer queues, the pipeline's tuning knobs, and the
+/// observable counters (`PipelineStats`).
+///
+/// The §1 motivating system ("count visits to every Wikipedia page under
+/// production write traffic") needs an ingest path between the producers
+/// and the bit-packed analytics stores; `src/pipeline/` provides it. Events
+/// are exactly the stores' `analytics::KeyWeight` updates, so batches move
+/// from queue to store without conversion.
+
+#ifndef COUNTLIB_PIPELINE_EVENT_H_
+#define COUNTLIB_PIPELINE_EVENT_H_
+
+#include <cstdint>
+
+#include "analytics/counter_store.h"
+
+namespace countlib {
+namespace pipeline {
+
+/// \brief One ingestion event: `weight` increments to `key`.
+using Event = analytics::KeyWeight;
+
+/// \brief Tuning knobs for `IngestPipeline::Make`.
+struct PipelineOptions {
+  /// Number of producer slots; each owns a private SPSC queue and MUST be
+  /// used by at most one thread at a time (the SPSC contract).
+  uint64_t num_producers = 4;
+  /// Per-producer queue capacity in events; rounded up to a power of two.
+  /// When a queue is full, `TrySubmit` reports `kPending` backpressure.
+  uint64_t queue_capacity = 4096;
+  /// Background drain threads. Producer queues are assigned round-robin to
+  /// workers, so more workers than producers is never useful.
+  uint64_t num_workers = 1;
+  /// Max events a worker drains into one pre-aggregated store batch.
+  uint64_t max_batch = 1024;
+};
+
+/// \brief Monotonic counters describing pipeline activity, plus an
+/// instantaneous queue-depth gauge. Taken with `IngestPipeline::Stats`.
+struct PipelineStats {
+  uint64_t events_submitted = 0;   ///< TrySubmit calls that returned OK
+  uint64_t events_rejected = 0;    ///< TrySubmit calls bounced with kPending
+  uint64_t events_applied = 0;     ///< events folded into the store (pre-agg weight preserved)
+  /// Events in batches that hit a store error (see LastError). Counts the
+  /// whole failed batch even though the store may have committed a prefix
+  /// of its updates before erroring, so treat it as an upper bound on loss.
+  uint64_t events_dropped = 0;
+  uint64_t updates_applied = 0;    ///< post-aggregation distinct-key updates written
+  uint64_t batches_applied = 0;    ///< store IncrementBatch calls
+  uint64_t queue_depth = 0;        ///< events currently sitting in queues (approximate)
+};
+
+}  // namespace pipeline
+}  // namespace countlib
+
+#endif  // COUNTLIB_PIPELINE_EVENT_H_

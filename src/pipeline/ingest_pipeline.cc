@@ -1,0 +1,253 @@
+#include "pipeline/ingest_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+namespace countlib {
+namespace pipeline {
+
+namespace {
+
+/// Idle-pass backoff: stay hot for a while, then sleep so a quiet pipeline
+/// costs ~no CPU.
+void Backoff(uint64_t idle_passes) {
+  if (idle_passes < 64) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
+    analytics::ConcurrentCounterStore* store, const PipelineOptions& options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("IngestPipeline: store must not be null");
+  }
+  if (options.num_producers < 1 || options.num_producers > 4096) {
+    return Status::InvalidArgument("IngestPipeline: num_producers in [1, 4096]");
+  }
+  if (options.num_workers < 1 || options.num_workers > 256) {
+    return Status::InvalidArgument("IngestPipeline: num_workers in [1, 256]");
+  }
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("IngestPipeline: max_batch >= 1");
+  }
+  if (options.queue_capacity < 2 ||
+      options.queue_capacity > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "IngestPipeline: queue_capacity in [2, 2^30]");
+  }
+  if (options.max_batch > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument("IngestPipeline: max_batch <= 2^30");
+  }
+  return std::unique_ptr<IngestPipeline>(new IngestPipeline(store, options));
+}
+
+IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
+                               const PipelineOptions& options)
+    : store_(store), options_(options) {
+  rings_.reserve(options_.num_producers);
+  for (uint64_t i = 0; i < options_.num_producers; ++i) {
+    rings_.push_back(std::make_unique<SpscRing>(options_.queue_capacity));
+  }
+  // Clamp before spawning: WorkerLoop strides by the final worker count,
+  // and must not observe workers_ mid-construction.
+  options_.num_workers = std::min(options_.num_workers, options_.num_producers);
+  workers_.reserve(options_.num_workers);
+  for (uint64_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+IngestPipeline::~IngestPipeline() { Drain(); }
+
+Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
+                                 uint64_t weight) {
+  if (producer >= rings_.size()) {
+    return Status::InvalidArgument("TrySubmit: producer slot " +
+                                   std::to_string(producer) + " out of range");
+  }
+  if (weight == 0) {
+    return Status::InvalidArgument("TrySubmit: weight must be positive");
+  }
+  // Refcount handshake with Drain: the count is raised before the closed_
+  // check, and Drain waits for it to hit zero after setting closed_, so
+  // every push that slips past the check happens-before the final sweep —
+  // an OK from TrySubmit can never strand an event. Both sides of the
+  // handshake (this RMW + load, Drain's store + load) must be seq_cst:
+  // it is a Dekker-style protocol, and weaker orderings allow the
+  // submitter to read stale closed_ while Drain reads a stale zero count.
+  active_submitters_.fetch_add(1, std::memory_order_seq_cst);
+  if (closed_.load(std::memory_order_seq_cst)) {
+    active_submitters_.fetch_sub(1, std::memory_order_release);
+    return Status::FailedPrecondition("TrySubmit: pipeline is draining");
+  }
+  const bool pushed = rings_[producer]->TryPush(Event{key, weight});
+  active_submitters_.fetch_sub(1, std::memory_order_release);
+  if (!pushed) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Pending("producer " + std::to_string(producer) +
+                           " queue full");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) {
+  uint64_t attempts = 0;
+  while (true) {
+    Status st = TrySubmit(producer, key, weight);
+    if (!st.IsPending()) return st;
+    Backoff(attempts++);
+  }
+}
+
+uint64_t IngestPipeline::DrainOnce(const std::vector<SpscRing*>& rings,
+                                   uint64_t start_ring,
+                                   std::vector<Event>* raw,
+                                   std::unordered_map<uint64_t, uint64_t>* agg,
+                                   std::vector<analytics::KeyWeight>* batch) {
+  busy_workers_.fetch_add(1);
+  // `raw` stays sized at max_batch; `count` tracks the fill so idle passes
+  // touch no buffer memory at all. The scan starts at a different ring
+  // each pass so a saturated early ring cannot starve the later ones.
+  uint64_t count = 0;
+  const size_t start = start_ring % rings.size();
+  for (size_t i = 0; i < rings.size(); ++i) {
+    if (count == options_.max_batch) break;
+    SpscRing* ring = rings[(start + i) % rings.size()];
+    count += ring->PopBatch(raw->data() + count, options_.max_batch - count);
+  }
+  if (count == 0) {
+    busy_workers_.fetch_sub(1);
+    return 0;
+  }
+
+  // Pre-aggregate duplicate keys: under a Zipfian event stream most of a
+  // batch lands on few hot keys, so this collapses the per-event
+  // deserialize/serialize work into one store update per distinct key.
+  agg->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    (*agg)[(*raw)[i].key] += (*raw)[i].weight;
+  }
+  batch->clear();
+  batch->reserve(agg->size());
+  for (const auto& [key, weight] : *agg) {
+    batch->push_back(analytics::KeyWeight{key, weight});
+  }
+
+  Status st = store_->IncrementBatch(batch->data(), batch->size());
+  if (st.ok()) {
+    applied_.fetch_add(count, std::memory_order_relaxed);
+    updates_.fetch_add(batch->size(), std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(count, std::memory_order_relaxed);
+    RecordError(st);
+  }
+  busy_workers_.fetch_sub(1);
+  return count;
+}
+
+void IngestPipeline::WorkerLoop(uint64_t w) {
+  // Round-robin ring ownership; each ring has exactly one consumer (SPSC).
+  std::vector<SpscRing*> owned;
+  for (uint64_t i = w; i < rings_.size(); i += options_.num_workers) {
+    owned.push_back(rings_[i].get());
+  }
+  std::vector<Event> raw(options_.max_batch);
+  std::unordered_map<uint64_t, uint64_t> agg;
+  std::vector<analytics::KeyWeight> batch;
+  agg.reserve(options_.max_batch);
+  uint64_t idle_passes = 0;
+  uint64_t pass = 0;
+  while (true) {
+    // Load stop BEFORE draining: once stop_ is set the queues are closed,
+    // so a subsequent empty pass proves the owned rings are fully drained.
+    const bool saw_stop = stop_.load(std::memory_order_acquire);
+    const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch);
+    if (n == 0) {
+      if (saw_stop) return;
+      Backoff(idle_passes++);
+    } else {
+      idle_passes = 0;
+    }
+  }
+}
+
+Status IngestPipeline::Flush() {
+  while (true) {
+    bool empty = true;
+    for (const auto& ring : rings_) {
+      if (ring->SizeApprox() != 0) {
+        empty = false;
+        break;
+      }
+    }
+    // Order matters: rings first, busy count second. A worker marks itself
+    // busy before popping, so "all rings empty, nobody busy" proves every
+    // event accepted before this call has been applied.
+    if (empty && busy_workers_.load() == 0) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return LastError();
+}
+
+Status IngestPipeline::Drain() {
+  std::call_once(drain_once_, [this] {
+    closed_.store(true, std::memory_order_seq_cst);
+    // Wait out in-flight TrySubmit calls: once the count is zero, any
+    // submitter that passed the closed_ check has finished its push, so
+    // the sweep below observes every accepted event. seq_cst pairs with
+    // the seq_cst RMW/load in TrySubmit (Dekker handshake).
+    while (active_submitters_.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    stop_.store(true, std::memory_order_release);
+    for (std::thread& t : workers_) t.join();
+    // Workers exit only after an empty pass, but sweep once more so
+    // nothing a submitter racing the shutdown slipped in is stranded.
+    // The sweep reuses the workers' aggregate-then-batch path so stats
+    // and slot-rewrite costs stay consistent; DrainOnce's busy_workers_
+    // raise makes it visible to a concurrent Flush.
+    std::vector<SpscRing*> all_rings;
+    all_rings.reserve(rings_.size());
+    for (const auto& ring : rings_) all_rings.push_back(ring.get());
+    std::vector<Event> raw(options_.max_batch);
+    std::unordered_map<uint64_t, uint64_t> agg;
+    std::vector<analytics::KeyWeight> batch;
+    uint64_t pass = 0;
+    while (DrainOnce(all_rings, pass++, &raw, &agg, &batch) > 0) {
+    }
+    drain_result_ = LastError();
+  });
+  return drain_result_;
+}
+
+PipelineStats IngestPipeline::Stats() const {
+  PipelineStats stats;
+  stats.events_submitted = submitted_.load(std::memory_order_relaxed);
+  stats.events_rejected = rejected_.load(std::memory_order_relaxed);
+  stats.events_applied = applied_.load(std::memory_order_relaxed);
+  stats.events_dropped = dropped_.load(std::memory_order_relaxed);
+  stats.updates_applied = updates_.load(std::memory_order_relaxed);
+  stats.batches_applied = batches_.load(std::memory_order_relaxed);
+  for (const auto& ring : rings_) stats.queue_depth += ring->SizeApprox();
+  return stats;
+}
+
+Status IngestPipeline::LastError() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+void IngestPipeline::RecordError(const Status& st) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = st;
+}
+
+}  // namespace pipeline
+}  // namespace countlib

@@ -1,0 +1,137 @@
+/// \file ingest_pipeline.h
+/// \brief Asynchronous batched ingestion between event producers and a
+/// `ConcurrentCounterStore` — the serving path of the paper's §1 analytics
+/// system.
+///
+/// Producers get private bounded SPSC queues and a non-blocking
+/// `TrySubmit` that reports `kPending` backpressure (the FASTER-style
+/// OK/Pending status model) instead of ever blocking the write path on a
+/// stripe mutex. Background workers drain the queues, **pre-aggregate
+/// duplicate keys within each batch** — one packed-slot
+/// deserialize/serialize per *distinct* key instead of per event, which is
+/// exactly where the store's cycles go under a Zipfian workload — and apply
+/// the result through `ConcurrentCounterStore::IncrementBatch`, which takes
+/// each stripe lock once per batch rather than once per event.
+///
+/// Lifecycle: `Make` starts the workers; `Flush` quiesces (everything
+/// accepted so far is applied); `Drain` closes submission, flushes, and
+/// stops the workers — it is idempotent, and the destructor calls it.
+///
+/// Threading contract: a producer slot is single-threaded at any instant
+/// (SPSC); different slots are fully concurrent. `Flush`/`Drain`/`Stats`
+/// may be called from any thread. An event acknowledged with OK by
+/// `TrySubmit` is never lost, even when the submit races a concurrent
+/// `Drain` — draining waits out in-flight submits before its final sweep.
+
+#ifndef COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
+#define COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "pipeline/event.h"
+#include "pipeline/spsc_ring.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace pipeline {
+
+/// \brief Async batched ingest front-end for a ConcurrentCounterStore.
+class IngestPipeline {
+ public:
+  /// Starts the pipeline: one SPSC queue per producer slot and
+  /// `options.num_workers` drain threads over `store`. The store must
+  /// outlive the pipeline; it is not owned.
+  static Result<std::unique_ptr<IngestPipeline>> Make(
+      analytics::ConcurrentCounterStore* store, const PipelineOptions& options);
+
+  /// Drains and stops the workers (`Drain`).
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Non-blocking submit of `weight` increments to `key` on `producer`'s
+  /// queue. Returns OK when enqueued (the event will be applied),
+  /// `kPending` when the queue is full (retry after backoff),
+  /// `kFailedPrecondition` once draining has begun, and
+  /// `kInvalidArgument` for a bad producer slot or zero weight.
+  Status TrySubmit(uint64_t producer, uint64_t key, uint64_t weight = 1);
+
+  /// Blocking convenience: retries `TrySubmit` with a yield/sleep backoff
+  /// until accepted or the pipeline is closed.
+  Status Submit(uint64_t producer, uint64_t key, uint64_t weight = 1);
+
+  /// Blocks until every event accepted before the call has been applied to
+  /// the store. With producers still submitting concurrently this is a
+  /// quiesce point, not a barrier. Returns the first worker error, if any.
+  Status Flush();
+
+  /// Closes submission, flushes all queues, and joins the workers.
+  /// Idempotent: later calls (and the destructor) return the same result
+  /// immediately. Returns the first worker error, if any.
+  Status Drain();
+
+  /// Snapshot of the activity counters and current queue depth.
+  PipelineStats Stats() const;
+
+  /// First store error hit by a worker (OK if none). Sticky.
+  Status LastError() const;
+
+  uint64_t num_producers() const { return rings_.size(); }
+
+ private:
+  IngestPipeline(analytics::ConcurrentCounterStore* store,
+                 const PipelineOptions& options);
+
+  /// Drain loop for worker `w` (owns rings where i % num_workers == w).
+  void WorkerLoop(uint64_t w);
+
+  /// Drains up to `max_batch` events from `rings` into `raw` (sized
+  /// `max_batch` by the caller, reused across passes), pre-aggregates via
+  /// the reused `agg` map into `batch`, and applies. The scan begins at
+  /// ring `start_ring % rings.size()` — callers advance it each pass for
+  /// fairness. Returns the number of raw events consumed. The worker-owned
+  /// scratch keeps the drain loop itself allocation-light; the store's
+  /// batch call still allocates its stripe-routing scratch internally.
+  uint64_t DrainOnce(const std::vector<SpscRing*>& rings, uint64_t start_ring,
+                     std::vector<Event>* raw,
+                     std::unordered_map<uint64_t, uint64_t>* agg,
+                     std::vector<analytics::KeyWeight>* batch);
+
+  void RecordError(const Status& st);
+
+  analytics::ConcurrentCounterStore* store_;
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<SpscRing>> rings_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> closed_{false};   ///< no new submissions accepted
+  std::atomic<bool> stop_{false};     ///< workers may exit once their rings are empty
+  std::atomic<uint64_t> busy_workers_{0};     ///< drains in progress (Flush fence)
+  std::atomic<uint64_t> active_submitters_{0};  ///< in-flight TrySubmit calls (Drain fence)
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  mutable std::mutex error_mu_;
+  Status first_error_;
+
+  std::once_flag drain_once_;
+  Status drain_result_;
+};
+
+}  // namespace pipeline
+}  // namespace countlib
+
+#endif  // COUNTLIB_PIPELINE_INGEST_PIPELINE_H_

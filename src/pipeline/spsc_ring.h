@@ -1,0 +1,91 @@
+/// \file spsc_ring.h
+/// \brief Bounded lock-free single-producer/single-consumer ring buffer of
+/// `Event`s — the per-producer queue of the ingestion pipeline.
+///
+/// Classic two-index design: the producer owns `tail_`, the consumer owns
+/// `head_`, each side reads the other's index with acquire semantics and
+/// publishes its own with release semantics. Capacity is a power of two so
+/// wraparound is a mask. Indices are monotonically increasing 64-bit
+/// counters (no ABA, no modular-compare subtleties).
+///
+/// Contract: at most one thread calls the producer side (`TryPush`) and at
+/// most one thread calls the consumer side (`PopBatch`) at any time.
+/// `SizeApprox` is safe from any thread.
+
+#ifndef COUNTLIB_PIPELINE_SPSC_RING_H_
+#define COUNTLIB_PIPELINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/event.h"
+
+namespace countlib {
+namespace pipeline {
+
+/// \brief Bounded SPSC queue of events with power-of-two capacity.
+class SpscRing {
+ public:
+  /// Builds a ring holding at least `min_capacity` events (rounded up to a
+  /// power of two, minimum 2).
+  explicit SpscRing(uint64_t min_capacity)
+      : buf_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side: enqueues `e`; returns false when the ring is full
+  /// (the caller surfaces this as `kPending` backpressure).
+  bool TryPush(const Event& e) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    buf_[tail & mask_] = e;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeues up to `max` events into `out`; returns the
+  /// number dequeued (0 when empty).
+  uint64_t PopBatch(Event* out, uint64_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t n = tail - head;
+    if (n > max) n = max;
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = buf_[(head + i) & mask_];
+    }
+    if (n > 0) head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Events currently queued. Exact only when both sides are quiescent.
+  uint64_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  uint64_t capacity() const { return buf_.size(); }
+
+ private:
+  static uint64_t RoundUpPow2(uint64_t v) {
+    uint64_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::vector<Event> buf_;
+  const uint64_t mask_;
+  // Producer and consumer indices on separate cache lines to avoid
+  // false sharing between the submitting and draining threads.
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer
+};
+
+}  // namespace pipeline
+}  // namespace countlib
+
+#endif  // COUNTLIB_PIPELINE_SPSC_RING_H_

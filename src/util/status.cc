@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kCapacityExceeded:
       return "CapacityExceeded";
+    case StatusCode::kPending:
+      return "Pending";
   }
   return "Unknown";
 }

@@ -35,6 +35,7 @@ enum class StatusCode : int8_t {
   kInternal = 7,
   kIOError = 8,
   kCapacityExceeded = 9,
+  kPending = 10,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -83,6 +84,11 @@ class Status {
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
+  /// The operation could not complete *now* and should be retried — the
+  /// FASTER-style non-blocking submit result (queue full / backpressure).
+  static Status Pending(std::string msg) {
+    return Status(StatusCode::kPending, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return rep_ == nullptr; }
@@ -104,6 +110,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsPending() const { return code() == StatusCode::kPending; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,209 @@
+// End-to-end tests for the async batched ingestion pipeline. The store is
+// configured with exact counters so "no lost updates" is checkable to the
+// last unit of weight: after Drain, every key's estimate must equal the
+// exact total weight submitted for it.
+
+#include "pipeline/ingest_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+
+namespace countlib {
+namespace pipeline {
+namespace {
+
+analytics::ConcurrentCounterStore MakeExactStore(uint64_t stripes = 8) {
+  return analytics::ConcurrentCounterStore::Make(
+             stripes, CounterKind::kExact, 32, (uint64_t{1} << 32) - 1, 1)
+      .ValueOrDie();
+}
+
+TEST(IngestPipelineTest, MakeValidatesOptions) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  EXPECT_FALSE(IngestPipeline::Make(nullptr, opt).ok());
+  opt.num_producers = 0;
+  EXPECT_FALSE(IngestPipeline::Make(&store, opt).ok());
+  opt.num_producers = 4;
+  opt.num_workers = 0;
+  EXPECT_FALSE(IngestPipeline::Make(&store, opt).ok());
+  opt.num_workers = 1;
+  opt.max_batch = 0;
+  EXPECT_FALSE(IngestPipeline::Make(&store, opt).ok());
+  opt.max_batch = 64;
+  opt.queue_capacity = 1;
+  EXPECT_FALSE(IngestPipeline::Make(&store, opt).ok());
+  opt.queue_capacity = uint64_t{1} << 62;  // would overflow pow2 rounding
+  EXPECT_FALSE(IngestPipeline::Make(&store, opt).ok());
+}
+
+TEST(IngestPipelineTest, SubmitValidatesArguments) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+  EXPECT_TRUE(pipeline->TrySubmit(2, 1, 1).IsInvalidArgument());  // bad slot
+  EXPECT_TRUE(pipeline->TrySubmit(0, 1, 0).IsInvalidArgument());  // zero weight
+  EXPECT_TRUE(pipeline->TrySubmit(1, 42, 3).ok());
+  EXPECT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(42).ValueOrDie(), 3.0);
+}
+
+// The acceptance-criteria test: >= 4 concurrent producers, random weights,
+// exact counters — after Drain every key's estimate equals the exact
+// submitted total, i.e. zero lost and zero duplicated updates.
+TEST(IngestPipelineTest, MultiProducerStressLosesNothing) {
+  auto store = MakeExactStore(16);
+  PipelineOptions opt;
+  opt.num_producers = 6;
+  opt.num_workers = 3;
+  opt.queue_capacity = 256;
+  opt.max_batch = 128;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  constexpr uint64_t kKeys = 257;  // prime, so keys spread unevenly
+  constexpr uint64_t kEventsPerProducer = 30000;
+  std::vector<std::vector<uint64_t>> submitted(opt.num_producers,
+                                               std::vector<uint64_t>(kKeys, 0));
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < opt.num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      // Cheap deterministic per-producer stream of (key, weight).
+      uint64_t x = p * 1000003 + 12345;
+      for (uint64_t i = 0; i < kEventsPerProducer; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t key = (x >> 33) % kKeys;
+        const uint64_t weight = ((x >> 20) % 5) + 1;
+        ASSERT_TRUE(pipeline->Submit(p, key, weight).ok());
+        submitted[p][key] += weight;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(pipeline->Drain().ok());
+
+  std::vector<uint64_t> expected(kKeys, 0);
+  for (const auto& per_producer : submitted) {
+    for (uint64_t k = 0; k < kKeys; ++k) expected[k] += per_producer[k];
+  }
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (expected[k] == 0) {
+      EXPECT_TRUE(store.Estimate(k).status().IsNotFound());
+      continue;
+    }
+    ASSERT_EQ(store.Estimate(k).ValueOrDie(), static_cast<double>(expected[k]))
+        << "key " << k;
+  }
+
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_submitted, opt.num_producers * kEventsPerProducer);
+  EXPECT_EQ(stats.events_applied, stats.events_submitted);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_GT(stats.batches_applied, 0u);
+  // Pre-aggregation must have collapsed duplicate keys within batches.
+  EXPECT_LT(stats.updates_applied, stats.events_applied);
+}
+
+TEST(IngestPipelineTest, BackpressureSurfacesPendingAndLosesNothing) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 1;
+  opt.num_workers = 1;
+  opt.queue_capacity = 2;  // tiny queue: producer outruns the worker
+  opt.max_batch = 1;       // worker applies one event per pass
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  constexpr uint64_t kEvents = 20000;
+  uint64_t pendings = 0;
+  uint64_t total_weight = 0;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    const uint64_t weight = (i % 3) + 1;
+    while (true) {
+      Status st = pipeline->TrySubmit(0, /*key=*/7, weight);
+      if (st.ok()) break;
+      ASSERT_TRUE(st.IsPending()) << st.ToString();
+      ++pendings;
+      std::this_thread::yield();
+    }
+    total_weight += weight;
+  }
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(7).ValueOrDie(), static_cast<double>(total_weight));
+
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_submitted, kEvents);
+  EXPECT_EQ(stats.events_applied, kEvents);
+  EXPECT_EQ(stats.events_rejected, pendings);
+  EXPECT_GT(pendings, 0u) << "queue of 2 never filled in " << kEvents
+                          << " tight-loop submits";
+}
+
+TEST(IngestPipelineTest, FlushIsAQuiescePoint) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  ASSERT_TRUE(pipeline->Submit(0, 1, 10).ok());
+  ASSERT_TRUE(pipeline->Submit(1, 2, 20).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+  EXPECT_EQ(store.Estimate(1).ValueOrDie(), 10.0);
+  EXPECT_EQ(store.Estimate(2).ValueOrDie(), 20.0);
+
+  // The pipeline stays open after Flush.
+  ASSERT_TRUE(pipeline->Submit(0, 1, 5).ok());
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(1).ValueOrDie(), 15.0);
+}
+
+TEST(IngestPipelineTest, DoubleDrainIsIdempotent) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+  ASSERT_TRUE(pipeline->Submit(0, 5, 2).ok());
+  ASSERT_TRUE(pipeline->Submit(1, 5, 3).ok());
+
+  ASSERT_TRUE(pipeline->Drain().ok());
+  const PipelineStats after_first = pipeline->Stats();
+  EXPECT_EQ(store.Estimate(5).ValueOrDie(), 5.0);
+
+  // Second (and third) Drain: same result, no double-apply.
+  ASSERT_TRUE(pipeline->Drain().ok());
+  ASSERT_TRUE(pipeline->Drain().ok());
+  const PipelineStats after_third = pipeline->Stats();
+  EXPECT_EQ(store.Estimate(5).ValueOrDie(), 5.0);
+  EXPECT_EQ(after_third.events_applied, after_first.events_applied);
+  EXPECT_EQ(after_third.batches_applied, after_first.batches_applied);
+
+  // Submission is closed once draining.
+  EXPECT_TRUE(pipeline->TrySubmit(0, 5, 1).IsFailedPrecondition());
+  EXPECT_TRUE(pipeline->Submit(0, 5, 1).IsFailedPrecondition());
+}
+
+TEST(IngestPipelineTest, StatsReportQueueDepthWhileIdleWorkerSleeps) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 1;
+  opt.queue_capacity = 1024;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pipeline->Submit(0, i, 1).ok());
+  }
+  ASSERT_TRUE(pipeline->Flush().ok());
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_submitted, 100u);
+  EXPECT_EQ(stats.events_applied, 100u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_TRUE(pipeline->LastError().ok());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace countlib

@@ -1,0 +1,103 @@
+// Unit tests for the SPSC ring buffer behind the ingestion pipeline's
+// per-producer queues: capacity rounding, FIFO order, deterministic full /
+// empty behavior, wraparound, and a 1-producer/1-consumer stress run.
+
+#include "pipeline/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace countlib {
+namespace pipeline {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing(1024).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, PushPopPreservesFifoOrder) {
+  SpscRing ring(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPush(Event{i, i + 100}));
+  }
+  EXPECT_EQ(ring.SizeApprox(), 5u);
+  std::vector<Event> out(8);
+  EXPECT_EQ(ring.PopBatch(out.data(), out.size()), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].key, i);
+    EXPECT_EQ(out[i].weight, i + 100);
+  }
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+  EXPECT_EQ(ring.PopBatch(out.data(), out.size()), 0u);
+}
+
+TEST(SpscRingTest, FullRingRejectsPushUntilPopped) {
+  SpscRing ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPush(Event{i, 1}));
+  }
+  EXPECT_FALSE(ring.TryPush(Event{99, 1}));  // deterministic backpressure
+  Event one;
+  ASSERT_EQ(ring.PopBatch(&one, 1), 1u);
+  EXPECT_EQ(one.key, 0u);
+  EXPECT_TRUE(ring.TryPush(Event{99, 1}));
+  EXPECT_FALSE(ring.TryPush(Event{100, 1}));
+}
+
+TEST(SpscRingTest, WraparoundKeepsOrderAcrossManyCycles) {
+  SpscRing ring(4);
+  uint64_t next_push = 0, next_pop = 0;
+  Event out[3];
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    while (ring.TryPush(Event{next_push, 1})) ++next_push;
+    uint64_t got;
+    while ((got = ring.PopBatch(out, 3)) > 0) {
+      for (uint64_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i].key, next_pop++);
+      }
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GE(next_push, 4000u);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumerLosesNothing) {
+  SpscRing ring(64);
+  constexpr uint64_t kEvents = 200000;
+  uint64_t consumed_weight = 0;
+  uint64_t consumed_events = 0;
+  std::thread consumer([&] {
+    std::vector<Event> out(64);
+    uint64_t expected_key = 0;
+    while (consumed_events < kEvents) {
+      const uint64_t got = ring.PopBatch(out.data(), out.size());
+      for (uint64_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i].key, expected_key++);  // strict FIFO
+        consumed_weight += out[i].weight;
+      }
+      consumed_events += got;
+      if (got == 0) std::this_thread::yield();
+    }
+  });
+  uint64_t produced_weight = 0;
+  for (uint64_t i = 0; i < kEvents; ++i) {
+    const Event e{i, (i % 7) + 1};
+    while (!ring.TryPush(e)) std::this_thread::yield();
+    produced_weight += e.weight;
+  }
+  consumer.join();
+  EXPECT_EQ(consumed_events, kEvents);
+  EXPECT_EQ(consumed_weight, produced_weight);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace countlib

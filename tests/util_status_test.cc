@@ -34,6 +34,8 @@ TEST(StatusTest, AllCodesRoundTripThroughToString) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::Pending("x").IsPending());
+  EXPECT_EQ(Status::Pending("queue full").ToString(), "Pending: queue full");
 }
 
 TEST(StatusTest, CopyIsCheapAndEqual) {
