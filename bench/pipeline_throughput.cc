@@ -1,6 +1,7 @@
 /// \file pipeline_throughput.cc
 /// \brief PIPELINE: ingest throughput — direct locked `Increment` vs the
-/// async batched pipeline, single- and multi-producer.
+/// async batched pipeline, plus elastic-scaling, idle-CPU, and
+/// backpressure-cost scenarios.
 ///
 /// Replays the same Zipf trace through (a) producer threads calling
 /// `ConcurrentCounterStore::Increment` directly (a stripe-lock round trip
@@ -10,8 +11,29 @@
 /// traffic the batched path does one slot update per *distinct* key per
 /// batch, which is where the win comes from even on a single core.
 ///
+/// Three extra scenarios track the elastic-pipeline work:
+///  - **elastic**: replays the trace while `SetWorkerCount` steps the
+///    worker pool 1→4→2→4 mid-stream (the resize barrier is on the hot
+///    path, so regressions show up as throughput loss).
+///  - **idle**: a flushed, quiet pipeline is watched for one second; the
+///    CV-parked workers must do near-zero busy passes (asserted) and only
+///    a handful of timeout-bounded idle passes — this is the number that
+///    collapsed when the yield/sleep poll was replaced by the eventcount.
+///  - **backpressure**: tight-loop `TrySubmit` against a 2-entry queue;
+///    the rejects/sec rate tracks the cost of the (allocation-free)
+///    kPending path.
+///
 /// Emits a human table plus one machine-readable JSON document (stdout,
-/// and `--json_out=FILE` for the BENCH_*.json trajectory).
+/// and `--json_out=FILE`, default `BENCH_pipeline_throughput.json` in the
+/// working directory — run from the repo root for the cross-PR
+/// trajectory). JSON schema (stable keys): `bench`, `keys`, `skew`,
+/// `configs[] {mode, producers, events, elapsed_s, events_per_sec,
+/// agg_factor}`, `elastic {producers, worker_steps[], events, elapsed_s,
+/// events_per_sec, agg_factor}`, `idle {seconds, busy_passes, idle_passes,
+/// wakeups, cpu_seconds}`, `backpressure {attempts, accepted, rejected,
+/// elapsed_s, attempts_per_sec, rejects_per_sec}`.
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
@@ -40,10 +62,37 @@ struct RunResult {
   double agg_factor;  // events applied per store update (1.0 for direct)
 };
 
+struct IdleResult {
+  double seconds;
+  uint64_t busy_passes;
+  uint64_t idle_passes;
+  uint64_t wakeups;
+  double cpu_seconds;
+};
+
+struct BackpressureResult {
+  uint64_t attempts;
+  uint64_t accepted;
+  uint64_t rejected;
+  double elapsed_s;
+  double attempts_per_sec;
+  double rejects_per_sec;
+};
+
 double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+double ProcessCpuSeconds() {
+  struct rusage usage;
+  COUNTLIB_CHECK_EQ(getrusage(RUSAGE_SELF, &usage), 0);
+  const auto to_s = [](const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_s(usage.ru_utime) + to_s(usage.ru_stime);
 }
 
 analytics::ConcurrentCounterStore MakeStore(uint64_t stripes, uint64_t n_max) {
@@ -86,7 +135,8 @@ RunResult RunDirect(const std::vector<std::vector<pipeline::Event>>& parts,
 
 RunResult RunPipeline(const std::vector<std::vector<pipeline::Event>>& parts,
                       uint64_t stripes, uint64_t n_max, uint64_t workers,
-                      uint64_t queue_capacity, uint64_t max_batch) {
+                      uint64_t queue_capacity, uint64_t max_batch,
+                      const std::vector<uint64_t>& worker_steps = {}) {
   auto store = MakeStore(stripes, n_max);
   pipeline::PipelineOptions opt;
   opt.num_producers = parts.size();
@@ -105,6 +155,13 @@ RunResult RunPipeline(const std::vector<std::vector<pipeline::Event>>& parts,
       }
     });
   }
+  // The elastic scenario: step the worker pool while producers submit.
+  // Each step re-partitions ring ownership at the join barrier; queued
+  // events must all survive (checked below via events_applied).
+  for (uint64_t n : worker_steps) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    COUNTLIB_CHECK_OK(ingest->SetWorkerCount(n));
+  }
   for (auto& t : threads) t.join();
   COUNTLIB_CHECK_OK(ingest->Drain());
   const double elapsed = Now() - start;
@@ -114,29 +171,141 @@ RunResult RunPipeline(const std::vector<std::vector<pipeline::Event>>& parts,
                          ? 1.0
                          : static_cast<double>(stats.events_applied) /
                                static_cast<double>(stats.updates_applied);
-  return RunResult{"pipeline", parts.size(), total, elapsed,
+  return RunResult{worker_steps.empty() ? "pipeline" : "pipeline-elastic",
+                   parts.size(), total, elapsed,
                    static_cast<double>(total) / elapsed, agg};
 }
 
+/// Watches a flushed, quiet pipeline for `seconds`: with CV-parked workers
+/// the busy-pass count must stay at zero and the idle passes bounded by
+/// the sleep-timeout wake rate (~20/s per worker) — the old yield/sleep
+/// backoff burned ~10k passes/s per worker here.
+IdleResult RunIdle(double seconds, uint64_t workers) {
+  auto store = MakeStore(16, 1u << 20);
+  pipeline::PipelineOptions opt;
+  opt.num_producers = workers;
+  opt.num_workers = workers;
+  auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  for (uint64_t p = 0; p < workers; ++p) {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      COUNTLIB_CHECK_OK(ingest->Submit(p, i, 1));
+    }
+  }
+  COUNTLIB_CHECK_OK(ingest->Flush());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // settle
+
+  const pipeline::PipelineStats before = ingest->Stats();
+  const double cpu_before = ProcessCpuSeconds();
+  const double start = Now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  const double elapsed = Now() - start;
+  const double cpu = ProcessCpuSeconds() - cpu_before;
+  const pipeline::PipelineStats after = ingest->Stats();
+  COUNTLIB_CHECK_OK(ingest->Drain());
+
+  IdleResult r;
+  r.seconds = elapsed;
+  r.busy_passes = after.batches_applied - before.batches_applied;
+  r.idle_passes = after.idle_passes - before.idle_passes;
+  r.wakeups = after.worker_wakeups - before.worker_wakeups;
+  r.cpu_seconds = cpu;
+  // The acceptance gate: a quiet second must be near-free. Zero batches
+  // (nothing was submitted) and idle passes bounded well under the old
+  // poll rate.
+  COUNTLIB_CHECK_EQ(r.busy_passes, uint64_t{0});
+  COUNTLIB_CHECK_LT(r.idle_passes, uint64_t{1000});
+  return r;
+}
+
+/// Tight-loop TrySubmit against a tiny queue: the rejects/sec rate is a
+/// direct read on the kPending path's cost (now allocation-free). The
+/// accepted count is scheduler-dependent (the hammer loop deliberately
+/// never backs off, so on few-core boxes the worker runs only on
+/// preemption) — only the attempt/reject rates are meaningful here.
+BackpressureResult RunBackpressure(double seconds) {
+  auto store = MakeStore(4, 1u << 20);
+  pipeline::PipelineOptions opt;
+  opt.num_producers = 1;
+  opt.num_workers = 1;
+  opt.queue_capacity = 2;
+  opt.max_batch = 1;
+  auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  BackpressureResult r{0, 0, 0, 0.0, 0.0, 0.0};
+  const double start = Now();
+  const double deadline = start + seconds;
+  while (Now() < deadline) {
+    for (int i = 0; i < 1024; ++i) {
+      const Status st = ingest->TrySubmit(0, /*key=*/r.attempts & 63, 1);
+      ++r.attempts;
+      if (st.ok()) {
+        ++r.accepted;
+      } else {
+        COUNTLIB_CHECK(st.IsPending()) << st.ToString();
+        ++r.rejected;
+      }
+    }
+  }
+  r.elapsed_s = Now() - start;
+  COUNTLIB_CHECK_OK(ingest->Drain());
+  r.attempts_per_sec = static_cast<double>(r.attempts) / r.elapsed_s;
+  r.rejects_per_sec = static_cast<double>(r.rejected) / r.elapsed_s;
+  return r;
+}
+
 std::string ToJson(const std::vector<RunResult>& results,
+                   const RunResult& elastic,
+                   const std::vector<uint64_t>& worker_steps,
+                   const IdleResult& idle, const BackpressureResult& bp,
                    uint64_t keys, double skew) {
   std::string out = "{\"bench\":\"pipeline_throughput\",\"keys\":" +
                     std::to_string(keys) + ",\"skew\":" + std::to_string(skew) +
                     ",\"configs\":[";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    if (i > 0) out += ",";
-    char buf[256];
+  char buf[512];
+  // `extra` lands verbatim inside the object, after agg_factor — the
+  // elastic entry uses it to carry its worker_steps array.
+  const auto append_run = [&out, &buf](const RunResult& r,
+                                       const std::string& extra = "") {
     std::snprintf(buf, sizeof(buf),
                   "{\"mode\":\"%s\",\"producers\":%llu,\"events\":%llu,"
                   "\"elapsed_s\":%.6f,\"events_per_sec\":%.1f,"
-                  "\"agg_factor\":%.3f}",
+                  "\"agg_factor\":%.3f%s}",
                   r.mode.c_str(), static_cast<unsigned long long>(r.producers),
                   static_cast<unsigned long long>(r.events), r.elapsed_s,
-                  r.events_per_sec, r.agg_factor);
+                  r.events_per_sec, r.agg_factor, extra.c_str());
     out += buf;
+  };
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ",";
+    append_run(results[i]);
   }
-  out += "]}";
+  out += "],\"elastic\":";
+  std::string steps = ",\"worker_steps\":[";
+  for (size_t i = 0; i < worker_steps.size(); ++i) {
+    if (i > 0) steps += ",";
+    steps += std::to_string(worker_steps[i]);
+  }
+  steps += "]";
+  append_run(elastic, steps);
+  std::snprintf(buf, sizeof(buf),
+                ",\"idle\":{\"seconds\":%.3f,\"busy_passes\":%llu,"
+                "\"idle_passes\":%llu,\"wakeups\":%llu,\"cpu_seconds\":%.4f}",
+                idle.seconds, static_cast<unsigned long long>(idle.busy_passes),
+                static_cast<unsigned long long>(idle.idle_passes),
+                static_cast<unsigned long long>(idle.wakeups),
+                idle.cpu_seconds);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"backpressure\":{\"attempts\":%llu,\"accepted\":%llu,"
+      "\"rejected\":%llu,\"elapsed_s\":%.4f,\"attempts_per_sec\":%.1f,"
+      "\"rejects_per_sec\":%.1f}",
+      static_cast<unsigned long long>(bp.attempts),
+      static_cast<unsigned long long>(bp.accepted),
+      static_cast<unsigned long long>(bp.rejected), bp.elapsed_s,
+      bp.attempts_per_sec, bp.rejects_per_sec);
+  out += buf;
+  out += "}";
   return out;
 }
 
@@ -149,7 +318,9 @@ int Main(int argc, const char* const* argv) {
   flags.AddUint64("workers", 1, "pipeline drain threads");
   flags.AddUint64("queue_capacity", 8192, "per-producer queue capacity");
   flags.AddUint64("max_batch", 2048, "max events per pre-aggregated batch");
-  flags.AddString("json_out", "", "also write the JSON document to this file");
+  flags.AddDouble("idle_seconds", 1.0, "quiet-pipeline observation window");
+  flags.AddString("json_out", "BENCH_pipeline_throughput.json",
+                  "write the JSON document to this file (empty to skip)");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
@@ -183,7 +354,35 @@ int Main(int argc, const char* const* argv) {
     }
   }
 
-  const std::string json = ToJson(results, keys, skew);
+  const std::vector<uint64_t> worker_steps = {4, 2, 4};
+  const auto elastic_parts = Partition(trace.events(), 4);
+  RunResult elastic = RunPipeline(
+      elastic_parts, flags.GetUint64("stripes"), events, /*workers=*/1,
+      flags.GetUint64("queue_capacity"), flags.GetUint64("max_batch"),
+      worker_steps);
+  table.BeginRow() << elastic.mode << elastic.producers
+                   << elastic.events_per_sec << elastic.elapsed_s
+                   << elastic.agg_factor;
+  COUNTLIB_CHECK_OK(table.EndRow());
+
+  const IdleResult idle = RunIdle(flags.GetDouble("idle_seconds"), 2);
+  std::printf(
+      "# idle: %.2fs quiet -> %llu busy passes, %llu idle passes, "
+      "%llu wakeups, %.4fs cpu\n",
+      idle.seconds, static_cast<unsigned long long>(idle.busy_passes),
+      static_cast<unsigned long long>(idle.idle_passes),
+      static_cast<unsigned long long>(idle.wakeups), idle.cpu_seconds);
+
+  const BackpressureResult bp = RunBackpressure(0.25);
+  std::printf(
+      "# backpressure: %.1fM TrySubmit/s against a full queue "
+      "(%.0f%% rejected, allocation-free kPending)\n",
+      bp.attempts_per_sec / 1e6,
+      100.0 * static_cast<double>(bp.rejected) /
+          static_cast<double>(bp.attempts == 0 ? 1 : bp.attempts));
+
+  const std::string json =
+      ToJson(results, elastic, worker_steps, idle, bp, keys, skew);
   std::printf("%s\n", json.c_str());
   const std::string json_out = flags.GetString("json_out");
   if (!json_out.empty()) {

@@ -1,11 +1,23 @@
 /// \file pipeline_ingest.cpp
-/// \brief The §1 analytics system end to end: concurrent producers feed
-/// page-visit events through the async batched `IngestPipeline` into a
-/// striped bit-packed `ConcurrentCounterStore`, then a dashboard reads the
-/// results with one `TopK` snapshot call.
+/// \brief The §1 analytics system end to end, elastic edition: a pool of
+/// transient producer threads leases slots from the `IngestPipeline`'s
+/// producer-slot registry, feeds page-visit events through the async
+/// batched path into a striped bit-packed `ConcurrentCounterStore`, while
+/// the worker pool is resized mid-run with `SetWorkerCount`. A dashboard
+/// then reads the results with one `TopK` snapshot call.
 ///
-///   ./build/example_pipeline_ingest [--pages=N] [--visits=N] [--producers=N]
+/// The registry replaces the old static slot-per-thread contract: there
+/// are more worker-pool threads than producer slots, so each thread
+/// repeatedly acquires a slot (RAII `ProducerSlot` handle), submits a
+/// chunk, and releases — the registry guarantees one holder per slot and
+/// hands a released slot out again only after its queue has drained.
+///
+///   ./build/example_pipeline_ingest [--pages=N] [--visits=N] [--threads=N]
+///       [--slots=N]
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -19,10 +31,11 @@
 int main(int argc, char** argv) {
   using namespace countlib;
 
-  FlagParser flags("pipeline_ingest: async batched ingestion demo");
+  FlagParser flags("pipeline_ingest: elastic async batched ingestion demo");
   flags.AddUint64("pages", 50000, "distinct pages");
   flags.AddUint64("visits", 2000000, "total visit events");
-  flags.AddUint64("producers", 4, "concurrent producer threads");
+  flags.AddUint64("threads", 8, "transient producer threads sharing the slots");
+  flags.AddUint64("slots", 4, "producer slots in the registry");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
@@ -30,7 +43,8 @@ int main(int argc, char** argv) {
   }
   const uint64_t pages = flags.GetUint64("pages");
   const uint64_t visits = flags.GetUint64("visits");
-  const uint64_t producers = flags.GetUint64("producers");
+  const uint64_t threads = flags.GetUint64("threads");
+  const uint64_t slots = flags.GetUint64("slots");
 
   // Zipf page popularity, 16 bits of packed counter state per page.
   auto trace = stream::Trace::GenerateZipf(pages, 1.05, visits, 99).ValueOrDie();
@@ -39,23 +53,43 @@ int main(int argc, char** argv) {
                    .ValueOrDie();
 
   pipeline::PipelineOptions options;
-  options.num_producers = producers;
+  options.num_producers = slots;
   options.queue_capacity = 8192;
   options.max_batch = 2048;
+  options.num_workers = 1;  // start small; scaled up below
   auto ingest = pipeline::IngestPipeline::Make(&store, options).ValueOrDie();
 
-  // Each producer thread replays its share of the trace through its own
-  // lock-free queue; Submit spins out kPending backpressure internally.
-  std::vector<std::thread> threads;
-  for (uint64_t p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      const auto& events = trace.events();
-      for (size_t i = p; i < events.size(); i += producers) {
-        COUNTLIB_CHECK_OK(ingest->Submit(p, events[i].key, events[i].weight));
+  // The producer pool: each thread claims trace chunks from a shared
+  // cursor and, per chunk, leases whichever slot the registry hands it.
+  constexpr uint64_t kChunk = 65536;
+  std::atomic<uint64_t> next_chunk{0};
+  const auto& events = trace.events();
+  std::vector<std::thread> pool;
+  for (uint64_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const uint64_t begin = next_chunk.fetch_add(kChunk);
+        if (begin >= events.size()) return;
+        const uint64_t end = std::min<uint64_t>(begin + kChunk, events.size());
+        auto slot = ingest->AcquireProducerSlot().ValueOrDie();
+        for (uint64_t i = begin; i < end; ++i) {
+          COUNTLIB_CHECK_OK(slot.Submit(events[i].key, events[i].weight));
+        }
+        // The handle releases the slot here; queued leftovers are drained
+        // before the registry re-issues it.
       }
     });
   }
-  for (auto& t : threads) t.join();
+
+  // Elastic control loop: scale the drain pool up under load, then back
+  // down. Each resize re-partitions ring ownership at a safe barrier; no
+  // accepted event is lost across the switch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(4));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(2));
+
+  for (auto& t : pool) t.join();
   COUNTLIB_CHECK_OK(ingest->Drain());
 
   const pipeline::PipelineStats stats = ingest->Stats();
@@ -68,9 +102,26 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.updates_applied),
       static_cast<double>(stats.events_applied) /
           static_cast<double>(stats.updates_applied));
-  std::printf("store: %llu pages at %u bits/page packed state\n",
-              static_cast<unsigned long long>(store.NumKeys()),
-              16u);
+  std::printf("%llu transient threads shared %llu producer slots\n",
+              static_cast<unsigned long long>(threads),
+              static_cast<unsigned long long>(slots));
+
+  std::printf("\nper-worker activity (cumulative across resizes):\n");
+  for (const auto& w : ingest->PerWorkerStats()) {
+    std::printf("  worker %llu: %10llu events in %6llu batches, %llu wakeups\n",
+                static_cast<unsigned long long>(w.worker_id),
+                static_cast<unsigned long long>(w.events_applied),
+                static_cast<unsigned long long>(w.batches_applied),
+                static_cast<unsigned long long>(w.wakeups));
+  }
+
+  const analytics::StoreStats store_stats = store.Stats();
+  std::printf(
+      "store: %llu pages at 16 bits/page packed state; "
+      "%llu batch calls carried %llu updates\n",
+      static_cast<unsigned long long>(store.NumKeys()),
+      static_cast<unsigned long long>(store_stats.batch_calls),
+      static_cast<unsigned long long>(store_stats.batch_updates));
 
   // The dashboard read path: one snapshot call, no per-key round trips.
   auto top = store.TopK(10).ValueOrDie();

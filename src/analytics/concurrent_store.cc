@@ -42,7 +42,11 @@ ConcurrentCounterStore::Stripe& ConcurrentCounterStore::StripeFor(
 Status ConcurrentCounterStore::Increment(uint64_t key, uint64_t weight) {
   Stripe& stripe = StripeFor(key);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.store->Increment(key, weight);
+  Status st = stripe.store->Increment(key, weight);
+  if (st.ok()) {
+    stat_cells_->increments.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
 }
 
 Status ConcurrentCounterStore::IncrementBatch(const KeyWeight* updates, size_t n) {
@@ -70,7 +74,18 @@ Status ConcurrentCounterStore::IncrementBatch(const KeyWeight* updates, size_t n
     COUNTLIB_RETURN_NOT_OK(
         stripes_[s]->store->IncrementBatch(sorted.data() + begin, end - begin));
   }
+  stat_cells_->batch_calls.fetch_add(1, std::memory_order_relaxed);
+  stat_cells_->batch_updates.fetch_add(n, std::memory_order_relaxed);
   return Status::OK();
+}
+
+StoreStats ConcurrentCounterStore::Stats() const {
+  StoreStats stats;
+  stats.increments = stat_cells_->increments.load(std::memory_order_relaxed);
+  stats.batch_calls = stat_cells_->batch_calls.load(std::memory_order_relaxed);
+  stats.batch_updates =
+      stat_cells_->batch_updates.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Status ConcurrentCounterStore::ForEach(

@@ -8,6 +8,7 @@
 #ifndef COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_
 #define COUNTLIB_ANALYTICS_CONCURRENT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -19,6 +20,19 @@
 
 namespace countlib {
 namespace analytics {
+
+/// \brief Monotonic ingest counters for a ConcurrentCounterStore — the
+/// store-side half of the pipeline's observability surface (the pipeline's
+/// `PipelineStats` counts what reached the queues; this counts what reached
+/// the packed slots). Taken with `ConcurrentCounterStore::Stats`.
+struct StoreStats {
+  uint64_t increments = 0;     ///< successful single-key Increment calls
+  uint64_t batch_calls = 0;    ///< IncrementBatch invocations with n > 0
+  /// Key-weight updates applied through fully successful batches. A batch
+  /// that errors mid-way may have committed a prefix that is not counted
+  /// here, so treat this as a lower bound under store errors.
+  uint64_t batch_updates = 0;
+};
 
 /// \brief Striped, mutex-guarded collection of CounterStores.
 class ConcurrentCounterStore {
@@ -52,6 +66,9 @@ class ConcurrentCounterStore {
   /// per key, no per-key Estimate() round trips.
   Result<std::vector<KeyEstimate>> TopK(size_t k) const;
 
+  /// Thread-safe snapshot of the ingest activity counters.
+  StoreStats Stats() const;
+
   /// Total distinct keys across stripes (takes all locks; O(stripes)).
   uint64_t NumKeys() const;
 
@@ -66,13 +83,22 @@ class ConcurrentCounterStore {
     std::unique_ptr<CounterStore> store;
   };
 
+  /// Atomic stat cells, heap-held so the store stays movable.
+  struct StatCells {
+    std::atomic<uint64_t> increments{0};
+    std::atomic<uint64_t> batch_calls{0};
+    std::atomic<uint64_t> batch_updates{0};
+  };
+
   explicit ConcurrentCounterStore(std::vector<std::unique_ptr<Stripe>> stripes)
-      : stripes_(std::move(stripes)) {}
+      : stripes_(std::move(stripes)),
+        stat_cells_(std::make_unique<StatCells>()) {}
 
   uint64_t StripeIndexFor(uint64_t key) const;
   Stripe& StripeFor(uint64_t key) const;
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::unique_ptr<StatCells> stat_cells_;
 };
 
 }  // namespace analytics

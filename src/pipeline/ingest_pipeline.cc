@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <unordered_map>
 
 namespace countlib {
@@ -9,14 +10,47 @@ namespace pipeline {
 
 namespace {
 
-/// Idle-pass backoff: stay hot for a while, then sleep so a quiet pipeline
-/// costs ~no CPU.
-void Backoff(uint64_t idle_passes) {
-  if (idle_passes < 64) {
+/// How long a parked worker sleeps before rechecking its rings. This is the
+/// lost-wakeup backstop for the (rare) stale emptiness verdict in
+/// `SpscRing::TryPush` — and it bounds a fully idle worker to ~20 wakes/s.
+constexpr std::chrono::milliseconds kIdleSleep(50);
+
+/// Producer-side retry backoff for the blocking `Submit` wrapper: stay hot
+/// for a while, then sleep so a saturated producer does not burn a core.
+void Backoff(uint64_t attempts) {
+  if (attempts < 64) {
     std::this_thread::yield();
   } else {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
+}
+
+/// Preallocated results for the hot rejection paths. Backpressure fires
+/// exactly when the system is saturated, so the kPending result must not
+/// heap-allocate: these are built once and returned by copy (a Status copy
+/// is a shared_ptr refcount bump, never an allocation).
+const Status& QueueFullStatus() {
+  static const Status st =
+      Status::Pending("TrySubmit: producer queue full (backpressure)");
+  return st;
+}
+
+const Status& DrainingStatus() {
+  static const Status st =
+      Status::FailedPrecondition("IngestPipeline: pipeline is draining");
+  return st;
+}
+
+const Status& ZeroWeightStatus() {
+  static const Status st =
+      Status::InvalidArgument("TrySubmit: weight must be positive");
+  return st;
+}
+
+const Status& NoFreeSlotStatus() {
+  static const Status st = Status::Pending(
+      "TryAcquireProducerSlot: no free drained slot (retry after backoff)");
+  return st;
 }
 
 }  // namespace
@@ -43,6 +77,9 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
   if (options.max_batch > (uint64_t{1} << 30)) {
     return Status::InvalidArgument("IngestPipeline: max_batch <= 2^30");
   }
+  if (options.idle_spin_passes > (uint64_t{1} << 20)) {
+    return Status::InvalidArgument("IngestPipeline: idle_spin_passes <= 2^20");
+  }
   return std::unique_ptr<IngestPipeline>(new IngestPipeline(store, options));
 }
 
@@ -53,16 +90,42 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   for (uint64_t i = 0; i < options_.num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing>(options_.queue_capacity));
   }
-  // Clamp before spawning: WorkerLoop strides by the final worker count,
-  // and must not observe workers_ mid-construction.
+  slot_leased_.assign(options_.num_producers, 0);
+  // Clamp before spawning: more workers than rings is never useful.
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
-  workers_.reserve(options_.num_workers);
-  for (uint64_t w = 0; w < options_.num_workers; ++w) {
-    workers_.emplace_back([this, w] { WorkerLoop(w); });
-  }
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  SpawnWorkersLocked(options_.num_workers);
 }
 
 IngestPipeline::~IngestPipeline() { Drain(); }
+
+void IngestPipeline::SpawnWorkersLocked(uint64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(cells_mu_);
+    while (worker_cells_.size() < n) {
+      worker_cells_.push_back(std::make_unique<WorkerStatCells>());
+    }
+  }
+  const uint64_t gen = worker_gen_.load(std::memory_order_acquire);
+  workers_.reserve(n);
+  for (uint64_t w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w, gen, n] { WorkerLoop(w, gen, n); });
+  }
+  worker_count_.store(n, std::memory_order_release);
+}
+
+void IngestPipeline::NotifyWorkers() {
+  // Eventcount publish: the epoch bump is what a worker's sleep predicate
+  // watches; the notify is needed only when someone is already parked.
+  // Both sides are seq_cst so either the worker's predicate sees the new
+  // epoch or this thread sees the worker's sleeper registration — the
+  // Dekker pattern that makes the skipped notify safe.
+  wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_cv_.notify_all();
+  }
+}
 
 Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
                                  uint64_t weight) {
@@ -70,9 +133,7 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
     return Status::InvalidArgument("TrySubmit: producer slot " +
                                    std::to_string(producer) + " out of range");
   }
-  if (weight == 0) {
-    return Status::InvalidArgument("TrySubmit: weight must be positive");
-  }
+  if (weight == 0) return ZeroWeightStatus();
   // Refcount handshake with Drain: the count is raised before the closed_
   // check, and Drain waits for it to hit zero after setting closed_, so
   // every push that slips past the check happens-before the final sweep —
@@ -83,16 +144,20 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
   active_submitters_.fetch_add(1, std::memory_order_seq_cst);
   if (closed_.load(std::memory_order_seq_cst)) {
     active_submitters_.fetch_sub(1, std::memory_order_release);
-    return Status::FailedPrecondition("TrySubmit: pipeline is draining");
+    return DrainingStatus();
   }
-  const bool pushed = rings_[producer]->TryPush(Event{key, weight});
+  bool was_empty = false;
+  const bool pushed = rings_[producer]->TryPush(Event{key, weight}, &was_empty);
   active_submitters_.fetch_sub(1, std::memory_order_release);
   if (!pushed) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Pending("producer " + std::to_string(producer) +
-                           " queue full");
+    return QueueFullStatus();
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Wake parked workers only on the empty->nonempty transition: pushes
+  // into a nonempty ring mean a worker is already (or will be) on its way,
+  // so the steady-state submit path touches no mutex and no CV.
+  if (was_empty) NotifyWorkers();
   return Status::OK();
 }
 
@@ -105,11 +170,84 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
   }
 }
 
+Result<ProducerSlot> IngestPipeline::TryAcquireProducerSlot() {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
+  for (uint64_t i = 0; i < rings_.size(); ++i) {
+    // Drained-before-reuse: a slot whose previous holder left events
+    // behind stays unavailable until the workers have popped them all off
+    // the queue, so a fresh lease always starts with the slot's full
+    // capacity. (Popped, not applied: the last batch may still be in
+    // flight to the store — no cross-lease apply ordering is implied.)
+    if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
+      slot_leased_[i] = 1;
+      slots_in_use_.fetch_add(1, std::memory_order_relaxed);
+      return ProducerSlot(this, i);
+    }
+  }
+  return NoFreeSlotStatus();
+}
+
+Result<ProducerSlot> IngestPipeline::AcquireProducerSlot() {
+  std::unique_lock<std::mutex> lock(slots_mu_);
+  slot_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      slot_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      return DrainingStatus();
+    }
+    for (uint64_t i = 0; i < rings_.size(); ++i) {
+      if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
+        slot_leased_[i] = 1;
+        slots_in_use_.fetch_add(1, std::memory_order_relaxed);
+        slot_waiters_.fetch_sub(1, std::memory_order_relaxed);
+        return ProducerSlot(this, i);
+      }
+    }
+    // Releases (under slots_mu_) can never be missed. Worker drains gate
+    // their notify on an unlocked slot_waiters_ read, so a drain that
+    // races this registration could skip its signal; the coarse timeout
+    // backstops that rare case without turning waiters into pollers.
+    slots_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void IngestPipeline::ReleaseProducerSlot(uint64_t slot) {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (slot >= slot_leased_.size() || !slot_leased_[slot]) return;
+  slot_leased_[slot] = 0;
+  slots_in_use_.fetch_sub(1, std::memory_order_relaxed);
+  slots_cv_.notify_all();
+}
+
+Status IngestPipeline::SetWorkerCount(uint64_t n) {
+  if (n < 1 || n > 256) {
+    return Status::InvalidArgument("SetWorkerCount: n in [1, 256]");
+  }
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
+  n = std::min<uint64_t>(n, rings_.size());
+  if (n == workers_.size()) return Status::OK();
+  // Retire the current generation and join it. The join IS the safe
+  // barrier: afterwards no ring has a live consumer, so ownership can be
+  // re-dealt freely under the new count. Producers keep submitting
+  // throughout — queued events simply wait for their new owner, and no
+  // accepted event is dropped.
+  worker_gen_.fetch_add(1, std::memory_order_seq_cst);
+  NotifyWorkers();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  options_.num_workers = n;
+  SpawnWorkersLocked(n);
+  return Status::OK();
+}
+
 uint64_t IngestPipeline::DrainOnce(const std::vector<SpscRing*>& rings,
                                    uint64_t start_ring,
                                    std::vector<Event>* raw,
                                    std::unordered_map<uint64_t, uint64_t>* agg,
-                                   std::vector<analytics::KeyWeight>* batch) {
+                                   std::vector<analytics::KeyWeight>* batch,
+                                   WorkerStatCells* cells) {
   busy_workers_.fetch_add(1);
   // `raw` stays sized at max_batch; `count` tracks the fill so idle passes
   // touch no buffer memory at all. The scan starts at a different ring
@@ -121,84 +259,144 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<SpscRing*>& rings,
     SpscRing* ring = rings[(start + i) % rings.size()];
     count += ring->PopBatch(raw->data() + count, options_.max_batch - count);
   }
-  if (count == 0) {
-    busy_workers_.fetch_sub(1);
-    return 0;
-  }
+  if (count > 0) {
+    // Pre-aggregate duplicate keys: under a Zipfian event stream most of a
+    // batch lands on few hot keys, so this collapses the per-event
+    // deserialize/serialize work into one store update per distinct key.
+    agg->clear();
+    for (uint64_t i = 0; i < count; ++i) {
+      (*agg)[(*raw)[i].key] += (*raw)[i].weight;
+    }
+    batch->clear();
+    batch->reserve(agg->size());
+    for (const auto& [key, weight] : *agg) {
+      batch->push_back(analytics::KeyWeight{key, weight});
+    }
 
-  // Pre-aggregate duplicate keys: under a Zipfian event stream most of a
-  // batch lands on few hot keys, so this collapses the per-event
-  // deserialize/serialize work into one store update per distinct key.
-  agg->clear();
-  for (uint64_t i = 0; i < count; ++i) {
-    (*agg)[(*raw)[i].key] += (*raw)[i].weight;
-  }
-  batch->clear();
-  batch->reserve(agg->size());
-  for (const auto& [key, weight] : *agg) {
-    batch->push_back(analytics::KeyWeight{key, weight});
-  }
-
-  Status st = store_->IncrementBatch(batch->data(), batch->size());
-  if (st.ok()) {
-    applied_.fetch_add(count, std::memory_order_relaxed);
-    updates_.fetch_add(batch->size(), std::memory_order_relaxed);
-    batches_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    dropped_.fetch_add(count, std::memory_order_relaxed);
-    RecordError(st);
+    Status st = store_->IncrementBatch(batch->data(), batch->size());
+    if (st.ok()) {
+      applied_.fetch_add(count, std::memory_order_relaxed);
+      updates_.fetch_add(batch->size(), std::memory_order_relaxed);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      if (cells != nullptr) {
+        cells->events.fetch_add(count, std::memory_order_relaxed);
+        cells->batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      dropped_.fetch_add(count, std::memory_order_relaxed);
+      RecordError(st);
+    }
   }
   busy_workers_.fetch_sub(1);
+  // Post-pass signals, gated on waiter counts so the hot loop normally
+  // pays two relaxed-ish loads and no mutex. The busy_workers_ decrement
+  // above may complete a Flush; a consumed batch may have emptied a ring a
+  // slot acquirer is waiting on.
+  if (flush_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_cv_.notify_all();
+  }
+  if (count > 0 && slot_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    slots_cv_.notify_all();
+  }
   return count;
 }
 
-void IngestPipeline::WorkerLoop(uint64_t w) {
-  // Round-robin ring ownership; each ring has exactly one consumer (SPSC).
+void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
+                                uint64_t num_workers) {
+  // Round-robin ring ownership for this generation; each ring has exactly
+  // one consumer (SPSC) because generations never overlap (SetWorkerCount
+  // joins the old one before spawning the new one).
   std::vector<SpscRing*> owned;
-  for (uint64_t i = w; i < rings_.size(); i += options_.num_workers) {
+  for (uint64_t i = w; i < rings_.size(); i += num_workers) {
     owned.push_back(rings_[i].get());
   }
+  WorkerStatCells* cells = worker_cells_[w].get();
   std::vector<Event> raw(options_.max_batch);
   std::unordered_map<uint64_t, uint64_t> agg;
   std::vector<analytics::KeyWeight> batch;
   agg.reserve(options_.max_batch);
-  uint64_t idle_passes = 0;
+  const auto owned_all_empty = [&owned] {
+    for (SpscRing* ring : owned) {
+      if (ring->SizeApprox() != 0) return false;
+    }
+    return true;
+  };
+  uint64_t idle_streak = 0;
   uint64_t pass = 0;
   while (true) {
+    // Retired by a resize: exit immediately; queued events are picked up
+    // by the successor generation (or Drain's final sweep).
+    if (worker_gen_.load(std::memory_order_acquire) != gen) return;
     // Load stop BEFORE draining: once stop_ is set the queues are closed,
     // so a subsequent empty pass proves the owned rings are fully drained.
     const bool saw_stop = stop_.load(std::memory_order_acquire);
-    const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch);
-    if (n == 0) {
-      if (saw_stop) return;
-      Backoff(idle_passes++);
-    } else {
-      idle_passes = 0;
+    const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch, cells);
+    if (n > 0) {
+      idle_streak = 0;
+      continue;
     }
+    if (saw_stop) return;
+    cells->idle.fetch_add(1, std::memory_order_relaxed);
+    if (++idle_streak < options_.idle_spin_passes) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Eventcount park: snapshot the epoch, recheck the rings, then sleep
+    // until the epoch moves (producer push into an empty ring, shutdown,
+    // or resize). Any push that lands after the snapshot bumps the epoch,
+    // so the predicate catches it before or after blocking; kIdleSleep
+    // backstops the stale-emptiness corner of TryPush's verdict.
+    const uint64_t epoch = wake_epoch_.load(std::memory_order_seq_cst);
+    if (!owned_all_empty()) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    const bool signaled =
+        wake_cv_.wait_for(lock, kIdleSleep, [&] {
+          return wake_epoch_.load(std::memory_order_seq_cst) != epoch ||
+                 stop_.load(std::memory_order_acquire) ||
+                 worker_gen_.load(std::memory_order_acquire) != gen;
+        });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (signaled) cells->wakeups.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 Status IngestPipeline::Flush() {
-  while (true) {
-    bool empty = true;
+  // Quiesce predicate, rings first and busy count second: a worker marks
+  // itself busy before popping, so "all rings empty, nobody busy" proves
+  // every event accepted before this call has been applied.
+  const auto quiesced = [this] {
     for (const auto& ring : rings_) {
-      if (ring->SizeApprox() != 0) {
-        empty = false;
-        break;
-      }
+      if (ring->SizeApprox() != 0) return false;
     }
-    // Order matters: rings first, busy count second. A worker marks itself
-    // busy before popping, so "all rings empty, nobody busy" proves every
-    // event accepted before this call has been applied.
-    if (empty && busy_workers_.load() == 0) break;
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    return busy_workers_.load(std::memory_order_acquire) == 0;
+  };
+  // Workers notify flush_cv_ after each drain pass while flush_waiters_ is
+  // nonzero; the waiter count is raised before the first predicate check
+  // so the completing pass is never missed. The short timeout backstops
+  // the registration race and parked-worker corner cases.
+  flush_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    while (!quiesced()) {
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
   }
+  flush_waiters_.fetch_sub(1, std::memory_order_relaxed);
   return LastError();
 }
 
 Status IngestPipeline::Drain() {
   std::call_once(drain_once_, [this] {
     closed_.store(true, std::memory_order_seq_cst);
+    // Release acquirers blocked on the slot registry: they observe closed_
+    // and return kFailedPrecondition.
+    {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      slots_cv_.notify_all();
+    }
     // Wait out in-flight TrySubmit calls: once the count is zero, any
     // submitter that passed the closed_ check has finished its push, so
     // the sweep below observes every accepted event. seq_cst pairs with
@@ -207,12 +405,19 @@ Status IngestPipeline::Drain() {
       std::this_thread::yield();
     }
     stop_.store(true, std::memory_order_release);
-    for (std::thread& t : workers_) t.join();
+    NotifyWorkers();  // wake parked workers so they observe stop_
+    {
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      for (std::thread& t : workers_) t.join();
+      workers_.clear();
+      worker_count_.store(0, std::memory_order_release);
+    }
     // Workers exit only after an empty pass, but sweep once more so
     // nothing a submitter racing the shutdown slipped in is stranded.
     // The sweep reuses the workers' aggregate-then-batch path so stats
     // and slot-rewrite costs stay consistent; DrainOnce's busy_workers_
-    // raise makes it visible to a concurrent Flush.
+    // raise makes it visible to a concurrent Flush. The sweep is not
+    // attributed to any worker id (cells == nullptr).
     std::vector<SpscRing*> all_rings;
     all_rings.reserve(rings_.size());
     for (const auto& ring : rings_) all_rings.push_back(ring.get());
@@ -220,7 +425,7 @@ Status IngestPipeline::Drain() {
     std::unordered_map<uint64_t, uint64_t> agg;
     std::vector<analytics::KeyWeight> batch;
     uint64_t pass = 0;
-    while (DrainOnce(all_rings, pass++, &raw, &agg, &batch) > 0) {
+    while (DrainOnce(all_rings, pass++, &raw, &agg, &batch, nullptr) > 0) {
     }
     drain_result_ = LastError();
   });
@@ -235,8 +440,34 @@ PipelineStats IngestPipeline::Stats() const {
   stats.events_dropped = dropped_.load(std::memory_order_relaxed);
   stats.updates_applied = updates_.load(std::memory_order_relaxed);
   stats.batches_applied = batches_.load(std::memory_order_relaxed);
+  stats.workers = worker_count_.load(std::memory_order_acquire);
+  stats.slots_in_use = slots_in_use_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cells_mu_);
+    for (const auto& cells : worker_cells_) {
+      stats.idle_passes += cells->idle.load(std::memory_order_relaxed);
+      stats.worker_wakeups += cells->wakeups.load(std::memory_order_relaxed);
+    }
+  }
   for (const auto& ring : rings_) stats.queue_depth += ring->SizeApprox();
   return stats;
+}
+
+std::vector<WorkerStats> IngestPipeline::PerWorkerStats() const {
+  std::vector<WorkerStats> out;
+  std::lock_guard<std::mutex> lock(cells_mu_);
+  out.reserve(worker_cells_.size());
+  for (uint64_t w = 0; w < worker_cells_.size(); ++w) {
+    const WorkerStatCells& cells = *worker_cells_[w];
+    WorkerStats stats;
+    stats.worker_id = w;
+    stats.events_applied = cells.events.load(std::memory_order_relaxed);
+    stats.batches_applied = cells.batches.load(std::memory_order_relaxed);
+    stats.idle_passes = cells.idle.load(std::memory_order_relaxed);
+    stats.wakeups = cells.wakeups.load(std::memory_order_relaxed);
+    out.push_back(stats);
+  }
+  return out;
 }
 
 Status IngestPipeline::LastError() const {
@@ -247,6 +478,26 @@ Status IngestPipeline::LastError() const {
 void IngestPipeline::RecordError(const Status& st) {
   std::lock_guard<std::mutex> lock(error_mu_);
   if (first_error_.ok()) first_error_ = st;
+}
+
+Status ProducerSlot::TrySubmit(uint64_t key, uint64_t weight) {
+  if (pipeline_ == nullptr) {
+    return Status::FailedPrecondition("ProducerSlot: handle is invalid");
+  }
+  return pipeline_->TrySubmit(slot_, key, weight);
+}
+
+Status ProducerSlot::Submit(uint64_t key, uint64_t weight) {
+  if (pipeline_ == nullptr) {
+    return Status::FailedPrecondition("ProducerSlot: handle is invalid");
+  }
+  return pipeline_->Submit(slot_, key, weight);
+}
+
+void ProducerSlot::Release() {
+  if (pipeline_ == nullptr) return;
+  pipeline_->ReleaseProducerSlot(slot_);
+  pipeline_ = nullptr;
 }
 
 }  // namespace pipeline

@@ -17,16 +17,62 @@
 /// accepted so far is applied); `Drain` closes submission, flushes, and
 /// stops the workers — it is idempotent, and the destructor calls it.
 ///
-/// Threading contract: a producer slot is single-threaded at any instant
-/// (SPSC); different slots are fully concurrent. `Flush`/`Drain`/`Stats`
-/// may be called from any thread. An event acknowledged with OK by
-/// `TrySubmit` is never lost, even when the submit races a concurrent
-/// `Drain` — draining waits out in-flight submits before its final sweep.
+/// ## Producer slots: static indices or registry leases
+///
+/// A producer slot is single-threaded at any instant (SPSC); different
+/// slots are fully concurrent. Two ways to honor that contract:
+///
+///  1. **Static assignment** — thread `i` calls `TrySubmit(i, ...)` for its
+///     whole life. Simple, zero coordination, right for fixed thread sets.
+///  2. **Registry leases** — transient threads call `AcquireProducerSlot()`
+///     (blocking) or `TryAcquireProducerSlot()` (non-blocking) and submit
+///     through the returned RAII `ProducerSlot` handle. The registry hands
+///     a slot to at most one holder at a time, and re-issues a released
+///     slot only after its queue has been fully drained, so every lease
+///     starts with the slot's whole capacity. This is the API for thread
+///     pools whose membership changes (the FASTER-style "sessions come and
+///     go" reality).
+///
+/// The two styles must not be mixed on the same slot: statically indexed
+/// slots should never be leased. (The registry cannot see static users, so
+/// mixing would put two producers on one queue.) In practice pick one style
+/// per pipeline.
+///
+/// ## Worker wakeup: eventcount, not polling
+///
+/// Idle workers park on a condition variable instead of a yield/sleep
+/// poll. The notify contract: a producer signals the eventcount **only on
+/// an empty→nonempty ring transition** (reported by
+/// `SpscRing::TryPush(e, &was_empty)`), so steady-state submits into a
+/// nonempty ring stay lock-free — the fast path adds no atomics beyond the
+/// ring indices. A worker that keeps finding empty rings spins for
+/// `PipelineOptions::idle_spin_passes` passes, then (a) loads the
+/// eventcount epoch, (b) rechecks its rings, (c) sleeps until the epoch
+/// moves. Because the producer's emptiness verdict derives from an acquire
+/// load of the consumer index, it can (rarely) be stale; sleeps therefore
+/// carry a bounded timeout as a lost-wakeup backstop, which also bounds
+/// idle wake-rate to ~20/s per worker. `Flush` and `AcquireProducerSlot`
+/// wait on the same mechanism (separate CVs, same only-notify-when-waited
+/// discipline) instead of spinning.
+///
+/// ## Elasticity
+///
+/// `SetWorkerCount(n)` re-partitions ring ownership at a safe barrier: the
+/// current worker generation is retired and joined (the barrier — after the
+/// join, no ring has a live consumer), then `n` fresh workers are spawned
+/// owning rings round-robin by the new count. Queued events are never
+/// dropped by a resize; they are simply picked up by the new owners.
+/// Per-worker activity is observable via `PerWorkerStats`.
+///
+/// An event acknowledged with OK by `TrySubmit` is never lost, even when
+/// the submit races a concurrent `Drain` — draining waits out in-flight
+/// submits before its final sweep.
 
 #ifndef COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
 #define COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +82,7 @@
 
 #include "analytics/concurrent_store.h"
 #include "pipeline/event.h"
+#include "pipeline/producer_slot.h"
 #include "pipeline/spsc_ring.h"
 #include "util/status.h"
 
@@ -61,12 +108,33 @@ class IngestPipeline {
   /// queue. Returns OK when enqueued (the event will be applied),
   /// `kPending` when the queue is full (retry after backoff),
   /// `kFailedPrecondition` once draining has begun, and
-  /// `kInvalidArgument` for a bad producer slot or zero weight.
+  /// `kInvalidArgument` for a bad producer slot or zero weight. The
+  /// `kPending` and `kFailedPrecondition` results are preallocated —
+  /// the backpressure path never heap-allocates.
   Status TrySubmit(uint64_t producer, uint64_t key, uint64_t weight = 1);
 
   /// Blocking convenience: retries `TrySubmit` with a yield/sleep backoff
   /// until accepted or the pipeline is closed.
   Status Submit(uint64_t producer, uint64_t key, uint64_t weight = 1);
+
+  /// Leases a free, fully drained producer slot, blocking until one is
+  /// available. Returns `kFailedPrecondition` once draining has begun
+  /// (including while blocked). The handle releases the lease on
+  /// destruction; see producer_slot.h for the lifecycle rules.
+  Result<ProducerSlot> AcquireProducerSlot();
+
+  /// Non-blocking lease attempt: `kPending` when every slot is either
+  /// leased or still has undrained events from its previous holder,
+  /// `kFailedPrecondition` once draining has begun.
+  Result<ProducerSlot> TryAcquireProducerSlot();
+
+  /// Grows or shrinks the worker pool to `n` threads (clamped to the
+  /// number of producer slots), re-partitioning ring ownership at a safe
+  /// barrier. Concurrent submissions keep queueing during the switch; no
+  /// accepted event is lost. Serialized with concurrent resizes; returns
+  /// `kFailedPrecondition` once draining has begun and `kInvalidArgument`
+  /// for `n` outside [1, 256].
+  Status SetWorkerCount(uint64_t n);
 
   /// Blocks until every event accepted before the call has been applied to
   /// the store. With producers still submitting concurrently this is a
@@ -78,39 +146,109 @@ class IngestPipeline {
   /// immediately. Returns the first worker error, if any.
   Status Drain();
 
-  /// Snapshot of the activity counters and current queue depth.
+  /// Snapshot of the activity counters and current gauges.
   PipelineStats Stats() const;
+
+  /// Per-worker activity snapshot, one entry per worker id ever used
+  /// (cumulative across `SetWorkerCount` generations).
+  std::vector<WorkerStats> PerWorkerStats() const;
 
   /// First store error hit by a worker (OK if none). Sticky.
   Status LastError() const;
 
   uint64_t num_producers() const { return rings_.size(); }
 
+  /// Current drain-thread count (changes only via `SetWorkerCount`).
+  uint64_t num_workers() const {
+    return worker_count_.load(std::memory_order_acquire);
+  }
+
  private:
+  friend class ProducerSlot;
+
+  /// Per-worker atomic stat cells; cells outlive worker generations so ids
+  /// accumulate across resizes.
+  struct WorkerStatCells {
+    std::atomic<uint64_t> events{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> idle{0};
+    std::atomic<uint64_t> wakeups{0};
+  };
+
   IngestPipeline(analytics::ConcurrentCounterStore* store,
                  const PipelineOptions& options);
 
-  /// Drain loop for worker `w` (owns rings where i % num_workers == w).
-  void WorkerLoop(uint64_t w);
+  /// Drain loop for worker `w` of generation `gen`, owning rings where
+  /// i % num_workers == w. Exits when its generation is retired
+  /// (SetWorkerCount) or when stopped with all owned rings drained.
+  void WorkerLoop(uint64_t w, uint64_t gen, uint64_t num_workers);
 
   /// Drains up to `max_batch` events from `rings` into `raw` (sized
   /// `max_batch` by the caller, reused across passes), pre-aggregates via
   /// the reused `agg` map into `batch`, and applies. The scan begins at
   /// ring `start_ring % rings.size()` — callers advance it each pass for
-  /// fairness. Returns the number of raw events consumed. The worker-owned
-  /// scratch keeps the drain loop itself allocation-light; the store's
-  /// batch call still allocates its stripe-routing scratch internally.
+  /// fairness. Returns the number of raw events consumed, attributing the
+  /// work to `cells` when non-null. The worker-owned scratch keeps the
+  /// drain loop itself allocation-light; the store's batch call still
+  /// allocates its stripe-routing scratch internally.
   uint64_t DrainOnce(const std::vector<SpscRing*>& rings, uint64_t start_ring,
                      std::vector<Event>* raw,
                      std::unordered_map<uint64_t, uint64_t>* agg,
-                     std::vector<analytics::KeyWeight>* batch);
+                     std::vector<analytics::KeyWeight>* batch,
+                     WorkerStatCells* cells);
+
+  /// Producer-side eventcount signal: bumps the wake epoch and, only if a
+  /// worker is parked, takes the wake mutex and notifies. Called on
+  /// empty→nonempty ring transitions and on shutdown/resize.
+  void NotifyWorkers();
+
+  /// Spawns `n` workers of a fresh generation. Caller holds `workers_mu_`
+  /// and has joined every previous worker.
+  void SpawnWorkersLocked(uint64_t n);
+
+  /// Returns `slot` to the registry (handle destructor path).
+  void ReleaseProducerSlot(uint64_t slot);
 
   void RecordError(const Status& st);
 
   analytics::ConcurrentCounterStore* store_;
   PipelineOptions options_;
   std::vector<std::unique_ptr<SpscRing>> rings_;
+
+  /// Worker pool; guarded by workers_mu_ (resize/join), as are
+  /// options_.num_workers updates. workers_mu_ is held across joins, so
+  /// nothing on a read path may take it.
+  std::mutex workers_mu_;
   std::vector<std::thread> workers_;
+  /// Stat cells are guarded by their own (briefly held) mutex so
+  /// Stats/PerWorkerStats snapshots never block behind a resize or drain
+  /// join. The vector only grows, and only while no workers are live;
+  /// workers hold raw pointers to their own cells, which growth never
+  /// invalidates.
+  mutable std::mutex cells_mu_;
+  std::vector<std::unique_ptr<WorkerStatCells>> worker_cells_;
+  std::atomic<uint64_t> worker_gen_{0};    ///< bumped to retire a generation
+  std::atomic<uint64_t> worker_count_{0};  ///< gauge mirror of workers_.size()
+
+  /// Eventcount the idle workers park on.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> wake_epoch_{0};
+  std::atomic<uint64_t> sleepers_{0};
+
+  /// Flush waiters park here; workers notify after a drain pass only when
+  /// flush_waiters_ is nonzero.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::atomic<uint64_t> flush_waiters_{0};
+
+  /// Producer-slot registry: slot_leased_[i] marks an outstanding lease;
+  /// acquisition additionally requires an empty ring (drained-before-reuse).
+  std::mutex slots_mu_;
+  std::condition_variable slots_cv_;
+  std::vector<uint8_t> slot_leased_;  // guarded by slots_mu_
+  std::atomic<uint64_t> slot_waiters_{0};
+  std::atomic<uint64_t> slots_in_use_{0};
 
   std::atomic<bool> closed_{false};   ///< no new submissions accepted
   std::atomic<bool> stop_{false};     ///< workers may exit once their rings are empty

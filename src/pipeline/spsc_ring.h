@@ -28,7 +28,7 @@ namespace pipeline {
 class SpscRing {
  public:
   /// Builds a ring holding at least `min_capacity` events (rounded up to a
-  /// power of two, minimum 2).
+  /// power of two, minimum 2, clamped to 2^63 — see `RoundUpPow2`).
   explicit SpscRing(uint64_t min_capacity)
       : buf_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity)),
         mask_(buf_.size() - 1) {}
@@ -37,13 +37,20 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   /// Producer side: enqueues `e`; returns false when the ring is full
-  /// (the caller surfaces this as `kPending` backpressure).
-  bool TryPush(const Event& e) {
+  /// (the caller surfaces this as `kPending` backpressure). When the push
+  /// succeeds and `was_empty` is non-null, `*was_empty` reports whether the
+  /// ring was empty from the producer's view just before the push — the
+  /// empty→nonempty transition on which the pipeline wakes sleeping
+  /// workers. The consumer's head index is read with acquire semantics, so
+  /// the report may lag a concurrent pop by one observation; wakeup paths
+  /// must tolerate a (rare) stale verdict with a bounded-timeout recheck.
+  bool TryPush(const Event& e, bool* was_empty = nullptr) {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) return false;  // full
     buf_[tail & mask_] = e;
     tail_.store(tail + 1, std::memory_order_release);
+    if (was_empty != nullptr) *was_empty = (tail == head);
     return true;
   }
 
@@ -70,13 +77,20 @@ class SpscRing {
 
   uint64_t capacity() const { return buf_.size(); }
 
- private:
+  /// Smallest power of two >= `v`, clamped to 2^63 (the largest uint64_t
+  /// power of two) when `v` exceeds it. The clamp matters: the naive
+  /// `while (p < v) p <<= 1` loop never terminates for v > 2^63 because
+  /// the shift overflows to zero. Exposed for direct testing and for
+  /// callers sizing their own buffers to the ring's rounding rule.
   static uint64_t RoundUpPow2(uint64_t v) {
+    constexpr uint64_t kMaxPow2 = uint64_t{1} << 63;
+    if (v > kMaxPow2) return kMaxPow2;
     uint64_t p = 1;
     while (p < v) p <<= 1;
     return p;
   }
 
+ private:
   std::vector<Event> buf_;
   const uint64_t mask_;
   // Producer and consumer indices on separate cache lines to avoid

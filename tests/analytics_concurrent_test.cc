@@ -36,6 +36,27 @@ TEST(ConcurrentStoreTest, SingleThreadedSemanticsMatchPlainStore) {
   EXPECT_TRUE(store.Estimate(12345).status().IsNotFound());
 }
 
+TEST(ConcurrentStoreTest, StatsCountIncrementsAndBatches) {
+  auto store = analytics::ConcurrentCounterStore::Make(4, CounterKind::kExact, 24,
+                                                       (1u << 24) - 1, 1)
+                   .ValueOrDie();
+  for (uint64_t key = 0; key < 10; ++key) {
+    ASSERT_TRUE(store.Increment(key).ok());
+  }
+  std::vector<analytics::KeyWeight> batch;
+  for (uint64_t key = 0; key < 25; ++key) {
+    batch.push_back(analytics::KeyWeight{key, 2});
+  }
+  ASSERT_TRUE(store.IncrementBatch(batch.data(), batch.size()).ok());
+  ASSERT_TRUE(store.IncrementBatch(batch.data(), 5).ok());
+  ASSERT_TRUE(store.IncrementBatch(batch.data(), 0).ok());  // no-op, uncounted
+
+  const analytics::StoreStats stats = store.Stats();
+  EXPECT_EQ(stats.increments, 10u);
+  EXPECT_EQ(stats.batch_calls, 2u);
+  EXPECT_EQ(stats.batch_updates, 30u);
+}
+
 TEST(ConcurrentStoreTest, ParallelIncrementsAreNotLost) {
   // Exact counters: every increment must be accounted for under contention.
   auto store = analytics::ConcurrentCounterStore::Make(16, CounterKind::kExact, 30,

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "analytics/concurrent_store.h"
@@ -185,6 +188,108 @@ TEST(IngestPipelineTest, DoubleDrainIsIdempotent) {
   // Submission is closed once draining.
   EXPECT_TRUE(pipeline->TrySubmit(0, 5, 1).IsFailedPrecondition());
   EXPECT_TRUE(pipeline->Submit(0, 5, 1).IsFailedPrecondition());
+}
+
+// After a long idle stretch the workers must be parked on the CV (near-zero
+// idle passes, no sleep-poll spinning), yet a fresh submit must still be
+// applied promptly — the empty->nonempty notify contract.
+TEST(IngestPipelineTest, CvWakeupDeliversPromptlyAfterLongIdle) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  opt.num_workers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  // Let the workers run through their spin budget and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const PipelineStats idle_stats = pipeline->Stats();
+  // The old yield/sleep backoff burned ~10k passes/s per worker; parked
+  // workers wake at most ~20 times/s each. Allow generous slack for slow CI.
+  EXPECT_LT(idle_stats.idle_passes, 2000u)
+      << "workers appear to be poll-spinning instead of parking";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(pipeline->TrySubmit(0, 77, 9).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+  const double wake_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  EXPECT_EQ(store.Estimate(77).ValueOrDie(), 9.0);
+  // Wakeup + drain + flush handshake; the 50ms sleep timeout backstop plus
+  // scheduling jitter bounds this, with wide margin for loaded CI.
+  EXPECT_LT(wake_ms, 2000.0);
+  ASSERT_TRUE(pipeline->Drain().ok());
+}
+
+TEST(IngestPipelineTest, SlotRegistryLeasesAndReleases) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  auto a = pipeline->AcquireProducerSlot().ValueOrDie();
+  auto b = pipeline->TryAcquireProducerSlot().ValueOrDie();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.slot(), b.slot());
+  EXPECT_EQ(pipeline->Stats().slots_in_use, 2u);
+
+  // Every slot leased: a further attempt reports kPending, without blocking.
+  EXPECT_TRUE(pipeline->TryAcquireProducerSlot().status().IsPending());
+
+  ASSERT_TRUE(a.Submit(1, 5).ok());
+  ASSERT_TRUE(b.Submit(2, 7).ok());
+  b.Release();
+  EXPECT_FALSE(b.valid());
+  EXPECT_TRUE(b.Submit(2, 1).IsFailedPrecondition());  // released handle
+  EXPECT_EQ(pipeline->Stats().slots_in_use, 1u);
+
+  // Released events are still applied; the slot is reusable once drained.
+  ASSERT_TRUE(pipeline->Flush().ok());
+  auto c = pipeline->AcquireProducerSlot().ValueOrDie();
+  ASSERT_TRUE(c.Submit(3, 2).ok());
+
+  // Move semantics: the source handle goes invalid, the lease moves.
+  ProducerSlot moved = std::move(c);
+  EXPECT_FALSE(c.valid());
+  EXPECT_TRUE(moved.valid());
+  ASSERT_TRUE(moved.Submit(3, 1).ok());
+
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(1).ValueOrDie(), 5.0);
+  EXPECT_EQ(store.Estimate(2).ValueOrDie(), 7.0);
+  EXPECT_EQ(store.Estimate(3).ValueOrDie(), 3.0);
+
+  // Acquisition after drain fails; releasing outstanding handles is safe.
+  EXPECT_TRUE(pipeline->AcquireProducerSlot().status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      pipeline->TryAcquireProducerSlot().status().IsFailedPrecondition());
+  a.Release();
+  moved.Release();
+  EXPECT_EQ(pipeline->Stats().slots_in_use, 0u);
+}
+
+TEST(IngestPipelineTest, AcquireBlocksUntilAReleaseThenSucceeds) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 1;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  auto only = pipeline->AcquireProducerSlot().ValueOrDie();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto slot = pipeline->AcquireProducerSlot().ValueOrDie();
+    acquired.store(true);
+    ASSERT_TRUE(slot.Submit(9, 4).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());  // still parked: the one slot is leased
+  only.Release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(9).ValueOrDie(), 4.0);
 }
 
 TEST(IngestPipelineTest, StatsReportQueueDepthWhileIdleWorkerSleeps) {

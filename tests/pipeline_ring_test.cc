@@ -22,6 +22,106 @@ TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(SpscRing(1024).capacity(), 1024u);
 }
 
+// Direct unit test of the rounding helper, pinning the overflow fix: for
+// v > 2^63 the naive `while (p < v) p <<= 1` loop shifts p to zero and
+// never terminates; the helper must clamp to 2^63 instead of hanging.
+TEST(SpscRingTest, RoundUpPow2HandlesFullRange) {
+  constexpr uint64_t kMax = uint64_t{1} << 63;
+  EXPECT_EQ(SpscRing::RoundUpPow2(0), 1u);
+  EXPECT_EQ(SpscRing::RoundUpPow2(1), 1u);
+  EXPECT_EQ(SpscRing::RoundUpPow2(2), 2u);
+  EXPECT_EQ(SpscRing::RoundUpPow2(3), 4u);
+  EXPECT_EQ(SpscRing::RoundUpPow2((uint64_t{1} << 40) + 1), uint64_t{1} << 41);
+  EXPECT_EQ(SpscRing::RoundUpPow2(kMax - 1), kMax);
+  EXPECT_EQ(SpscRing::RoundUpPow2(kMax), kMax);
+  // The overflow region: these used to loop forever.
+  EXPECT_EQ(SpscRing::RoundUpPow2(kMax + 1), kMax);
+  EXPECT_EQ(SpscRing::RoundUpPow2(~uint64_t{0}), kMax);
+}
+
+// Full/empty boundary semantics: the monotonic-index design (`tail - head
+// > mask_` means full) admits exactly capacity() elements, NOT the
+// capacity-1 of the classic modular-compare ring.
+TEST(SpscRingTest, AdmitsExactlyCapacityElements) {
+  SpscRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < ring.capacity(); ++i) {
+    ASSERT_TRUE(ring.TryPush(Event{i, 1})) << "push " << i;
+  }
+  EXPECT_EQ(ring.SizeApprox(), ring.capacity());
+  EXPECT_FALSE(ring.TryPush(Event{99, 1}));  // element capacity()+1 refused
+  // Freeing exactly one admits exactly one more.
+  Event one;
+  ASSERT_EQ(ring.PopBatch(&one, 1), 1u);
+  EXPECT_TRUE(ring.TryPush(Event{8, 1}));
+  EXPECT_FALSE(ring.TryPush(Event{100, 1}));
+  // Drain completely: all capacity() elements come back in order.
+  std::vector<Event> out(ring.capacity());
+  EXPECT_EQ(ring.PopBatch(out.data(), out.size()), ring.capacity());
+  for (uint64_t i = 0; i < ring.capacity(); ++i) {
+    EXPECT_EQ(out[i].key, i + 1);
+  }
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+// Wraparound across several capacity multiples with the ring held at
+// varying fill levels, so head/tail cross the mask boundary in every
+// alignment. Weights double-check payload integrity, not just order.
+TEST(SpscRingTest, WraparoundPastSeveralCapacityMultiples) {
+  SpscRing ring(8);
+  const uint64_t cap = ring.capacity();
+  uint64_t next_push = 0, next_pop = 0;
+  Event out[5];
+  // Alternate uneven push/pop bursts; > 20 capacity multiples total.
+  while (next_push < 20 * cap + 3) {
+    const uint64_t burst = (next_push % 7) + 1;
+    for (uint64_t i = 0; i < burst; ++i) {
+      if (!ring.TryPush(Event{next_push, next_push * 3 + 1})) break;
+      ++next_push;
+    }
+    const uint64_t got = ring.PopBatch(out, (next_pop % 5) + 1);
+    for (uint64_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i].key, next_pop);
+      ASSERT_EQ(out[i].weight, next_pop * 3 + 1);
+      ++next_pop;
+    }
+  }
+  while (next_pop < next_push) {
+    const uint64_t got = ring.PopBatch(out, 5);
+    ASSERT_GT(got, 0u);
+    for (uint64_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i].key, next_pop);
+      ASSERT_EQ(out[i].weight, next_pop * 3 + 1);
+      ++next_pop;
+    }
+  }
+  EXPECT_GE(next_push, 20 * cap);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+// The producer-side emptiness verdict that drives the pipeline's
+// empty->nonempty CV notify: true exactly when the push found the ring
+// empty.
+TEST(SpscRingTest, TryPushReportsEmptyToNonemptyTransition) {
+  SpscRing ring(4);
+  bool was_empty = false;
+  ASSERT_TRUE(ring.TryPush(Event{1, 1}, &was_empty));
+  EXPECT_TRUE(was_empty);
+  ASSERT_TRUE(ring.TryPush(Event{2, 1}, &was_empty));
+  EXPECT_FALSE(was_empty);
+  Event out[4];
+  ASSERT_EQ(ring.PopBatch(out, 4), 2u);
+  ASSERT_TRUE(ring.TryPush(Event{3, 1}, &was_empty));
+  EXPECT_TRUE(was_empty);
+  // A failed push must leave the verdict untouched.
+  ASSERT_TRUE(ring.TryPush(Event{4, 1}, &was_empty));
+  ASSERT_TRUE(ring.TryPush(Event{5, 1}, &was_empty));
+  ASSERT_TRUE(ring.TryPush(Event{6, 1}, &was_empty));
+  was_empty = true;
+  EXPECT_FALSE(ring.TryPush(Event{7, 1}, &was_empty));
+  EXPECT_TRUE(was_empty);
+}
+
 TEST(SpscRingTest, PushPopPreservesFifoOrder) {
   SpscRing ring(8);
   for (uint64_t i = 0; i < 5; ++i) {
