@@ -11,7 +11,7 @@
 /// traffic the batched path does one slot update per *distinct* key per
 /// batch, which is where the win comes from even on a single core.
 ///
-/// Three extra scenarios track the elastic-pipeline work:
+/// Five extra scenarios track the elastic-pipeline work:
 ///  - **elastic**: replays the trace while `SetWorkerCount` steps the
 ///    worker pool 1→4→2→4 mid-stream (the resize barrier is on the hot
 ///    path, so regressions show up as throughput loss).
@@ -20,8 +20,18 @@
 ///    a handful of timeout-bounded idle passes — this is the number that
 ///    collapsed when the yield/sleep poll was replaced by the eventcount.
 ///  - **backpressure**: tight-loop `TrySubmit` against a 2-entry queue;
-///    the rejects/sec rate tracks the cost of the (allocation-free)
-///    kPending path.
+///    the rejects/sec rate tracks the cost of the kPending path, and a
+///    paused-pipeline phase counts heap allocations across the kPending
+///    and invalid-slot reject paths (asserted zero — every rejection
+///    Status is preallocated).
+///  - **saturated-producer-cpu**: a blocking `Submit` parked on a full
+///    ring for one second must cost <5ms of producer-thread CPU (asserted)
+///    and land its event promptly once a drain frees space — the
+///    producer-side mirror of the idle scenario, measuring the not-full
+///    eventcount that replaced the 100µs sleep-poll backoff.
+///  - **autoscale**: a producer burst against a 1-worker pool with the
+///    `Autoscaler` attached must grow the pool (and shrink it back once
+///    quiet) with zero lost events (asserted).
 ///
 /// Emits a human table plus one machine-readable JSON document (stdout,
 /// and `--json_out=FILE`, default `BENCH_pipeline_throughput.json` in the
@@ -31,24 +41,53 @@
 /// agg_factor}`, `elastic {producers, worker_steps[], events, elapsed_s,
 /// events_per_sec, agg_factor}`, `idle {seconds, busy_passes, idle_passes,
 /// wakeups, cpu_seconds}`, `backpressure {attempts, accepted, rejected,
-/// elapsed_s, attempts_per_sec, rejects_per_sec}`.
+/// elapsed_s, attempts_per_sec, rejects_per_sec, reject_attempts,
+/// reject_allocs, invalid_slot_attempts, invalid_slot_allocs}`,
+/// `saturated_producer_cpu
+/// {park_seconds, cpu_seconds, parks, wakeups, retries_while_parked,
+/// wake_latency_s}`, `autoscale {events, burst_seconds, events_per_sec,
+/// peak_workers, final_workers, scale_ups, scale_downs, samples,
+/// lost_events}`.
 
 #include <sys/resource.h>
+#include <time.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "pipeline/autoscaler.h"
 #include "pipeline/ingest_pipeline.h"
 #include "stream/trace.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/logging.h"
+
+/// Process-wide allocation counter behind the reject-path
+/// allocation-freedom assertion. Replacing global operator new/delete is
+/// the only way to observe "this path never allocates" from outside;
+/// the counting is one relaxed fetch_add over malloc, cheap enough to
+/// leave on for the whole bench.
+std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace countlib {
 namespace {
@@ -77,6 +116,31 @@ struct BackpressureResult {
   double elapsed_s;
   double attempts_per_sec;
   double rejects_per_sec;
+  uint64_t reject_attempts;        // kPending audit hammer size
+  uint64_t reject_allocs;          // heap allocs across the kPending hammer
+  uint64_t invalid_slot_attempts;  // invalid-slot reject hammer size
+  uint64_t invalid_slot_allocs;    // heap allocs across that hammer
+};
+
+struct SaturatedProducerResult {
+  double park_seconds;      // wall time the producer spent blocked
+  double cpu_seconds;       // producer-thread CPU across the blocked Submit
+  uint64_t parks;           // eventcount park episodes
+  uint64_t wakeups;         // parks ended by a drain's nonfull signal
+  uint64_t retries_while_parked;  // TrySubmit rejects while blocked
+  double wake_latency_s;    // resume -> Submit returned
+};
+
+struct AutoscaleResult {
+  uint64_t events;
+  double burst_seconds;
+  double events_per_sec;
+  uint64_t peak_workers;
+  uint64_t final_workers;
+  uint64_t scale_ups;
+  uint64_t scale_downs;
+  uint64_t samples;
+  uint64_t lost_events;
 };
 
 double Now() {
@@ -93,6 +157,16 @@ double ProcessCpuSeconds() {
            static_cast<double>(tv.tv_usec) * 1e-6;
   };
   return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+}
+
+/// CPU consumed by the *calling thread* only — the saturated-producer
+/// scenario charges the parked producer, not the workers draining beside
+/// it.
+double ThreadCpuSeconds() {
+  struct timespec ts;
+  COUNTLIB_CHECK_EQ(clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts), 0);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 analytics::ConcurrentCounterStore MakeStore(uint64_t stripes, uint64_t n_max) {
@@ -231,7 +305,7 @@ BackpressureResult RunBackpressure(double seconds) {
   opt.queue_capacity = 2;
   opt.max_batch = 1;
   auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
-  BackpressureResult r{0, 0, 0, 0.0, 0.0, 0.0};
+  BackpressureResult r{0, 0, 0, 0.0, 0.0, 0.0, 0, 0, 0, 0};
   const double start = Now();
   const double deadline = start + seconds;
   while (Now() < deadline) {
@@ -247,9 +321,167 @@ BackpressureResult RunBackpressure(double seconds) {
     }
   }
   r.elapsed_s = Now() - start;
+
+  // Allocation-freedom audit of the reject paths. Pause the pipeline
+  // (SetWorkerCount(0)) so the only thread that could allocate is this
+  // one: with the workers gone, a nonzero delta across the hammer loops
+  // can only come from the reject paths themselves.
+  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(0));
+  while (ingest->TrySubmit(0, 1, 1).ok()) {
+  }
+  constexpr uint64_t kAuditAttempts = 100000;
+  // Warm both paths once first: the preallocated Status objects are
+  // function-local statics, so their one-time construction (which does
+  // allocate) must not be charged to the steady-state audit.
+  COUNTLIB_CHECK(ingest->TrySubmit(0, 0, 1).IsPending());
+  COUNTLIB_CHECK(ingest->TrySubmit(/*producer=*/1u << 20, 0, 1)
+                     .IsInvalidArgument());
+  uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < kAuditAttempts; ++i) {
+    COUNTLIB_CHECK(ingest->TrySubmit(0, i & 63, 1).IsPending());
+  }
+  r.reject_attempts = kAuditAttempts;
+  r.reject_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  r.invalid_slot_attempts = kAuditAttempts;
+  allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < kAuditAttempts; ++i) {
+    COUNTLIB_CHECK(ingest->TrySubmit(/*producer=*/1u << 20, i & 63, 1)
+                       .IsInvalidArgument());
+  }
+  r.invalid_slot_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  // The acceptance gate: rejection is exactly the moment the system is
+  // saturated, so neither reject path may touch the heap.
+  COUNTLIB_CHECK_EQ(r.reject_allocs, uint64_t{0});
+  COUNTLIB_CHECK_EQ(r.invalid_slot_allocs, uint64_t{0});
+
   COUNTLIB_CHECK_OK(ingest->Drain());
   r.attempts_per_sec = static_cast<double>(r.attempts) / r.elapsed_s;
   r.rejects_per_sec = static_cast<double>(r.rejected) / r.elapsed_s;
+  return r;
+}
+
+/// A producer parked on a full ring for `seconds`: with the not-full
+/// eventcount the blocked Submit must cost milliseconds of CPU (asserted
+/// <5ms per parked second), where the old 100µs sleep-poll backoff burned
+/// a meaningful slice of a core. The pipeline is paused so no drain frees
+/// space until the resume, which also measures the wake latency.
+SaturatedProducerResult RunSaturatedProducer(double seconds) {
+  auto store = MakeStore(4, 1u << 20);
+  pipeline::PipelineOptions opt;
+  opt.num_producers = 1;
+  opt.num_workers = 1;
+  opt.queue_capacity = 1024;
+  opt.max_batch = 2048;  // the resume drains the whole ring in one pass
+  auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(0));
+  while (ingest->TrySubmit(0, 1, 1).ok()) {
+  }
+  const pipeline::PipelineStats before = ingest->Stats();
+
+  std::atomic<double> cpu{0.0};
+  std::atomic<double> returned_at{0.0};
+  const double park_start = Now();
+  std::thread producer([&] {
+    const double cpu_before = ThreadCpuSeconds();
+    COUNTLIB_CHECK_OK(ingest->Submit(0, /*key=*/1, /*weight=*/1));
+    cpu.store(ThreadCpuSeconds() - cpu_before, std::memory_order_relaxed);
+    returned_at.store(Now(), std::memory_order_relaxed);
+  });
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  const double resume_at = Now();
+  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(1));
+  producer.join();
+
+  const pipeline::PipelineStats after = ingest->Stats();
+  COUNTLIB_CHECK_OK(ingest->Drain());
+  SaturatedProducerResult r;
+  r.park_seconds = returned_at.load() - park_start;
+  r.cpu_seconds = cpu.load();
+  r.parks = after.producer_parks - before.producer_parks;
+  r.wakeups = after.producer_wakeups - before.producer_wakeups;
+  r.retries_while_parked = after.events_rejected - before.events_rejected;
+  r.wake_latency_s = returned_at.load() - resume_at;
+  // The acceptance gates: a parked second costs <5ms of producer CPU (the
+  // ISSUE 3 criterion), and the wake rides the first drain, not a coarse
+  // timeout ladder.
+  COUNTLIB_CHECK_LT(r.cpu_seconds, 0.005 * (seconds < 1.0 ? 1.0 : seconds));
+  COUNTLIB_CHECK_LT(r.wake_latency_s, 0.25);
+  return r;
+}
+
+/// A burst against a 1-worker pool with the Autoscaler attached: the pool
+/// must grow under the burst, shrink back once quiet, and lose nothing.
+/// max_batch is kept small so the burst visibly outruns the initial
+/// worker.
+AutoscaleResult RunAutoscale(double burst_seconds) {
+  auto store = MakeStore(16, 1u << 24);
+  pipeline::PipelineOptions opt;
+  opt.num_producers = 4;
+  opt.num_workers = 1;
+  opt.queue_capacity = 2048;
+  opt.max_batch = 64;
+  auto ingest = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  pipeline::AutoscalerConfig config;
+  config.min_workers = 1;
+  config.max_workers = 4;
+  config.sample_interval = std::chrono::milliseconds(5);
+  config.cooldown = std::chrono::milliseconds(25);
+  config.scale_up_queue_depth = 2048;
+  config.scale_up_samples = 1;
+  config.scale_down_queue_depth = 128;
+  config.scale_down_samples = 4;
+  auto scaler = pipeline::Autoscaler::Make(ingest.get(), config).ValueOrDie();
+
+  AutoscaleResult r{};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> produced{0};
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        COUNTLIB_CHECK_OK(ingest->Submit(p, /*key=*/(p * 8191 + i++) & 4095, 1));
+        produced.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const double start = Now();
+  r.peak_workers = ingest->num_workers();
+  while (Now() - start < burst_seconds) {
+    r.peak_workers = std::max(r.peak_workers, ingest->num_workers());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : producers) t.join();
+  r.burst_seconds = Now() - start;
+  r.events = produced.load();
+  r.events_per_sec = static_cast<double>(r.events) / r.burst_seconds;
+
+  // Quiet period: wait (bounded) for the pool to walk back to the floor.
+  const double quiet_deadline = Now() + 10.0;
+  while (ingest->num_workers() > config.min_workers && Now() < quiet_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  r.final_workers = ingest->num_workers();
+  scaler->Stop();
+  const pipeline::AutoscalerStats as = scaler->Stats();
+  r.scale_ups = as.scale_ups;
+  r.scale_downs = as.scale_downs;
+  r.samples = as.samples;
+
+  COUNTLIB_CHECK_OK(ingest->Flush());
+  COUNTLIB_CHECK_OK(ingest->Drain());
+  const pipeline::PipelineStats stats = ingest->Stats();
+  r.lost_events = r.events - stats.events_applied;
+  // The acceptance gates: the burst grew the pool, the quiet shrank it
+  // back, and the churn lost nothing.
+  COUNTLIB_CHECK_GT(r.peak_workers, uint64_t{1});
+  COUNTLIB_CHECK_EQ(r.final_workers, config.min_workers);
+  COUNTLIB_CHECK_EQ(r.lost_events, uint64_t{0});
   return r;
 }
 
@@ -257,7 +489,9 @@ std::string ToJson(const std::vector<RunResult>& results,
                    const RunResult& elastic,
                    const std::vector<uint64_t>& worker_steps,
                    const IdleResult& idle, const BackpressureResult& bp,
-                   uint64_t keys, double skew) {
+                   const SaturatedProducerResult& sat,
+                   const AutoscaleResult& autoscale, uint64_t keys,
+                   double skew) {
   std::string out = "{\"bench\":\"pipeline_throughput\",\"keys\":" +
                     std::to_string(keys) + ",\"skew\":" + std::to_string(skew) +
                     ",\"configs\":[";
@@ -299,11 +533,43 @@ std::string ToJson(const std::vector<RunResult>& results,
       buf, sizeof(buf),
       ",\"backpressure\":{\"attempts\":%llu,\"accepted\":%llu,"
       "\"rejected\":%llu,\"elapsed_s\":%.4f,\"attempts_per_sec\":%.1f,"
-      "\"rejects_per_sec\":%.1f}",
+      "\"rejects_per_sec\":%.1f,\"reject_attempts\":%llu,"
+      "\"reject_allocs\":%llu,"
+      "\"invalid_slot_attempts\":%llu,\"invalid_slot_allocs\":%llu}",
       static_cast<unsigned long long>(bp.attempts),
       static_cast<unsigned long long>(bp.accepted),
       static_cast<unsigned long long>(bp.rejected), bp.elapsed_s,
-      bp.attempts_per_sec, bp.rejects_per_sec);
+      bp.attempts_per_sec, bp.rejects_per_sec,
+      static_cast<unsigned long long>(bp.reject_attempts),
+      static_cast<unsigned long long>(bp.reject_allocs),
+      static_cast<unsigned long long>(bp.invalid_slot_attempts),
+      static_cast<unsigned long long>(bp.invalid_slot_allocs));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"saturated_producer_cpu\":{\"park_seconds\":%.4f,"
+      "\"cpu_seconds\":%.6f,\"parks\":%llu,\"wakeups\":%llu,"
+      "\"retries_while_parked\":%llu,\"wake_latency_s\":%.6f}",
+      sat.park_seconds, sat.cpu_seconds,
+      static_cast<unsigned long long>(sat.parks),
+      static_cast<unsigned long long>(sat.wakeups),
+      static_cast<unsigned long long>(sat.retries_while_parked),
+      sat.wake_latency_s);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"autoscale\":{\"events\":%llu,\"burst_seconds\":%.4f,"
+      "\"events_per_sec\":%.1f,\"peak_workers\":%llu,"
+      "\"final_workers\":%llu,\"scale_ups\":%llu,\"scale_downs\":%llu,"
+      "\"samples\":%llu,\"lost_events\":%llu}",
+      static_cast<unsigned long long>(autoscale.events),
+      autoscale.burst_seconds, autoscale.events_per_sec,
+      static_cast<unsigned long long>(autoscale.peak_workers),
+      static_cast<unsigned long long>(autoscale.final_workers),
+      static_cast<unsigned long long>(autoscale.scale_ups),
+      static_cast<unsigned long long>(autoscale.scale_downs),
+      static_cast<unsigned long long>(autoscale.samples),
+      static_cast<unsigned long long>(autoscale.lost_events));
   out += buf;
   out += "}";
   return out;
@@ -376,13 +642,42 @@ int Main(int argc, const char* const* argv) {
   const BackpressureResult bp = RunBackpressure(0.25);
   std::printf(
       "# backpressure: %.1fM TrySubmit/s against a full queue "
-      "(%.0f%% rejected, allocation-free kPending)\n",
+      "(%.0f%% rejected, allocation-free kPending)\n"
+      "#   reject-path heap allocs over %llu kPending + %llu invalid-slot "
+      "attempts: %llu + %llu\n",
       bp.attempts_per_sec / 1e6,
       100.0 * static_cast<double>(bp.rejected) /
-          static_cast<double>(bp.attempts == 0 ? 1 : bp.attempts));
+          static_cast<double>(bp.attempts == 0 ? 1 : bp.attempts),
+      static_cast<unsigned long long>(bp.reject_attempts),
+      static_cast<unsigned long long>(bp.invalid_slot_attempts),
+      static_cast<unsigned long long>(bp.reject_allocs),
+      static_cast<unsigned long long>(bp.invalid_slot_allocs));
 
-  const std::string json =
-      ToJson(results, elastic, worker_steps, idle, bp, keys, skew);
+  const SaturatedProducerResult sat =
+      RunSaturatedProducer(flags.GetDouble("idle_seconds"));
+  std::printf(
+      "# saturated-producer-cpu: %.2fs parked on a full ring -> %.4fms "
+      "producer CPU, %llu parks, %llu retries, woke %.2fms after resume\n",
+      sat.park_seconds, sat.cpu_seconds * 1e3,
+      static_cast<unsigned long long>(sat.parks),
+      static_cast<unsigned long long>(sat.retries_while_parked),
+      sat.wake_latency_s * 1e3);
+
+  const AutoscaleResult autoscale = RunAutoscale(0.5);
+  std::printf(
+      "# autoscale: %.2fs burst of %llu events -> pool 1 -> %llu -> %llu "
+      "(%llu ups, %llu downs over %llu samples), %llu lost\n",
+      autoscale.burst_seconds,
+      static_cast<unsigned long long>(autoscale.events),
+      static_cast<unsigned long long>(autoscale.peak_workers),
+      static_cast<unsigned long long>(autoscale.final_workers),
+      static_cast<unsigned long long>(autoscale.scale_ups),
+      static_cast<unsigned long long>(autoscale.scale_downs),
+      static_cast<unsigned long long>(autoscale.samples),
+      static_cast<unsigned long long>(autoscale.lost_events));
+
+  const std::string json = ToJson(results, elastic, worker_steps, idle, bp,
+                                  sat, autoscale, keys, skew);
   std::printf("%s\n", json.c_str());
   const std::string json_out = flags.GetString("json_out");
   if (!json_out.empty()) {

@@ -1,10 +1,12 @@
 /// \file pipeline_ingest.cpp
 /// \brief The §1 analytics system end to end, elastic edition: a pool of
 /// transient producer threads leases slots from the `IngestPipeline`'s
-/// producer-slot registry, feeds page-visit events through the async
+/// producer-slot registry and feeds page-visit events through the async
 /// batched path into a striped bit-packed `ConcurrentCounterStore`, while
-/// the worker pool is resized mid-run with `SetWorkerCount`. A dashboard
-/// then reads the results with one `TopK` snapshot call.
+/// an `Autoscaler` watches queue depth and drives `SetWorkerCount` for
+/// us — the pool starts at one drain thread, grows under the burst, and
+/// shrinks back once the producers finish. A dashboard then reads the
+/// results with one `TopK` snapshot call.
 ///
 /// The registry replaces the old static slot-per-thread contract: there
 /// are more worker-pool threads than producer slots, so each thread
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "pipeline/autoscaler.h"
 #include "pipeline/ingest_pipeline.h"
 #include "stream/trace.h"
 #include "util/cli.h"
@@ -56,8 +59,24 @@ int main(int argc, char** argv) {
   options.num_producers = slots;
   options.queue_capacity = 8192;
   options.max_batch = 2048;
-  options.num_workers = 1;  // start small; scaled up below
+  options.num_workers = 1;  // start small; the autoscaler grows the pool
   auto ingest = pipeline::IngestPipeline::Make(&store, options).ValueOrDie();
+
+  // The elastic control loop, as policy instead of hand-placed
+  // SetWorkerCount calls: sample queue depth every 5ms, double the pool
+  // when the backlog tops half the total ring capacity, walk it back down
+  // one worker at a time once the queues go shallow and the workers idle.
+  pipeline::AutoscalerConfig scaling;
+  scaling.min_workers = 1;
+  // max_workers stays 0: Make resolves it to the producer-slot count
+  // (clamped to the pipeline's own 256-worker ceiling).
+  scaling.sample_interval = std::chrono::milliseconds(5);
+  scaling.cooldown = std::chrono::milliseconds(25);
+  scaling.scale_up_queue_depth = slots * options.queue_capacity / 2;
+  scaling.scale_up_samples = 1;
+  scaling.scale_down_queue_depth = 256;
+  scaling.scale_down_samples = 4;
+  auto scaler = pipeline::Autoscaler::Make(ingest.get(), scaling).ValueOrDie();
 
   // The producer pool: each thread claims trace chunks from a shared
   // cursor and, per chunk, leases whichever slot the registry hands it.
@@ -81,15 +100,14 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Elastic control loop: scale the drain pool up under load, then back
-  // down. Each resize re-partitions ring ownership at a safe barrier; no
-  // accepted event is lost across the switch.
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(4));
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
-  COUNTLIB_CHECK_OK(ingest->SetWorkerCount(2));
-
   for (auto& t : pool) t.join();
+  // Give the autoscaler a beat to observe the quiet queues and shrink,
+  // then stop it before the pipeline goes away (it must not outlive the
+  // pipeline it steers).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const uint64_t workers_at_end = ingest->num_workers();
+  scaler->Stop();
+  const pipeline::AutoscalerStats scaling_stats = scaler->Stats();
   COUNTLIB_CHECK_OK(ingest->Drain());
 
   const pipeline::PipelineStats stats = ingest->Stats();
@@ -105,6 +123,14 @@ int main(int argc, char** argv) {
   std::printf("%llu transient threads shared %llu producer slots\n",
               static_cast<unsigned long long>(threads),
               static_cast<unsigned long long>(slots));
+  std::printf(
+      "autoscaler: %llu samples, %llu scale-ups / %llu scale-downs "
+      "(pool ended at %llu worker%s)\n",
+      static_cast<unsigned long long>(scaling_stats.samples),
+      static_cast<unsigned long long>(scaling_stats.scale_ups),
+      static_cast<unsigned long long>(scaling_stats.scale_downs),
+      static_cast<unsigned long long>(workers_at_end),
+      workers_at_end == 1 ? "" : "s");
 
   std::printf("\nper-worker activity (cumulative across resizes):\n");
   for (const auto& w : ingest->PerWorkerStats()) {

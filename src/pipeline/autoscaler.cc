@@ -1,0 +1,167 @@
+#include "pipeline/autoscaler.h"
+
+#include <algorithm>
+
+namespace countlib {
+namespace pipeline {
+
+Result<std::unique_ptr<Autoscaler>> Autoscaler::Make(
+    IngestPipeline* pipeline, const AutoscalerConfig& config) {
+  if (pipeline == nullptr) {
+    return Status::InvalidArgument("Autoscaler: pipeline must not be null");
+  }
+  AutoscalerConfig resolved = config;
+  if (resolved.max_workers == 0) {
+    // More workers than rings is never useful, and SetWorkerCount caps at
+    // 256 — clamp the resolved ceiling to both so a wide pipeline (up to
+    // 4096 producer slots) still gets a valid default.
+    resolved.max_workers = std::min<uint64_t>(pipeline->num_producers(), 256);
+  }
+  if (resolved.min_workers < 1) {
+    return Status::InvalidArgument("Autoscaler: min_workers >= 1");
+  }
+  if (resolved.max_workers < resolved.min_workers ||
+      resolved.max_workers > 256) {
+    return Status::InvalidArgument(
+        "Autoscaler: max_workers in [min_workers, 256]");
+  }
+  if (resolved.sample_interval.count() <= 0) {
+    return Status::InvalidArgument("Autoscaler: sample_interval > 0");
+  }
+  if (resolved.cooldown.count() < 0) {
+    return Status::InvalidArgument("Autoscaler: cooldown >= 0");
+  }
+  if (resolved.scale_down_queue_depth >= resolved.scale_up_queue_depth) {
+    return Status::InvalidArgument(
+        "Autoscaler: scale_down_queue_depth < scale_up_queue_depth");
+  }
+  if (resolved.scale_up_samples < 1 || resolved.scale_down_samples < 1) {
+    return Status::InvalidArgument(
+        "Autoscaler: scale_up/down_samples >= 1 (hysteresis lengths)");
+  }
+  if (resolved.shrink_step < 1) {
+    return Status::InvalidArgument("Autoscaler: shrink_step >= 1");
+  }
+  return std::unique_ptr<Autoscaler>(new Autoscaler(pipeline, resolved));
+}
+
+Autoscaler::Autoscaler(IngestPipeline* pipeline,
+                       const AutoscalerConfig& resolved)
+    : pipeline_(pipeline), config_(resolved) {
+  // Start the cooldown window open so the first decided vote can act.
+  last_resize_ = std::chrono::steady_clock::now() - config_.cooldown;
+  last_idle_passes_ = pipeline_->Stats().idle_passes;
+  control_ = std::thread([this] { ControlLoop(); });
+}
+
+Autoscaler::~Autoscaler() { Stop(); }
+
+void Autoscaler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+  }
+  if (control_.joinable()) control_.join();
+}
+
+bool Autoscaler::Tick() {
+  const PipelineStats stats = pipeline_->Stats();
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  last_queue_depth_.store(stats.queue_depth, std::memory_order_relaxed);
+  current_workers_.store(stats.workers, std::memory_order_relaxed);
+  const uint64_t idle_delta = stats.idle_passes - last_idle_passes_;
+  last_idle_passes_ = stats.idle_passes;
+
+  // Vote. Depth alone decides "up": a deep backlog means the pool is
+  // underwater whatever the workers are doing right now. "Down"
+  // additionally wants evidence of slack — idle passes since the last
+  // sample, or a worker caught between drains — so a pool that is exactly
+  // keeping a shallow queue shallow is left alone.
+  if (stats.queue_depth >= config_.scale_up_queue_depth) {
+    ++up_streak_;
+    down_streak_ = 0;
+  } else if (stats.queue_depth <= config_.scale_down_queue_depth &&
+             (idle_delta > 0 || stats.busy_workers < stats.workers)) {
+    ++down_streak_;
+    up_streak_ = 0;
+  } else {
+    up_streak_ = 0;
+    down_streak_ = 0;
+  }
+
+  uint64_t target = stats.workers;
+  if (up_streak_ >= config_.scale_up_samples) {
+    target = config_.grow_step == 0 ? stats.workers * 2
+                                    : stats.workers + config_.grow_step;
+    // The floor also rescues a manually paused pipeline (workers == 0,
+    // where doubling would stay 0): a backlog vote un-pauses it.
+    target = std::max(target, config_.min_workers);
+    target = std::min(target, config_.max_workers);
+  } else if (down_streak_ >= config_.scale_down_samples) {
+    target = stats.workers > config_.min_workers + config_.shrink_step
+                 ? stats.workers - config_.shrink_step
+                 : config_.min_workers;
+  }
+  if (target == stats.workers) return true;
+
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_resize_ < config_.cooldown) {
+    // Hold the decision (and the streak) until the window reopens.
+    cooldown_holds_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  const Status st = pipeline_->SetWorkerCount(target);
+  if (st.IsFailedPrecondition()) return false;  // draining: retire the loop
+  if (!st.ok()) {
+    resize_errors_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  last_resize_ = now;
+  up_streak_ = 0;
+  down_streak_ = 0;
+  if (target > stats.workers) {
+    scale_ups_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    scale_downs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  current_workers_.store(pipeline_->num_workers(), std::memory_order_relaxed);
+  return true;
+}
+
+void Autoscaler::ControlLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    // Park between samples; Stop's notify ends the wait early so shutdown
+    // never has to ride out a sample interval.
+    if (stop_cv_.wait_for(lock, config_.sample_interval,
+                          [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    const bool keep_going = Tick();
+    lock.lock();
+    if (!keep_going) {
+      // Pipeline is draining: SetWorkerCount can never succeed again, so
+      // sampling is pure noise. Park until Stop.
+      stop_cv_.wait(lock, [this] { return stop_requested_; });
+      return;
+    }
+  }
+}
+
+AutoscalerStats Autoscaler::Stats() const {
+  AutoscalerStats stats;
+  stats.samples = samples_.load(std::memory_order_relaxed);
+  stats.scale_ups = scale_ups_.load(std::memory_order_relaxed);
+  stats.scale_downs = scale_downs_.load(std::memory_order_relaxed);
+  stats.cooldown_holds = cooldown_holds_.load(std::memory_order_relaxed);
+  stats.resize_errors = resize_errors_.load(std::memory_order_relaxed);
+  stats.last_queue_depth = last_queue_depth_.load(std::memory_order_relaxed);
+  stats.current_workers = current_workers_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pipeline
+}  // namespace countlib

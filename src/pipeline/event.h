@@ -58,8 +58,11 @@ struct PipelineStats {
   uint64_t batches_applied = 0;    ///< store IncrementBatch calls
   uint64_t idle_passes = 0;        ///< drain passes (all worker generations) that found no events
   uint64_t worker_wakeups = 0;     ///< CV sleeps ended by a producer/shutdown signal (not timeout)
+  uint64_t producer_parks = 0;     ///< times a blocking Submit parked on the not-full eventcount
+  uint64_t producer_wakeups = 0;   ///< producer parks ended by a drain's not-full signal (not timeout)
   uint64_t queue_depth = 0;        ///< events currently sitting in queues (approximate)
-  uint64_t workers = 0;            ///< current drain-thread count (gauge)
+  uint64_t workers = 0;            ///< current drain-thread count (gauge; 0 while paused)
+  uint64_t busy_workers = 0;       ///< workers inside a drain pass right now (gauge)
   uint64_t slots_in_use = 0;       ///< producer slots currently leased via the registry (gauge)
 };
 

@@ -15,15 +15,18 @@ namespace {
 /// `SpscRing::TryPush` — and it bounds a fully idle worker to ~20 wakes/s.
 constexpr std::chrono::milliseconds kIdleSleep(50);
 
-/// Producer-side retry backoff for the blocking `Submit` wrapper: stay hot
-/// for a while, then sleep so a saturated producer does not burn a core.
-void Backoff(uint64_t attempts) {
-  if (attempts < 64) {
-    std::this_thread::yield();
-  } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
-  }
-}
+/// Yield-retries a blocking `Submit` makes before parking on the not-full
+/// eventcount: under transient fullness a drain frees space within
+/// microseconds, and a yield is much cheaper than a park round trip.
+constexpr int kSubmitSpinYields = 64;
+
+/// How long a parked producer sleeps before rechecking its ring. This is
+/// the lost-wakeup backstop for the (rare) stale fullness verdict in
+/// `SpscRing::PopBatch` — real wakes ride the nonfull signal, so the
+/// backstop only bounds the stale-verdict corner. ~50 rechecks/s keeps a
+/// producer parked for a full second around 2ms of CPU even on boxes
+/// where a timed CV wait costs tens of microseconds.
+constexpr std::chrono::milliseconds kSubmitParkBackstop(20);
 
 /// Preallocated results for the hot rejection paths. Backpressure fires
 /// exactly when the system is saturated, so the kPending result must not
@@ -50,6 +53,19 @@ const Status& ZeroWeightStatus() {
 const Status& NoFreeSlotStatus() {
   static const Status st = Status::Pending(
       "TryAcquireProducerSlot: no free drained slot (retry after backoff)");
+  return st;
+}
+
+const Status& InvalidSlotStatus() {
+  static const Status st =
+      Status::InvalidArgument("TrySubmit: producer slot out of range");
+  return st;
+}
+
+const Status& PausedFlushStatus() {
+  static const Status st = Status::FailedPrecondition(
+      "Flush: pipeline is paused (0 workers) with events queued; resume "
+      "with SetWorkerCount or let Drain sweep them");
   return st;
 }
 
@@ -90,6 +106,7 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   for (uint64_t i = 0; i < options_.num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing>(options_.queue_capacity));
   }
+  nonfull_epochs_ = std::make_unique<NonFullEpoch[]>(options_.num_producers);
   slot_leased_.assign(options_.num_producers, 0);
   // Clamp before spawning: more workers than rings is never useful.
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
@@ -129,10 +146,7 @@ void IngestPipeline::NotifyWorkers() {
 
 Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
                                  uint64_t weight) {
-  if (producer >= rings_.size()) {
-    return Status::InvalidArgument("TrySubmit: producer slot " +
-                                   std::to_string(producer) + " out of range");
-  }
+  if (producer >= rings_.size()) return InvalidSlotStatus();
   if (weight == 0) return ZeroWeightStatus();
   // Refcount handshake with Drain: the count is raised before the closed_
   // check, and Drain waits for it to hit zero after setting closed_, so
@@ -162,11 +176,38 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
 }
 
 Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) {
-  uint64_t attempts = 0;
-  while (true) {
+  // Stay hot through transient fullness: a drain in progress frees space
+  // within microseconds, so yield-retry before paying for a park.
+  for (int i = 0; i < kSubmitSpinYields; ++i) {
     Status st = TrySubmit(producer, key, weight);
     if (!st.IsPending()) return st;
-    Backoff(attempts++);
+    std::this_thread::yield();
+  }
+  // Sustained backpressure: park on the ring's not-full eventcount. Same
+  // discipline as the worker wakeup — snapshot the epoch, recheck the
+  // condition (a TrySubmit), sleep until the epoch moves. A drain that
+  // pops from a full ring bumps the epoch with seq_cst before reading
+  // nonfull_waiters_, and this side registers the waiter with seq_cst
+  // before the predicate's first epoch read, so either the drain sees the
+  // waiter and notifies or the waiter sees the new epoch and skips the
+  // sleep (the Dekker pattern). The bounded timeout backstops PopBatch's
+  // (rare) stale fullness verdict. kPending implies `producer` is a valid
+  // index, so the epoch access below is in range.
+  while (true) {
+    const uint64_t epoch =
+        nonfull_epochs_[producer].v.load(std::memory_order_seq_cst);
+    Status st = TrySubmit(producer, key, weight);
+    if (!st.IsPending()) return st;
+    producer_parks_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(nonfull_mu_);
+    nonfull_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    const bool signaled = nonfull_cv_.wait_for(lock, kSubmitParkBackstop, [&] {
+      return nonfull_epochs_[producer].v.load(std::memory_order_seq_cst) !=
+                 epoch ||
+             closed_.load(std::memory_order_acquire);
+    });
+    nonfull_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    if (signaled) producer_wakeups_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -221,8 +262,8 @@ void IngestPipeline::ReleaseProducerSlot(uint64_t slot) {
 }
 
 Status IngestPipeline::SetWorkerCount(uint64_t n) {
-  if (n < 1 || n > 256) {
-    return Status::InvalidArgument("SetWorkerCount: n in [1, 256]");
+  if (n > 256) {
+    return Status::InvalidArgument("SetWorkerCount: n in [0, 256]");
   }
   std::lock_guard<std::mutex> lock(workers_mu_);
   if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
@@ -242,7 +283,7 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
   return Status::OK();
 }
 
-uint64_t IngestPipeline::DrainOnce(const std::vector<SpscRing*>& rings,
+uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
                                    uint64_t start_ring,
                                    std::vector<Event>* raw,
                                    std::unordered_map<uint64_t, uint64_t>* agg,
@@ -253,11 +294,29 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<SpscRing*>& rings,
   // touch no buffer memory at all. The scan starts at a different ring
   // each pass so a saturated early ring cannot starve the later ones.
   uint64_t count = 0;
-  const size_t start = start_ring % rings.size();
-  for (size_t i = 0; i < rings.size(); ++i) {
+  bool went_nonfull = false;
+  const size_t start = start_ring % ring_ids.size();
+  for (size_t i = 0; i < ring_ids.size(); ++i) {
     if (count == options_.max_batch) break;
-    SpscRing* ring = rings[(start + i) % rings.size()];
-    count += ring->PopBatch(raw->data() + count, options_.max_batch - count);
+    const uint64_t id = ring_ids[(start + i) % ring_ids.size()];
+    bool was_full = false;
+    const uint64_t n = rings_[id]->PopBatch(
+        raw->data() + count, options_.max_batch - count, &was_full);
+    count += n;
+    if (n > 0 && was_full) {
+      // Full→nonfull transition: publish this ring's nonfull epoch so a
+      // producer parked in Submit can wake (Dekker pairing with the
+      // seq_cst registration there).
+      nonfull_epochs_[id].v.fetch_add(1, std::memory_order_seq_cst);
+      went_nonfull = true;
+    }
+  }
+  // Wake parked producers before the store apply below: their capacity
+  // became free at pop time, and the apply can be comparatively long.
+  if (went_nonfull &&
+      nonfull_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(nonfull_mu_);
+    nonfull_cv_.notify_all();
   }
   if (count > 0) {
     // Pre-aggregate duplicate keys: under a Zipfian event stream most of a
@@ -308,18 +367,18 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
   // Round-robin ring ownership for this generation; each ring has exactly
   // one consumer (SPSC) because generations never overlap (SetWorkerCount
   // joins the old one before spawning the new one).
-  std::vector<SpscRing*> owned;
+  std::vector<uint64_t> owned;
   for (uint64_t i = w; i < rings_.size(); i += num_workers) {
-    owned.push_back(rings_[i].get());
+    owned.push_back(i);
   }
   WorkerStatCells* cells = worker_cells_[w].get();
   std::vector<Event> raw(options_.max_batch);
   std::unordered_map<uint64_t, uint64_t> agg;
   std::vector<analytics::KeyWeight> batch;
   agg.reserve(options_.max_batch);
-  const auto owned_all_empty = [&owned] {
-    for (SpscRing* ring : owned) {
-      if (ring->SizeApprox() != 0) return false;
+  const auto owned_all_empty = [this, &owned] {
+    for (uint64_t id : owned) {
+      if (rings_[id]->SizeApprox() != 0) return false;
     }
     return true;
   };
@@ -378,24 +437,40 @@ Status IngestPipeline::Flush() {
   // so the completing pass is never missed. The short timeout backstops
   // the registration race and parked-worker corner cases.
   flush_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  Status result = Status::OK();
   {
     std::unique_lock<std::mutex> lock(flush_mu_);
     while (!quiesced()) {
+      // Paused pipeline (SetWorkerCount(0)) with a backlog: no worker will
+      // ever make progress, so fail fast instead of hanging. Once draining
+      // has begun the worker count is also 0, but Drain's final sweep is
+      // the consumer then — keep waiting and let it finish the job.
+      if (worker_count_.load(std::memory_order_acquire) == 0 &&
+          !closed_.load(std::memory_order_acquire)) {
+        result = PausedFlushStatus();
+        break;
+      }
       flush_cv_.wait_for(lock, std::chrono::milliseconds(5));
     }
   }
   flush_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  if (!result.ok()) return result;
   return LastError();
 }
 
 Status IngestPipeline::Drain() {
   std::call_once(drain_once_, [this] {
     closed_.store(true, std::memory_order_seq_cst);
-    // Release acquirers blocked on the slot registry: they observe closed_
-    // and return kFailedPrecondition.
+    // Release acquirers blocked on the slot registry and producers parked
+    // on the not-full eventcount: they observe closed_ and return
+    // kFailedPrecondition.
     {
       std::lock_guard<std::mutex> lock(slots_mu_);
       slots_cv_.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(nonfull_mu_);
+      nonfull_cv_.notify_all();
     }
     // Wait out in-flight TrySubmit calls: once the count is zero, any
     // submitter that passed the closed_ check has finished its push, so
@@ -418,9 +493,8 @@ Status IngestPipeline::Drain() {
     // and slot-rewrite costs stay consistent; DrainOnce's busy_workers_
     // raise makes it visible to a concurrent Flush. The sweep is not
     // attributed to any worker id (cells == nullptr).
-    std::vector<SpscRing*> all_rings;
-    all_rings.reserve(rings_.size());
-    for (const auto& ring : rings_) all_rings.push_back(ring.get());
+    std::vector<uint64_t> all_rings(rings_.size());
+    for (uint64_t i = 0; i < all_rings.size(); ++i) all_rings[i] = i;
     std::vector<Event> raw(options_.max_batch);
     std::unordered_map<uint64_t, uint64_t> agg;
     std::vector<analytics::KeyWeight> batch;
@@ -441,7 +515,10 @@ PipelineStats IngestPipeline::Stats() const {
   stats.updates_applied = updates_.load(std::memory_order_relaxed);
   stats.batches_applied = batches_.load(std::memory_order_relaxed);
   stats.workers = worker_count_.load(std::memory_order_acquire);
+  stats.busy_workers = busy_workers_.load(std::memory_order_acquire);
   stats.slots_in_use = slots_in_use_.load(std::memory_order_relaxed);
+  stats.producer_parks = producer_parks_.load(std::memory_order_relaxed);
+  stats.producer_wakeups = producer_wakeups_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(cells_mu_);
     for (const auto& cells : worker_cells_) {

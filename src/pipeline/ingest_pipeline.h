@@ -55,6 +55,23 @@
 /// wait on the same mechanism (separate CVs, same only-notify-when-waited
 /// discipline) instead of spinning.
 ///
+/// ## Producer parking: the not-full eventcount
+///
+/// The mirror-image contract de-spins the *producer* side. Each ring
+/// carries a nonfull epoch; a worker bumps it when a drain pass pops from a
+/// ring that was full just before the pop (the full→nonfull transition,
+/// reported by `SpscRing::PopBatch(out, max, &was_full)`), and notifies the
+/// producer CV only when someone is registered as parked. A saturated
+/// blocking `Submit` therefore (a) snapshots its ring's epoch, (b) retries
+/// `TrySubmit`, (c) sleeps until the epoch moves — identical discipline to
+/// the worker eventcount, so a producer blocked on backpressure for a
+/// second costs milliseconds of CPU instead of a core. The consumer's
+/// fullness verdict derives from an acquire load of the producer index and
+/// can (rarely) be stale, so parks carry a bounded timeout backstop.
+/// `AcquireProducerSlot` waits on the registry CV, which the same drain
+/// pass notifies when it makes pop progress — the slot path was de-spun by
+/// PR 2 and rides the same worker-side signals.
+///
 /// ## Elasticity
 ///
 /// `SetWorkerCount(n)` re-partitions ring ownership at a safe barrier: the
@@ -63,6 +80,13 @@
 /// owning rings round-robin by the new count. Queued events are never
 /// dropped by a resize; they are simply picked up by the new owners.
 /// Per-worker activity is observable via `PerWorkerStats`.
+/// `SetWorkerCount(0)` is an explicit **pause**: accepted events stay
+/// queued, `TrySubmit` keeps accepting until the queues fill, and blocking
+/// submitters park until a resume (or `Drain`, which applies everything in
+/// its final sweep regardless). `Flush` fails fast with
+/// `kFailedPrecondition` while the pipeline is paused with events queued
+/// instead of hanging. See `autoscaler.h` for the policy layer that drives
+/// `SetWorkerCount` automatically from queue depth and idle signals.
 ///
 /// An event acknowledged with OK by `TrySubmit` is never lost, even when
 /// the submit races a concurrent `Drain` — draining waits out in-flight
@@ -108,13 +132,17 @@ class IngestPipeline {
   /// queue. Returns OK when enqueued (the event will be applied),
   /// `kPending` when the queue is full (retry after backoff),
   /// `kFailedPrecondition` once draining has begun, and
-  /// `kInvalidArgument` for a bad producer slot or zero weight. The
-  /// `kPending` and `kFailedPrecondition` results are preallocated —
-  /// the backpressure path never heap-allocates.
+  /// `kInvalidArgument` for a bad producer slot or zero weight. Every
+  /// rejection result (`kPending`, `kFailedPrecondition`, and both
+  /// `kInvalidArgument` cases) is preallocated — no reject path ever
+  /// heap-allocates.
   Status TrySubmit(uint64_t producer, uint64_t key, uint64_t weight = 1);
 
-  /// Blocking convenience: retries `TrySubmit` with a yield/sleep backoff
-  /// until accepted or the pipeline is closed.
+  /// Blocking submit: like `TrySubmit`, but on `kPending` it spins briefly
+  /// and then parks on the ring's not-full eventcount until a drain frees
+  /// space (or the pipeline is closed) — a producer blocked on sustained
+  /// backpressure costs ~0 CPU, the mirror of the idle-worker guarantee.
+  /// Never returns `kPending`.
   Status Submit(uint64_t producer, uint64_t key, uint64_t weight = 1);
 
   /// Leases a free, fully drained producer slot, blocking until one is
@@ -133,12 +161,19 @@ class IngestPipeline {
   /// barrier. Concurrent submissions keep queueing during the switch; no
   /// accepted event is lost. Serialized with concurrent resizes; returns
   /// `kFailedPrecondition` once draining has begun and `kInvalidArgument`
-  /// for `n` outside [1, 256].
+  /// for `n` > 256. `n == 0` pauses the pipeline: no drain threads run,
+  /// accepted events wait in their queues, and `Flush` fails fast instead
+  /// of hanging — resume with any `n >= 1` (nothing queued is ever lost;
+  /// `Drain`'s final sweep also applies a paused backlog). While paused,
+  /// `AcquireProducerSlot` can block indefinitely on an undrained slot.
   Status SetWorkerCount(uint64_t n);
 
   /// Blocks until every event accepted before the call has been applied to
   /// the store. With producers still submitting concurrently this is a
-  /// quiesce point, not a barrier. Returns the first worker error, if any.
+  /// quiesce point, not a barrier. Fails fast with `kFailedPrecondition`
+  /// when the pipeline is paused (`SetWorkerCount(0)`) with events still
+  /// queued — there is no worker to make progress, so waiting would hang.
+  /// Otherwise returns the first worker error, if any.
   Status Flush();
 
   /// Closes submission, flushes all queues, and joins the workers.
@@ -158,7 +193,8 @@ class IngestPipeline {
 
   uint64_t num_producers() const { return rings_.size(); }
 
-  /// Current drain-thread count (changes only via `SetWorkerCount`).
+  /// Current drain-thread count (changes only via `SetWorkerCount`; 0
+  /// while paused or after `Drain`).
   uint64_t num_workers() const {
     return worker_count_.load(std::memory_order_acquire);
   }
@@ -183,16 +219,18 @@ class IngestPipeline {
   /// (SetWorkerCount) or when stopped with all owned rings drained.
   void WorkerLoop(uint64_t w, uint64_t gen, uint64_t num_workers);
 
-  /// Drains up to `max_batch` events from `rings` into `raw` (sized
-  /// `max_batch` by the caller, reused across passes), pre-aggregates via
-  /// the reused `agg` map into `batch`, and applies. The scan begins at
-  /// ring `start_ring % rings.size()` — callers advance it each pass for
-  /// fairness. Returns the number of raw events consumed, attributing the
-  /// work to `cells` when non-null. The worker-owned scratch keeps the
-  /// drain loop itself allocation-light; the store's batch call still
-  /// allocates its stripe-routing scratch internally.
-  uint64_t DrainOnce(const std::vector<SpscRing*>& rings, uint64_t start_ring,
-                     std::vector<Event>* raw,
+  /// Drains up to `max_batch` events from the rings named by `ring_ids`
+  /// into `raw` (sized `max_batch` by the caller, reused across passes),
+  /// pre-aggregates via the reused `agg` map into `batch`, and applies.
+  /// The scan begins at `ring_ids[start_ring % ring_ids.size()]` — callers
+  /// advance it each pass for fairness. Pops that transition a ring
+  /// full→nonfull publish the ring's nonfull epoch (waking producers
+  /// parked in `Submit`). Returns the number of raw events consumed,
+  /// attributing the work to `cells` when non-null. The worker-owned
+  /// scratch keeps the drain loop itself allocation-light; the store's
+  /// batch call still allocates its stripe-routing scratch internally.
+  uint64_t DrainOnce(const std::vector<uint64_t>& ring_ids,
+                     uint64_t start_ring, std::vector<Event>* raw,
                      std::unordered_map<uint64_t, uint64_t>* agg,
                      std::vector<analytics::KeyWeight>* batch,
                      WorkerStatCells* cells);
@@ -235,6 +273,21 @@ class IngestPipeline {
   std::condition_variable wake_cv_;
   std::atomic<uint64_t> wake_epoch_{0};
   std::atomic<uint64_t> sleepers_{0};
+
+  /// Consumer→producer not-full eventcount: one epoch cell per ring (its
+  /// own cache line — workers bump it on the drain hot path), bumped on
+  /// every full→nonfull pop transition. Saturated blocking `Submit` calls
+  /// park on the shared CV; at most one producer waits per ring (the SPSC
+  /// contract), so notify_all fans out to few threads.
+  struct alignas(64) NonFullEpoch {
+    std::atomic<uint64_t> v{0};
+  };
+  std::unique_ptr<NonFullEpoch[]> nonfull_epochs_;
+  std::mutex nonfull_mu_;
+  std::condition_variable nonfull_cv_;
+  std::atomic<uint64_t> nonfull_waiters_{0};
+  std::atomic<uint64_t> producer_parks_{0};
+  std::atomic<uint64_t> producer_wakeups_{0};
 
   /// Flush waiters park here; workers notify after a drain pass only when
   /// flush_waiters_ is nonzero.

@@ -55,10 +55,18 @@ class SpscRing {
   }
 
   /// Consumer side: dequeues up to `max` events into `out`; returns the
-  /// number dequeued (0 when empty).
-  uint64_t PopBatch(Event* out, uint64_t max) {
+  /// number dequeued (0 when empty). When `was_full` is non-null,
+  /// `*was_full` reports whether the ring was full from the consumer's view
+  /// just before the pop — the full→nonfull transition on which the
+  /// pipeline wakes producers parked on backpressure, the mirror of
+  /// `TryPush`'s `was_empty`. The producer's tail index is read with
+  /// acquire semantics, so the report may lag a concurrent push by one
+  /// observation; wakeup paths must tolerate a (rare) stale verdict with a
+  /// bounded-timeout recheck.
+  uint64_t PopBatch(Event* out, uint64_t max, bool* was_full = nullptr) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (was_full != nullptr) *was_full = (tail - head == buf_.size());
     uint64_t n = tail - head;
     if (n > max) n = max;
     for (uint64_t i = 0; i < n; ++i) {

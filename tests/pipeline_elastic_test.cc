@@ -34,7 +34,6 @@ TEST(ElasticPipelineTest, SetWorkerCountValidatesAndClamps) {
   auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
   EXPECT_EQ(pipeline->num_workers(), 2u);
 
-  EXPECT_TRUE(pipeline->SetWorkerCount(0).IsInvalidArgument());
   EXPECT_TRUE(pipeline->SetWorkerCount(257).IsInvalidArgument());
   EXPECT_TRUE(pipeline->SetWorkerCount(3).ok());
   EXPECT_EQ(pipeline->num_workers(), 3u);
@@ -109,6 +108,161 @@ TEST(ElasticPipelineTest, PerWorkerStatsAttributeActivity) {
   EXPECT_EQ(per_worker_events, total.events_applied);
   EXPECT_EQ(per_worker_batches, total.batches_applied);
   EXPECT_EQ(total.events_applied, 4000u);
+}
+
+// Regression for the SetWorkerCount(0) hang: pausing used to strand
+// accepted events behind a Flush that could never finish. The contract is
+// now explicit — 0 pauses the pipeline, Flush on a paused backlog fails
+// fast instead of hanging, and resuming (or Drain's final sweep) applies
+// every queued event.
+TEST(ElasticPipelineTest, PauseFailsFlushFastAndResumeAppliesBacklog) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  opt.num_workers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());
+  EXPECT_EQ(pipeline->num_workers(), 0u);
+  for (uint64_t p = 0; p < 2; ++p) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(pipeline->TrySubmit(p, /*key=*/5, /*weight=*/1).ok());
+    }
+  }
+  // Nobody is draining: the backlog sits in the queues and Flush must
+  // report that instead of spinning on an impossible quiesce.
+  EXPECT_EQ(pipeline->Stats().queue_depth, 200u);
+  EXPECT_TRUE(pipeline->Flush().IsFailedPrecondition());
+  EXPECT_EQ(pipeline->Stats().events_applied, 0u);
+
+  // Resume: the backlog drains and Flush succeeds again.
+  ASSERT_TRUE(pipeline->SetWorkerCount(1).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+  EXPECT_EQ(store.Estimate(5).ValueOrDie(), 200.0);
+
+  ASSERT_TRUE(pipeline->Drain().ok());
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_applied, 200u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+}
+
+// A paused backlog must also survive going straight to Drain: the final
+// sweep is the consumer of last resort.
+TEST(ElasticPipelineTest, DrainSweepsPausedBacklog) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  opt.num_workers = 1;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(pipeline->TrySubmit(i % 2, /*key=*/9, /*weight=*/2).ok());
+  }
+  ASSERT_TRUE(pipeline->Drain().ok());
+  EXPECT_EQ(store.Estimate(9).ValueOrDie(), 600.0);
+  EXPECT_EQ(pipeline->Stats().events_dropped, 0u);
+}
+
+// The producer-side eventcount acceptance test: a blocking Submit against
+// a full ring with no drain in sight parks instead of sleep-polling. While
+// parked it must burn ~0 busy passes (TrySubmit retries are bounded by the
+// initial spin plus the ~50/s timeout backstop), and when a drain finally
+// frees space it must wake and land the event within one drain, losing
+// nothing.
+TEST(ElasticPipelineTest, BlockingSubmitParksOnBackpressureAndWakesOnDrain) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 1;
+  opt.num_workers = 1;
+  opt.queue_capacity = 64;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  // Pause, then fill the ring to the brim.
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());
+  uint64_t accepted = 0;
+  while (pipeline->TrySubmit(0, /*key=*/1, /*weight=*/1).ok()) ++accepted;
+  ASSERT_EQ(accepted, 64u);
+
+  const uint64_t rejected_before = pipeline->Stats().events_rejected;
+  std::atomic<bool> submitted{false};
+  std::thread producer([&] {
+    // Blocks: the ring is full and no worker is running.
+    ASSERT_TRUE(pipeline->Submit(0, /*key=*/1, /*weight=*/1).ok());
+    submitted.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(submitted.load(std::memory_order_acquire));
+  const PipelineStats parked = pipeline->Stats();
+  EXPECT_GE(parked.producer_parks, 1u);
+  // ~0 busy passes while parked: the initial 64-yield spin plus the 20ms
+  // timeout rechecks — nowhere near the old 10k/s sleep-poll rate.
+  EXPECT_LT(parked.events_rejected - rejected_before, 150u);
+
+  // Resume. The first drain pops the full ring, publishes the nonfull
+  // epoch, and the parked producer must land its event promptly.
+  const auto resume = std::chrono::steady_clock::now();
+  ASSERT_TRUE(pipeline->SetWorkerCount(1).ok());
+  producer.join();
+  const auto woke = std::chrono::steady_clock::now();
+  EXPECT_TRUE(submitted.load(std::memory_order_acquire));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(woke -
+                                                                  resume)
+                .count(),
+            2000);
+
+  ASSERT_TRUE(pipeline->Flush().ok());
+  EXPECT_EQ(store.Estimate(1).ValueOrDie(), static_cast<double>(accepted + 1));
+  ASSERT_TRUE(pipeline->Drain().ok());
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_applied, accepted + 1);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_GE(stats.producer_wakeups, 1u);
+}
+
+// Sustained backpressure under live drains: tiny rings, producers that
+// outrun the worker, everything submitted through the blocking Submit.
+// Every event must be applied exactly once — parking never drops or
+// duplicates — and the exact per-key totals must match.
+TEST(ElasticPipelineTest, SustainedBackpressureSubmitLosesNothing) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  opt.num_workers = 1;
+  opt.queue_capacity = 8;
+  opt.max_batch = 8;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  constexpr uint64_t kEvents = 20000;
+  constexpr uint64_t kKeys = 17;
+  std::vector<std::vector<uint64_t>> sent(2, std::vector<uint64_t>(kKeys, 0));
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      uint64_t x = p + 1;
+      for (uint64_t i = 0; i < kEvents; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const uint64_t key = (x >> 33) % kKeys;
+        const uint64_t weight = ((x >> 13) % 3) + 1;
+        ASSERT_TRUE(pipeline->Submit(p, key, weight).ok());
+        sent[p][key] += weight;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(pipeline->Drain().ok());
+
+  const PipelineStats stats = pipeline->Stats();
+  EXPECT_EQ(stats.events_submitted, 2 * kEvents);
+  EXPECT_EQ(stats.events_applied, 2 * kEvents);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    const uint64_t expected = sent[0][k] + sent[1][k];
+    if (expected == 0) continue;
+    ASSERT_EQ(store.Estimate(k).ValueOrDie(), static_cast<double>(expected))
+        << "key " << k;
+  }
 }
 
 // The acceptance-criteria stress test: transient threads acquire and

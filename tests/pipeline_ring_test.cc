@@ -122,6 +122,33 @@ TEST(SpscRingTest, TryPushReportsEmptyToNonemptyTransition) {
   EXPECT_TRUE(was_empty);
 }
 
+// The consumer-side fullness verdict that drives the pipeline's
+// full->nonfull producer wakeup: true exactly when the pop found the ring
+// full — the mirror of TryPush's was_empty.
+TEST(SpscRingTest, PopBatchReportsFullToNonfullTransition) {
+  SpscRing ring(4);
+  Event out[4];
+  bool was_full = true;
+  // Empty ring: nothing popped, and the verdict says "was not full".
+  EXPECT_EQ(ring.PopBatch(out, 4, &was_full), 0u);
+  EXPECT_FALSE(was_full);
+  // Partially full: still not a full->nonfull transition.
+  ASSERT_TRUE(ring.TryPush(Event{1, 1}));
+  ASSERT_TRUE(ring.TryPush(Event{2, 1}));
+  ASSERT_EQ(ring.PopBatch(out, 1, &was_full), 1u);
+  EXPECT_FALSE(was_full);
+  // Fill to capacity: the next pop is the transition producers wait on.
+  ASSERT_TRUE(ring.TryPush(Event{3, 1}));
+  ASSERT_TRUE(ring.TryPush(Event{4, 1}));
+  ASSERT_TRUE(ring.TryPush(Event{5, 1}));
+  EXPECT_FALSE(ring.TryPush(Event{6, 1}));  // full
+  ASSERT_EQ(ring.PopBatch(out, 2, &was_full), 2u);
+  EXPECT_TRUE(was_full);
+  // And with space available again the verdict goes back to false.
+  ASSERT_EQ(ring.PopBatch(out, 4, &was_full), 2u);
+  EXPECT_FALSE(was_full);
+}
+
 TEST(SpscRingTest, PushPopPreservesFifoOrder) {
   SpscRing ring(8);
   for (uint64_t i = 0; i < 5; ++i) {

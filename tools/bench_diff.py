@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_pipeline_throughput.json against the committed
+baseline and flag regressions (the ROADMAP's cross-PR trend-tracking item).
+
+The bench emits a stable schema; this tool walks both documents in
+parallel and judges the metrics it understands, direction-aware:
+
+  - rate metrics (``events_per_sec``, ``attempts_per_sec``): higher is
+    better; a drop of more than ``--threshold`` (default 10%) is a
+    regression.
+  - cost metrics (``cpu_seconds``, ``wake_latency_s``): lower is better; a
+    rise of more than ``--threshold`` is a regression, but only when the
+    change also clears a small absolute floor — shared CI runners cannot
+    time 1.5ms vs 1.7ms meaningfully.
+  - invariant metrics (``lost_events``, ``reject_allocs``,
+    ``invalid_slot_allocs``, ``busy_passes``): must stay zero; any nonzero
+    current value is a regression regardless of threshold.
+
+Entries in ``configs[]`` are matched by (mode, producers). Everything else
+(counts, elapsed times, worker steps) is context, not judged.
+
+Usage:
+  tools/bench_diff.py --baseline bench/baselines/pipeline_throughput.json \
+                      --current BENCH_pipeline_throughput.json
+Exit status: 0 = no regressions, 1 = regressions found (suppress with
+--warn-only, e.g. on noisy shared runners), 2 = bad invocation/inputs.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_KEYS = {"events_per_sec", "attempts_per_sec"}
+COST_KEYS = {"cpu_seconds", "wake_latency_s"}
+ZERO_KEYS = {"lost_events", "reject_allocs", "invalid_slot_allocs",
+             "busy_passes"}
+# Absolute floors for cost metrics: ignore a relative rise that is smaller
+# than this many seconds — timer noise, not a regression.
+COST_FLOORS = {"cpu_seconds": 0.003, "wake_latency_s": 0.05}
+
+
+def walk(baseline, current, path, rows):
+    """Recursively pair up the two documents, collecting judged metrics."""
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in baseline:
+            if key in current:
+                walk(baseline[key], current[key], f"{path}.{key}", rows)
+        return
+    if isinstance(baseline, list) and isinstance(current, list):
+        # configs[] entries are keyed by (mode, producers); other lists
+        # (worker_steps) are context and skipped.
+        def entry_key(e):
+            return (e.get("mode"), e.get("producers")) if isinstance(e, dict) \
+                else None
+        current_by_key = {entry_key(e): e for e in current
+                          if entry_key(e) is not None}
+        for entry in baseline:
+            key = entry_key(entry)
+            if key is not None and key in current_by_key:
+                walk(entry, current_by_key[key],
+                     f"{path}[{key[0]}/p{key[1]}]", rows)
+        return
+    leaf = path.rsplit(".", 1)[-1]
+    if not isinstance(baseline, (int, float)) or isinstance(baseline, bool):
+        return
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        return
+    if leaf in RATE_KEYS:
+        rows.append(judge_rate(path, leaf, baseline, current))
+    elif leaf in COST_KEYS:
+        rows.append(judge_cost(path, leaf, baseline, current))
+    elif leaf in ZERO_KEYS:
+        rows.append(judge_zero(path, baseline, current))
+
+
+def judge_rate(path, leaf, base, cur):
+    if base <= 0:
+        return (path, base, cur, "skip", "baseline is zero")
+    change = (cur - base) / base
+    verdict = "REGRESSION" if change < -ARGS.threshold else "ok"
+    return (path, base, cur, verdict, f"{change:+.1%}")
+
+
+def judge_cost(path, leaf, base, cur):
+    floor = COST_FLOORS.get(leaf, 0.0)
+    if cur - base < floor:
+        return (path, base, cur, "ok", "within absolute floor")
+    if base <= 0:
+        # Baseline measured as free; any above-floor cost is new.
+        return (path, base, cur, "REGRESSION", f"+{cur - base:.4f}s")
+    change = (cur - base) / base
+    verdict = "REGRESSION" if change > ARGS.threshold else "ok"
+    return (path, base, cur, verdict, f"{change:+.1%}")
+
+
+def judge_zero(path, base, cur):
+    if cur == 0:
+        return (path, base, cur, "ok", "invariant holds")
+    return (path, base, cur, "REGRESSION", "must stay zero")
+
+
+def main():
+    global ARGS
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_pipeline_throughput.json against a baseline")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/pipeline_throughput.json")
+    parser.add_argument("--current", default="BENCH_pipeline_throughput.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (noisy runners)")
+    ARGS = parser.parse_args()
+
+    try:
+        with open(ARGS.baseline) as f:
+            baseline = json.load(f)
+        with open(ARGS.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    rows = []
+    walk(baseline, current, "$", rows)
+    if not rows:
+        print("bench_diff: no comparable metrics found (schema mismatch?)",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(r[0]) for r in rows)
+    regressions = 0
+    for path, base, cur, verdict, note in rows:
+        if verdict == "REGRESSION":
+            regressions += 1
+        print(f"{path:<{width}}  base={base:<14.6g} cur={cur:<14.6g} "
+              f"{verdict:<10} {note}")
+    print(f"\nbench_diff: {len(rows)} metrics judged, "
+          f"{regressions} regression(s) at threshold {ARGS.threshold:.0%}")
+    if regressions and not ARGS.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
