@@ -3,7 +3,7 @@
 /// transient producer threads leases slots from the `IngestPipeline`'s
 /// producer-slot registry and feeds page-visit events through the async
 /// batched path into a striped bit-packed `ConcurrentCounterStore`, while
-/// an `Autoscaler` watches queue depth and drives `SetWorkerCount` for
+/// an `Autoscaler` watches queue pressure and drives `SetWorkerCount` for
 /// us — the pool starts at one drain thread, grows under the burst, and
 /// shrinks back once the producers finish. A dashboard then reads the
 /// results with one `TopK` snapshot call.
@@ -14,13 +14,33 @@
 /// chunk, and releases — the registry guarantees one holder per slot and
 /// hands a released slot out again only after its queue has drained.
 ///
+/// Everything that blocks here blocks on the shared `EventCount` primitive
+/// (util/event_count.h): idle drain workers park until a producer pushes
+/// into an empty ring, a `Submit` hitting a full ring parks on the ring's
+/// not-full eventcount shard until a drain frees space, and a thread
+/// waiting in `AcquireProducerSlot` parks until a release — all the same
+/// epoch/waiter-count discipline, so a saturated or idle system costs
+/// milliseconds of CPU per second instead of burning cores on sleep-polls.
+///
+/// What happens under *sustained* overload is a policy you pick per
+/// pipeline (`--overload`, see overload.h):
+///   block — producers wait for ring space; nothing is lost (default).
+///   shed  — producers never wait: over-capacity events are dropped after
+///           a short spin, with exact per-slot accounting in
+///           `PipelineStats` (delivered + shed == submitted).
+///   spill — over-capacity events overflow into a bounded in-memory
+///           buffer the workers drain opportunistically; lossless until
+///           the spill fills, and the spill depth counts toward the
+///           autoscaler's pressure signal so the pool grows to drain it.
+///
 ///   ./build/example_pipeline_ingest [--pages=N] [--visits=N] [--threads=N]
-///       [--slots=N]
+///       [--slots=N] [--overload=block|shed|spill]
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,6 +59,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("visits", 2000000, "total visit events");
   flags.AddUint64("threads", 8, "transient producer threads sharing the slots");
   flags.AddUint64("slots", 4, "producer slots in the registry");
+  flags.AddString("overload", "block",
+                  "what a blocking Submit does under sustained backpressure: "
+                  "block | shed | spill");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
@@ -60,12 +83,22 @@ int main(int argc, char** argv) {
   options.queue_capacity = 8192;
   options.max_batch = 2048;
   options.num_workers = 1;  // start small; the autoscaler grows the pool
+  const std::string overload = flags.GetString("overload");
+  if (overload == "shed") {
+    options.overload.policy = pipeline::OverloadPolicy::kShed;
+  } else if (overload == "spill") {
+    options.overload.policy = pipeline::OverloadPolicy::kSpill;
+    options.overload.spill_capacity = 1u << 16;
+  } else {
+    COUNTLIB_CHECK(overload == "block") << "unknown --overload: " << overload;
+  }
   auto ingest = pipeline::IngestPipeline::Make(&store, options).ValueOrDie();
 
   // The elastic control loop, as policy instead of hand-placed
-  // SetWorkerCount calls: sample queue depth every 5ms, double the pool
-  // when the backlog tops half the total ring capacity, walk it back down
-  // one worker at a time once the queues go shallow and the workers idle.
+  // SetWorkerCount calls: sample queue pressure (ring depth plus spill
+  // depth under --overload=spill) every 5ms, double the pool when the
+  // backlog tops half the total ring capacity, walk it back down one
+  // worker at a time once the queues go shallow and the workers idle.
   pipeline::AutoscalerConfig scaling;
   scaling.min_workers = 1;
   // max_workers stays 0: Make resolves it to the producer-slot count
@@ -123,6 +156,18 @@ int main(int argc, char** argv) {
   std::printf("%llu transient threads shared %llu producer slots\n",
               static_cast<unsigned long long>(threads),
               static_cast<unsigned long long>(slots));
+  if (stats.events_shed > 0 || stats.events_spilled > 0) {
+    // The overload policy's books: shed events are deliberate, exactly
+    // counted loss; spilled events took the overflow detour but were all
+    // delivered (Drain empties the spill buffer).
+    std::printf(
+        "overload (%s): %llu events shed, %llu events spilled "
+        "(spill depth now %llu)\n",
+        pipeline::OverloadPolicyName(ingest->overload_policy()),
+        static_cast<unsigned long long>(stats.events_shed),
+        static_cast<unsigned long long>(stats.events_spilled),
+        static_cast<unsigned long long>(stats.spill_depth));
+  }
   std::printf(
       "autoscaler: %llu samples, %llu scale-ups / %llu scale-downs "
       "(pool ended at %llu worker%s)\n",

@@ -20,6 +20,14 @@ Result<std::unique_ptr<Autoscaler>> Autoscaler::Make(
   if (resolved.min_workers < 1) {
     return Status::InvalidArgument("Autoscaler: min_workers >= 1");
   }
+  if (resolved.min_workers > pipeline->num_producers()) {
+    // SetWorkerCount clamps to the producer-slot count, so a higher floor
+    // could never be reached — the control loop would issue a futile
+    // resize every cooldown window forever. Reject it up front.
+    return Status::InvalidArgument(
+        "Autoscaler: min_workers exceeds the pipeline's producer-slot "
+        "count (unreachable floor)");
+  }
   if (resolved.max_workers < resolved.min_workers ||
       resolved.max_workers > 256) {
     return Status::InvalidArgument(
@@ -30,6 +38,11 @@ Result<std::unique_ptr<Autoscaler>> Autoscaler::Make(
   }
   if (resolved.cooldown.count() < 0) {
     return Status::InvalidArgument("Autoscaler: cooldown >= 0");
+  }
+  if (resolved.scale_up_queue_depth < 1) {
+    // A zero up-threshold votes "grow" on an empty pipeline every sample:
+    // the pool pins at max_workers and the down path is unreachable.
+    return Status::InvalidArgument("Autoscaler: scale_up_queue_depth >= 1");
   }
   if (resolved.scale_down_queue_depth >= resolved.scale_up_queue_depth) {
     return Status::InvalidArgument(
@@ -69,19 +82,23 @@ bool Autoscaler::Tick() {
   const PipelineStats stats = pipeline_->Stats();
   samples_.fetch_add(1, std::memory_order_relaxed);
   last_queue_depth_.store(stats.queue_depth, std::memory_order_relaxed);
+  last_spill_depth_.store(stats.spill_depth, std::memory_order_relaxed);
   current_workers_.store(stats.workers, std::memory_order_relaxed);
   const uint64_t idle_delta = stats.idle_passes - last_idle_passes_;
   last_idle_passes_ = stats.idle_passes;
 
-  // Vote. Depth alone decides "up": a deep backlog means the pool is
-  // underwater whatever the workers are doing right now. "Down"
-  // additionally wants evidence of slack — idle passes since the last
-  // sample, or a worker caught between drains — so a pool that is exactly
-  // keeping a shallow queue shallow is left alone.
-  if (stats.queue_depth >= config_.scale_up_queue_depth) {
+  // Vote on total pressure: ring backlog plus whatever overflowed into
+  // the spill buffer — a kSpill pipeline whose rings look shallow because
+  // Submit is diverting into the spill is still underwater, and growing
+  // the pool is exactly how the spill gets drained back out. "Up" needs
+  // depth alone; "down" additionally wants evidence of slack — idle
+  // passes since the last sample, or a worker caught between drains — so
+  // a pool that is exactly keeping a shallow queue shallow is left alone.
+  const uint64_t pressure = stats.queue_depth + stats.spill_depth;
+  if (pressure >= config_.scale_up_queue_depth) {
     ++up_streak_;
     down_streak_ = 0;
-  } else if (stats.queue_depth <= config_.scale_down_queue_depth &&
+  } else if (pressure <= config_.scale_down_queue_depth &&
              (idle_delta > 0 || stats.busy_workers < stats.workers)) {
     ++down_streak_;
     up_streak_ = 0;
@@ -159,6 +176,7 @@ AutoscalerStats Autoscaler::Stats() const {
   stats.cooldown_holds = cooldown_holds_.load(std::memory_order_relaxed);
   stats.resize_errors = resize_errors_.load(std::memory_order_relaxed);
   stats.last_queue_depth = last_queue_depth_.load(std::memory_order_relaxed);
+  stats.last_spill_depth = last_spill_depth_.load(std::memory_order_relaxed);
   stats.current_workers = current_workers_.load(std::memory_order_relaxed);
   return stats;
 }

@@ -4,13 +4,15 @@
 /// on top of the PR 2 resize mechanism.
 ///
 /// A background control thread samples the pipeline on a fixed cadence
-/// (`PipelineStats`: the queue-depth gauge, the idle-pass counter delta,
-/// and the busy-worker gauge) and votes each sample:
+/// (`PipelineStats`: the queue-depth and spill-depth gauges, the idle-pass
+/// counter delta, and the busy-worker gauge) and votes each sample on the
+/// total **pressure** — queued events plus events sitting in the `kSpill`
+/// overflow buffer, so a pipeline that is shedding load into its spill
+/// buffer reads as underwater even while its rings drain:
 ///
-///  - **up** when the total queued backlog is at or above
-///    `scale_up_queue_depth` — the pool is underwater regardless of what
-///    the workers are doing;
-///  - **down** when the backlog is at or below `scale_down_queue_depth`
+///  - **up** when the pressure is at or above `scale_up_queue_depth` —
+///    the pool is underwater regardless of what the workers are doing;
+///  - **down** when the pressure is at or below `scale_down_queue_depth`
 ///    AND the workers look slack (idle passes accumulated since the last
 ///    sample, or not every worker mid-drain at the instant of the sample).
 ///
@@ -25,7 +27,11 @@
 /// pool within a few sample periods and quiet periods return it to
 /// `min_workers`, with every decision observable via `AutoscalerStats`.
 ///
-/// Lifecycle: `Make` validates the config and starts the control thread.
+/// Lifecycle: `Make` validates the config — every inconsistent knob
+/// combination (min above max, a zero sample cadence, thresholds out of
+/// order, a floor the pipeline cannot host) is a `kInvalidArgument`
+/// `Status` before the control thread exists, never undefined control-loop
+/// behavior — and starts the control thread.
 /// `Stop()` (idempotent, also run by the destructor) joins it. The
 /// autoscaler never outlives its pipeline — stop it before destroying the
 /// pipeline. Once the pipeline begins draining, `SetWorkerCount` reports
@@ -55,7 +61,10 @@ namespace pipeline {
 /// \brief Tuning knobs for `Autoscaler::Make`.
 struct AutoscalerConfig {
   /// Pool floor: the autoscaler never shrinks below this many workers.
-  /// Must be >= 1 (the autoscaler does not pause pipelines).
+  /// Must be >= 1 (the autoscaler does not pause pipelines) and no larger
+  /// than the pipeline's producer-slot count (`SetWorkerCount` clamps
+  /// there, so a higher floor could never be honored and would resize-
+  /// churn forever).
   uint64_t min_workers = 1;
   /// Pool ceiling; 0 means "the pipeline's producer-slot count" (more
   /// workers than rings is never useful — `SetWorkerCount` clamps there
@@ -66,9 +75,10 @@ struct AutoscalerConfig {
   /// Minimum time between two resizes, regardless of votes. Bounds the
   /// rate of join-barrier re-partitions the pipeline pays for.
   std::chrono::milliseconds cooldown{250};
-  /// Vote up when the queue-depth gauge (events waiting across all rings)
-  /// is >= this. Size it well below total ring capacity so growth starts
-  /// before producers hit sustained backpressure.
+  /// Vote up when the pressure gauge (events waiting across all rings
+  /// plus the spill buffer) is >= this. Must be >= 1. Size it well below
+  /// total ring capacity so growth starts before producers hit sustained
+  /// backpressure.
   uint64_t scale_up_queue_depth = 4096;
   /// Consecutive up votes required before growing (hysteresis).
   uint64_t scale_up_samples = 2;
@@ -96,6 +106,7 @@ struct AutoscalerStats {
   uint64_t cooldown_holds = 0;   ///< decided votes suppressed by the cooldown window
   uint64_t resize_errors = 0;    ///< SetWorkerCount calls that failed (excluding draining)
   uint64_t last_queue_depth = 0; ///< queue-depth gauge at the latest sample
+  uint64_t last_spill_depth = 0; ///< spill-depth gauge at the latest sample (kSpill)
   uint64_t current_workers = 0;  ///< worker-count gauge at the latest sample
 };
 
@@ -152,6 +163,7 @@ class Autoscaler {
   std::atomic<uint64_t> cooldown_holds_{0};
   std::atomic<uint64_t> resize_errors_{0};
   std::atomic<uint64_t> last_queue_depth_{0};
+  std::atomic<uint64_t> last_spill_depth_{0};
   std::atomic<uint64_t> current_workers_{0};
 };
 

@@ -13,8 +13,10 @@
 #define COUNTLIB_PIPELINE_EVENT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "analytics/counter_store.h"
+#include "pipeline/overload.h"
 
 namespace countlib {
 namespace pipeline {
@@ -42,6 +44,10 @@ struct PipelineOptions {
   /// parks on the wakeup condition variable. Lower = less idle CPU, higher
   /// = lower wake latency under bursty traffic.
   uint64_t idle_spin_passes = 64;
+  /// What a blocking `Submit` does when a producer queue stays full:
+  /// block (default), shed with exact accounting, or spill into a bounded
+  /// shared overflow buffer. See overload.h.
+  OverloadOptions overload;
 };
 
 /// \brief Monotonic counters describing pipeline activity, plus an
@@ -64,6 +70,17 @@ struct PipelineStats {
   uint64_t workers = 0;            ///< current drain-thread count (gauge; 0 while paused)
   uint64_t busy_workers = 0;       ///< workers inside a drain pass right now (gauge)
   uint64_t slots_in_use = 0;       ///< producer slots currently leased via the registry (gauge)
+  /// Events deliberately dropped by a `kShed` Submit (total across slots).
+  /// Invariant: events_applied + events_shed accounts for every OK'd
+  /// Submit once the pipeline is drained.
+  uint64_t events_shed = 0;
+  /// Exact per-producer-slot shed counts; events_shed is their sum.
+  /// Size = num_producers under `OverloadPolicy::kShed`, empty under the
+  /// other policies (where every count is zero by construction — leaving
+  /// it empty keeps the frequently-sampled Stats() path allocation-free).
+  std::vector<uint64_t> shed_per_slot;
+  uint64_t events_spilled = 0;     ///< events ever routed through the spill buffer (kSpill)
+  uint64_t spill_depth = 0;        ///< events currently in the spill buffer (gauge)
 };
 
 /// \brief Per-worker activity counters, taken with

@@ -15,18 +15,36 @@ namespace {
 /// `SpscRing::TryPush` — and it bounds a fully idle worker to ~20 wakes/s.
 constexpr std::chrono::milliseconds kIdleSleep(50);
 
-/// Yield-retries a blocking `Submit` makes before parking on the not-full
-/// eventcount: under transient fullness a drain frees space within
-/// microseconds, and a yield is much cheaper than a park round trip.
+/// Yield-retries a blocking `Submit` makes before engaging the overload
+/// policy: under transient fullness a drain frees space within
+/// microseconds, and a yield is much cheaper than a park round trip (or a
+/// shed/spill decision taken too eagerly).
 constexpr int kSubmitSpinYields = 64;
 
 /// How long a parked producer sleeps before rechecking its ring. This is
 /// the lost-wakeup backstop for the (rare) stale fullness verdict in
-/// `SpscRing::PopBatch` — real wakes ride the nonfull signal, so the
-/// backstop only bounds the stale-verdict corner. ~50 rechecks/s keeps a
-/// producer parked for a full second around 2ms of CPU even on boxes
-/// where a timed CV wait costs tens of microseconds.
+/// `SpscRing::PopBatch` — real wakes ride the not-full eventcount shard,
+/// so the backstop only bounds the stale-verdict corner. ~50 rechecks/s
+/// keeps a producer parked for a full second around 2ms of CPU even on
+/// boxes where a timed CV wait costs tens of microseconds.
 constexpr std::chrono::milliseconds kSubmitParkBackstop(20);
+
+/// Backstop for waiters parked on the slot registry: releases and drain
+/// progress notify the eventcount, so this only covers signals skipped by
+/// the HasWaiters gate racing a fresh registration.
+constexpr std::chrono::milliseconds kSlotParkBackstop(50);
+
+/// Backstop for flush waiters: short, because the quiesce predicate reads
+/// approximate ring sizes and the completing drain pass may have notified
+/// before this waiter registered.
+constexpr std::chrono::milliseconds kFlushParkBackstop(5);
+
+/// Not-full eventcount shards. Saturated producers park per ring group
+/// instead of on one shared CV, so a pipeline with thousands of saturated
+/// slots fans its notify traffic across shards the way the store stripes
+/// its locks. 16 is plenty: a shard's waiter population is
+/// num_producers/16 at worst, and each park revalidates with TrySubmit.
+constexpr uint64_t kMaxNonFullShards = 16;
 
 /// Preallocated results for the hot rejection paths. Backpressure fires
 /// exactly when the system is saturated, so the kPending result must not
@@ -35,6 +53,12 @@ constexpr std::chrono::milliseconds kSubmitParkBackstop(20);
 const Status& QueueFullStatus() {
   static const Status st =
       Status::Pending("TrySubmit: producer queue full (backpressure)");
+  return st;
+}
+
+const Status& SpillFullStatus() {
+  static const Status st =
+      Status::Pending("Submit: spill buffer full (sustained overload)");
   return st;
 }
 
@@ -96,6 +120,12 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
   if (options.idle_spin_passes > (uint64_t{1} << 20)) {
     return Status::InvalidArgument("IngestPipeline: idle_spin_passes <= 2^20");
   }
+  if (options.overload.policy == OverloadPolicy::kSpill &&
+      (options.overload.spill_capacity < 1 ||
+       options.overload.spill_capacity > (uint64_t{1} << 30))) {
+    return Status::InvalidArgument(
+        "IngestPipeline: overload.spill_capacity in [1, 2^30]");
+  }
   return std::unique_ptr<IngestPipeline>(new IngestPipeline(store, options));
 }
 
@@ -106,7 +136,17 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   for (uint64_t i = 0; i < options_.num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing>(options_.queue_capacity));
   }
-  nonfull_epochs_ = std::make_unique<NonFullEpoch[]>(options_.num_producers);
+  nonfull_shards_ = std::min<uint64_t>(options_.num_producers,
+                                       kMaxNonFullShards);
+  nonfull_ecs_ = std::make_unique<EventCount[]>(nonfull_shards_);
+  shed_per_slot_ =
+      std::make_unique<std::atomic<uint64_t>[]>(options_.num_producers);
+  for (uint64_t i = 0; i < options_.num_producers; ++i) {
+    shed_per_slot_[i].store(0, std::memory_order_relaxed);
+  }
+  if (options_.overload.policy == OverloadPolicy::kSpill) {
+    spill_ = std::make_unique<SpillBuffer>(options_.overload.spill_capacity);
+  }
   slot_leased_.assign(options_.num_producers, 0);
   // Clamp before spawning: more workers than rings is never useful.
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
@@ -129,19 +169,6 @@ void IngestPipeline::SpawnWorkersLocked(uint64_t n) {
     workers_.emplace_back([this, w, gen, n] { WorkerLoop(w, gen, n); });
   }
   worker_count_.store(n, std::memory_order_release);
-}
-
-void IngestPipeline::NotifyWorkers() {
-  // Eventcount publish: the epoch bump is what a worker's sleep predicate
-  // watches; the notify is needed only when someone is already parked.
-  // Both sides are seq_cst so either the worker's predicate sees the new
-  // epoch or this thread sees the worker's sleeper registration — the
-  // Dekker pattern that makes the skipped notify safe.
-  wake_epoch_.fetch_add(1, std::memory_order_seq_cst);
-  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
-    wake_cv_.notify_all();
-  }
 }
 
 Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
@@ -171,42 +198,75 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
   // Wake parked workers only on the empty->nonempty transition: pushes
   // into a nonempty ring mean a worker is already (or will be) on its way,
   // so the steady-state submit path touches no mutex and no CV.
-  if (was_empty) NotifyWorkers();
+  if (was_empty) wake_ec_.NotifyIfWaiters();
+  return Status::OK();
+}
+
+Status IngestPipeline::SpillSubmit(const Event& e) {
+  // Same Drain refcount fence as TrySubmit: a spill push that passes the
+  // closed_ check completes before Drain's final sweep, so an OK here is
+  // the same no-loss promise as an OK from the ring path.
+  active_submitters_.fetch_add(1, std::memory_order_seq_cst);
+  if (closed_.load(std::memory_order_seq_cst)) {
+    active_submitters_.fetch_sub(1, std::memory_order_release);
+    return DrainingStatus();
+  }
+  const bool pushed = spill_->TryPush(e);
+  active_submitters_.fetch_sub(1, std::memory_order_release);
+  if (!pushed) return SpillFullStatus();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Spilled events are invisible to the ring-emptiness verdicts the worker
+  // park predicate reads, so always notify: a worker parked over empty
+  // rings must wake to drain the spill. Spilling is already the slow path.
+  wake_ec_.NotifyIfWaiters();
   return Status::OK();
 }
 
 Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) {
   // Stay hot through transient fullness: a drain in progress frees space
-  // within microseconds, so yield-retry before paying for a park.
+  // within microseconds, so yield-retry before engaging the overload
+  // policy.
   for (int i = 0; i < kSubmitSpinYields; ++i) {
     Status st = TrySubmit(producer, key, weight);
     if (!st.IsPending()) return st;
     std::this_thread::yield();
   }
-  // Sustained backpressure: park on the ring's not-full eventcount. Same
-  // discipline as the worker wakeup — snapshot the epoch, recheck the
-  // condition (a TrySubmit), sleep until the epoch moves. A drain that
-  // pops from a full ring bumps the epoch with seq_cst before reading
-  // nonfull_waiters_, and this side registers the waiter with seq_cst
-  // before the predicate's first epoch read, so either the drain sees the
-  // waiter and notifies or the waiter sees the new epoch and skips the
-  // sleep (the Dekker pattern). The bounded timeout backstops PopBatch's
-  // (rare) stale fullness verdict. kPending implies `producer` is a valid
-  // index, so the epoch access below is in range.
+  // Sustained fullness: the overload policy decides. kPending implies
+  // `producer` is a valid index, so the shard/counter accesses below are
+  // in range.
+  if (options_.overload.policy == OverloadPolicy::kShed) {
+    // Bounded-latency drop: the spin budget above is the whole latency
+    // bound. Accounting is exact and per slot; the OK return means
+    // "accepted or shed" under this policy (see PipelineStats).
+    shed_per_slot_[producer].fetch_add(1, std::memory_order_relaxed);
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  const bool spill = options_.overload.policy == OverloadPolicy::kSpill;
+  // kBlock (and kSpill once the spill is full): park on the ring's
+  // not-full eventcount shard. Same discipline as the worker wakeup —
+  // snapshot the shard epoch, recheck the condition (a TrySubmit, then a
+  // spill attempt), sleep until the epoch moves. A drain that pops from a
+  // full ring notifies the shard with the seq_cst epoch bump before
+  // reading the waiter count, and ParkOne registers the waiter with
+  // seq_cst before the predicate's first epoch read, so either the drain
+  // sees the waiter and notifies or the waiter sees the new epoch and
+  // skips the sleep (the Dekker pattern, now written once in EventCount).
+  // The bounded timeout backstops PopBatch's (rare) stale fullness verdict
+  // and spill-space-only progress.
   while (true) {
-    const uint64_t epoch =
-        nonfull_epochs_[producer].v.load(std::memory_order_seq_cst);
+    EventCount& ec = NonFullShard(producer);
+    const uint64_t epoch = ec.Epoch();
     Status st = TrySubmit(producer, key, weight);
     if (!st.IsPending()) return st;
+    if (spill) {
+      st = SpillSubmit(Event{key, weight});
+      if (!st.IsPending()) return st;
+    }
     producer_parks_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(nonfull_mu_);
-    nonfull_waiters_.fetch_add(1, std::memory_order_seq_cst);
-    const bool signaled = nonfull_cv_.wait_for(lock, kSubmitParkBackstop, [&] {
-      return nonfull_epochs_[producer].v.load(std::memory_order_seq_cst) !=
-                 epoch ||
-             closed_.load(std::memory_order_acquire);
-    });
-    nonfull_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    const bool signaled = ec.ParkOne(
+        epoch, [this] { return closed_.load(std::memory_order_acquire); },
+        kSubmitParkBackstop);
     if (signaled) producer_wakeups_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -230,35 +290,38 @@ Result<ProducerSlot> IngestPipeline::TryAcquireProducerSlot() {
 }
 
 Result<ProducerSlot> IngestPipeline::AcquireProducerSlot() {
-  std::unique_lock<std::mutex> lock(slots_mu_);
-  slot_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  // Park-episode loop on the registry eventcount: snapshot the epoch,
+  // rescan under the registry lock, park on the snapshot. A release (or a
+  // drain's pop progress) after the snapshot bumps the epoch, so the park
+  // is skipped or ended immediately; the backstop covers notifies skipped
+  // by the HasWaiters gate racing this registration.
   while (true) {
-    if (closed_.load(std::memory_order_acquire)) {
-      slot_waiters_.fetch_sub(1, std::memory_order_relaxed);
-      return DrainingStatus();
-    }
-    for (uint64_t i = 0; i < rings_.size(); ++i) {
-      if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
-        slot_leased_[i] = 1;
-        slots_in_use_.fetch_add(1, std::memory_order_relaxed);
-        slot_waiters_.fetch_sub(1, std::memory_order_relaxed);
-        return ProducerSlot(this, i);
+    const uint64_t epoch = slots_ec_.Epoch();
+    {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
+      for (uint64_t i = 0; i < rings_.size(); ++i) {
+        if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
+          slot_leased_[i] = 1;
+          slots_in_use_.fetch_add(1, std::memory_order_relaxed);
+          return ProducerSlot(this, i);
+        }
       }
     }
-    // Releases (under slots_mu_) can never be missed. Worker drains gate
-    // their notify on an unlocked slot_waiters_ read, so a drain that
-    // races this registration could skip its signal; the coarse timeout
-    // backstops that rare case without turning waiters into pollers.
-    slots_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    slots_ec_.ParkOne(
+        epoch, [this] { return closed_.load(std::memory_order_acquire); },
+        kSlotParkBackstop);
   }
 }
 
 void IngestPipeline::ReleaseProducerSlot(uint64_t slot) {
-  std::lock_guard<std::mutex> lock(slots_mu_);
-  if (slot >= slot_leased_.size() || !slot_leased_[slot]) return;
-  slot_leased_[slot] = 0;
-  slots_in_use_.fetch_sub(1, std::memory_order_relaxed);
-  slots_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    if (slot >= slot_leased_.size() || !slot_leased_[slot]) return;
+    slot_leased_[slot] = 0;
+    slots_in_use_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  slots_ec_.NotifyIfWaiters();
 }
 
 Status IngestPipeline::SetWorkerCount(uint64_t n) {
@@ -275,7 +338,7 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
   // throughout — queued events simply wait for their new owner, and no
   // accepted event is dropped.
   worker_gen_.fetch_add(1, std::memory_order_seq_cst);
-  NotifyWorkers();
+  wake_ec_.NotifyIfWaiters();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   options_.num_workers = n;
@@ -294,7 +357,6 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
   // touch no buffer memory at all. The scan starts at a different ring
   // each pass so a saturated early ring cannot starve the later ones.
   uint64_t count = 0;
-  bool went_nonfull = false;
   const size_t start = start_ring % ring_ids.size();
   for (size_t i = 0; i < ring_ids.size(); ++i) {
     if (count == options_.max_batch) break;
@@ -304,19 +366,19 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
         raw->data() + count, options_.max_batch - count, &was_full);
     count += n;
     if (n > 0 && was_full) {
-      // Full→nonfull transition: publish this ring's nonfull epoch so a
-      // producer parked in Submit can wake (Dekker pairing with the
-      // seq_cst registration there).
-      nonfull_epochs_[id].v.fetch_add(1, std::memory_order_seq_cst);
-      went_nonfull = true;
+      // Full→nonfull transition: notify the ring's not-full shard so a
+      // producer parked in Submit can wake. Deliberately before the store
+      // apply below — the capacity became free at pop time, and the apply
+      // can be comparatively long.
+      NonFullShard(id).NotifyIfWaiters();
     }
   }
-  // Wake parked producers before the store apply below: their capacity
-  // became free at pop time, and the apply can be comparatively long.
-  if (went_nonfull &&
-      nonfull_waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(nonfull_mu_);
-    nonfull_cv_.notify_all();
+  // Opportunistic spill drain: top the batch up from the shared overflow
+  // buffer once the owned rings have had their turn. The gauge pre-check
+  // keeps the no-spill steady state free of the spill mutex.
+  if (spill_ != nullptr && count < options_.max_batch &&
+      spill_->SizeApprox() > 0) {
+    count += spill_->PopBatch(raw->data() + count, options_.max_batch - count);
   }
   if (count > 0) {
     // Pre-aggregate duplicate keys: under a Zipfian event stream most of a
@@ -347,18 +409,12 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
     }
   }
   busy_workers_.fetch_sub(1);
-  // Post-pass signals, gated on waiter counts so the hot loop normally
-  // pays two relaxed-ish loads and no mutex. The busy_workers_ decrement
-  // above may complete a Flush; a consumed batch may have emptied a ring a
-  // slot acquirer is waiting on.
-  if (flush_waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(flush_mu_);
-    flush_cv_.notify_all();
-  }
-  if (count > 0 && slot_waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(slots_mu_);
-    slots_cv_.notify_all();
-  }
+  // Post-pass signals, gated on the eventcounts' waiter registries so the
+  // hot loop normally pays two atomic loads and no mutex. The
+  // busy_workers_ decrement above may complete a Flush; a consumed batch
+  // may have emptied a ring a slot acquirer is waiting on.
+  if (flush_ec_.HasWaiters()) flush_ec_.NotifyIfWaiters();
+  if (count > 0 && slots_ec_.HasWaiters()) slots_ec_.NotifyIfWaiters();
   return count;
 }
 
@@ -376,11 +432,11 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
   std::unordered_map<uint64_t, uint64_t> agg;
   std::vector<analytics::KeyWeight> batch;
   agg.reserve(options_.max_batch);
-  const auto owned_all_empty = [this, &owned] {
+  const auto nothing_pending = [this, &owned] {
     for (uint64_t id : owned) {
       if (rings_[id]->SizeApprox() != 0) return false;
     }
-    return true;
+    return spill_ == nullptr || spill_->SizeApprox() == 0;
   };
   uint64_t idle_streak = 0;
   uint64_t pass = 0;
@@ -389,7 +445,8 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
     // by the successor generation (or Drain's final sweep).
     if (worker_gen_.load(std::memory_order_acquire) != gen) return;
     // Load stop BEFORE draining: once stop_ is set the queues are closed,
-    // so a subsequent empty pass proves the owned rings are fully drained.
+    // so a subsequent empty pass proves the owned rings (and the spill
+    // buffer) are fully drained.
     const bool saw_stop = stop_.load(std::memory_order_acquire);
     const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch, cells);
     if (n > 0) {
@@ -402,58 +459,56 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
       std::this_thread::yield();
       continue;
     }
-    // Eventcount park: snapshot the epoch, recheck the rings, then sleep
-    // until the epoch moves (producer push into an empty ring, shutdown,
-    // or resize). Any push that lands after the snapshot bumps the epoch,
-    // so the predicate catches it before or after blocking; kIdleSleep
-    // backstops the stale-emptiness corner of TryPush's verdict.
-    const uint64_t epoch = wake_epoch_.load(std::memory_order_seq_cst);
-    if (!owned_all_empty()) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    sleepers_.fetch_add(1, std::memory_order_seq_cst);
-    const bool signaled =
-        wake_cv_.wait_for(lock, kIdleSleep, [&] {
-          return wake_epoch_.load(std::memory_order_seq_cst) != epoch ||
-                 stop_.load(std::memory_order_acquire) ||
+    // Eventcount park: snapshot the epoch, recheck the rings (and spill),
+    // then sleep until the epoch moves (producer push into an empty ring,
+    // spill push, shutdown, or resize). Any push that lands after the
+    // snapshot bumps the epoch, so ParkOne catches it before or after
+    // blocking; kIdleSleep backstops the stale-emptiness corner of
+    // TryPush's verdict.
+    const uint64_t epoch = wake_ec_.Epoch();
+    if (!nothing_pending()) continue;
+    const bool signaled = wake_ec_.ParkOne(
+        epoch,
+        [&] {
+          return stop_.load(std::memory_order_acquire) ||
                  worker_gen_.load(std::memory_order_acquire) != gen;
-        });
-    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        },
+        kIdleSleep);
     if (signaled) cells->wakeups.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 Status IngestPipeline::Flush() {
-  // Quiesce predicate, rings first and busy count second: a worker marks
-  // itself busy before popping, so "all rings empty, nobody busy" proves
-  // every event accepted before this call has been applied.
+  // Quiesce predicate, queues first and busy count second: a worker marks
+  // itself busy before popping, so "all rings and the spill empty, nobody
+  // busy" proves every event accepted before this call has been applied.
   const auto quiesced = [this] {
     for (const auto& ring : rings_) {
       if (ring->SizeApprox() != 0) return false;
     }
+    if (spill_ != nullptr && spill_->SizeApprox() != 0) return false;
     return busy_workers_.load(std::memory_order_acquire) == 0;
   };
-  // Workers notify flush_cv_ after each drain pass while flush_waiters_ is
-  // nonzero; the waiter count is raised before the first predicate check
-  // so the completing pass is never missed. The short timeout backstops
-  // the registration race and parked-worker corner cases.
-  flush_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  // Workers notify flush_ec_ after each drain pass while a waiter is
+  // registered; ParkUntil registers before the first predicate check so
+  // the completing pass is never missed. The short backstop covers the
+  // registration race and parked-worker corner cases.
   Status result = Status::OK();
-  {
-    std::unique_lock<std::mutex> lock(flush_mu_);
-    while (!quiesced()) {
-      // Paused pipeline (SetWorkerCount(0)) with a backlog: no worker will
-      // ever make progress, so fail fast instead of hanging. Once draining
-      // has begun the worker count is also 0, but Drain's final sweep is
-      // the consumer then — keep waiting and let it finish the job.
-      if (worker_count_.load(std::memory_order_acquire) == 0 &&
-          !closed_.load(std::memory_order_acquire)) {
-        result = PausedFlushStatus();
-        break;
-      }
-      flush_cv_.wait_for(lock, std::chrono::milliseconds(5));
-    }
-  }
-  flush_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  flush_ec_.ParkUntil(
+      [&] {
+        if (quiesced()) return true;
+        // Paused pipeline (SetWorkerCount(0)) with a backlog: no worker
+        // will ever make progress, so fail fast instead of hanging. Once
+        // draining has begun the worker count is also 0, but Drain's final
+        // sweep is the consumer then — keep waiting and let it finish.
+        if (worker_count_.load(std::memory_order_acquire) == 0 &&
+            !closed_.load(std::memory_order_acquire)) {
+          result = PausedFlushStatus();
+          return true;
+        }
+        return false;
+      },
+      kFlushParkBackstop);
   if (!result.ok()) return result;
   return LastError();
 }
@@ -462,25 +517,22 @@ Status IngestPipeline::Drain() {
   std::call_once(drain_once_, [this] {
     closed_.store(true, std::memory_order_seq_cst);
     // Release acquirers blocked on the slot registry and producers parked
-    // on the not-full eventcount: they observe closed_ and return
+    // on the not-full eventcounts: they observe closed_ and return
     // kFailedPrecondition.
-    {
-      std::lock_guard<std::mutex> lock(slots_mu_);
-      slots_cv_.notify_all();
+    slots_ec_.NotifyIfWaiters();
+    for (uint64_t s = 0; s < nonfull_shards_; ++s) {
+      nonfull_ecs_[s].NotifyIfWaiters();
     }
-    {
-      std::lock_guard<std::mutex> lock(nonfull_mu_);
-      nonfull_cv_.notify_all();
-    }
-    // Wait out in-flight TrySubmit calls: once the count is zero, any
-    // submitter that passed the closed_ check has finished its push, so
-    // the sweep below observes every accepted event. seq_cst pairs with
-    // the seq_cst RMW/load in TrySubmit (Dekker handshake).
+    // Wait out in-flight TrySubmit calls (and spill pushes, which use the
+    // same fence): once the count is zero, any submitter that passed the
+    // closed_ check has finished its push, so the sweep below observes
+    // every accepted event. seq_cst pairs with the seq_cst RMW/load in
+    // TrySubmit/SpillSubmit (Dekker handshake).
     while (active_submitters_.load(std::memory_order_seq_cst) != 0) {
       std::this_thread::yield();
     }
     stop_.store(true, std::memory_order_release);
-    NotifyWorkers();  // wake parked workers so they observe stop_
+    wake_ec_.NotifyIfWaiters();  // wake parked workers so they observe stop_
     {
       std::lock_guard<std::mutex> lock(workers_mu_);
       for (std::thread& t : workers_) t.join();
@@ -489,10 +541,10 @@ Status IngestPipeline::Drain() {
     }
     // Workers exit only after an empty pass, but sweep once more so
     // nothing a submitter racing the shutdown slipped in is stranded.
-    // The sweep reuses the workers' aggregate-then-batch path so stats
-    // and slot-rewrite costs stay consistent; DrainOnce's busy_workers_
-    // raise makes it visible to a concurrent Flush. The sweep is not
-    // attributed to any worker id (cells == nullptr).
+    // The sweep reuses the workers' aggregate-then-batch path (rings plus
+    // spill) so stats and slot-rewrite costs stay consistent; DrainOnce's
+    // busy_workers_ raise makes it visible to a concurrent Flush. The
+    // sweep is not attributed to any worker id (cells == nullptr).
     std::vector<uint64_t> all_rings(rings_.size());
     for (uint64_t i = 0; i < all_rings.size(); ++i) all_rings[i] = i;
     std::vector<Event> raw(options_.max_batch);
@@ -519,6 +571,21 @@ PipelineStats IngestPipeline::Stats() const {
   stats.slots_in_use = slots_in_use_.load(std::memory_order_relaxed);
   stats.producer_parks = producer_parks_.load(std::memory_order_relaxed);
   stats.producer_wakeups = producer_wakeups_.load(std::memory_order_relaxed);
+  stats.events_shed = shed_total_.load(std::memory_order_relaxed);
+  // Only a kShed pipeline materializes the per-slot vector: the Autoscaler
+  // samples Stats() on a tight cadence, and under the other policies the
+  // counts are all zero by construction — keep that path allocation-free.
+  if (options_.overload.policy == OverloadPolicy::kShed) {
+    stats.shed_per_slot.reserve(rings_.size());
+    for (uint64_t i = 0; i < rings_.size(); ++i) {
+      stats.shed_per_slot.push_back(
+          shed_per_slot_[i].load(std::memory_order_relaxed));
+    }
+  }
+  if (spill_ != nullptr) {
+    stats.events_spilled = spill_->TotalSpilled();
+    stats.spill_depth = spill_->SizeApprox();
+  }
   {
     std::lock_guard<std::mutex> lock(cells_mu_);
     for (const auto& cells : worker_cells_) {

@@ -38,39 +38,50 @@
 /// mixing would put two producers on one queue.) In practice pick one style
 /// per pipeline.
 ///
-/// ## Worker wakeup: eventcount, not polling
+/// ## Parking: one `EventCount`, four waiters
 ///
-/// Idle workers park on a condition variable instead of a yield/sleep
-/// poll. The notify contract: a producer signals the eventcount **only on
-/// an empty→nonempty ring transition** (reported by
-/// `SpscRing::TryPush(e, &was_empty)`), so steady-state submits into a
-/// nonempty ring stay lock-free — the fast path adds no atomics beyond the
-/// ring indices. A worker that keeps finding empty rings spins for
-/// `PipelineOptions::idle_spin_passes` passes, then (a) loads the
-/// eventcount epoch, (b) rechecks its rings, (c) sleeps until the epoch
-/// moves. Because the producer's emptiness verdict derives from an acquire
-/// load of the consumer index, it can (rarely) be stale; sleeps therefore
-/// carry a bounded timeout as a lost-wakeup backstop, which also bounds
-/// idle wake-rate to ~20/s per worker. `Flush` and `AcquireProducerSlot`
-/// wait on the same mechanism (separate CVs, same only-notify-when-waited
-/// discipline) instead of spinning.
+/// Every blocking wait in the pipeline rides the shared
+/// `countlib::EventCount` primitive (util/event_count.h) — epoch cell +
+/// waiter count + mutex/CV, notify-only-when-waited, bounded-backstop
+/// sleeps. Four instances, one per waiter population:
 ///
-/// ## Producer parking: the not-full eventcount
+///  - **Worker wake** (`wake_ec_`): a producer notifies only on an
+///    empty→nonempty ring transition (`SpscRing::TryPush(e, &was_empty)`),
+///    so steady-state submits into a nonempty ring stay lock-free. An idle
+///    worker spins `PipelineOptions::idle_spin_passes` passes, then
+///    snapshots the epoch, rechecks its rings, and parks. Because the
+///    producer's emptiness verdict derives from an acquire load of the
+///    consumer index it can (rarely) be stale, so the park's bounded
+///    backstop doubles as the lost-wakeup net (~20 wakes/s per idle
+///    worker).
+///  - **Producer not-full** (`nonfull_ecs_`, sharded): workers bump a
+///    ring's shard on every full→nonfull pop transition
+///    (`SpscRing::PopBatch(out, max, &was_full)`); a saturated blocking
+///    `Submit` parks there instead of sleep-polling. The eventcounts are
+///    **sharded by ring group** (ring → shard round-robin) so thousands of
+///    saturated producer slots do not pile onto one CV the way the first
+///    cut's single shared CV would have; at most a few producers share a
+///    shard's notify fan-out.
+///  - **Flush** (`flush_ec_`): flush waiters park until the quiesce
+///    predicate holds; workers notify after a drain pass only when a
+///    waiter is registered.
+///  - **Slot registry** (`slots_ec_`): blocked `AcquireProducerSlot`
+///    callers park until a release or pop progress re-opens a slot.
 ///
-/// The mirror-image contract de-spins the *producer* side. Each ring
-/// carries a nonfull epoch; a worker bumps it when a drain pass pops from a
-/// ring that was full just before the pop (the full→nonfull transition,
-/// reported by `SpscRing::PopBatch(out, max, &was_full)`), and notifies the
-/// producer CV only when someone is registered as parked. A saturated
-/// blocking `Submit` therefore (a) snapshots its ring's epoch, (b) retries
-/// `TrySubmit`, (c) sleeps until the epoch moves — identical discipline to
-/// the worker eventcount, so a producer blocked on backpressure for a
-/// second costs milliseconds of CPU instead of a core. The consumer's
-/// fullness verdict derives from an acquire load of the producer index and
-/// can (rarely) be stale, so parks carry a bounded timeout backstop.
-/// `AcquireProducerSlot` waits on the registry CV, which the same drain
-/// pass notifies when it makes pop progress — the slot path was de-spun by
-/// PR 2 and rides the same worker-side signals.
+/// ## Overload control: block, shed, or spill
+///
+/// What a blocking `Submit` does when a ring *stays* full is a per-pipeline
+/// policy (`PipelineOptions::overload`, see overload.h): `kBlock` parks on
+/// the not-full eventcount (lossless, the default); `kShed` drops the
+/// event after the spin budget with exact per-slot accounting
+/// (`PipelineStats::events_shed` / `shed_per_slot[]`) so
+/// `delivered + shed == submitted` holds to the last event; `kSpill`
+/// overflows into a preallocated shared `SpillBuffer` that workers drain
+/// opportunistically alongside the rings — lossless until the spill fills,
+/// then it degrades to `kBlock` parking. Spill depth is part of the
+/// autoscaler's pressure signal, so sustained spilling grows the pool.
+/// `TrySubmit` is policy-independent: it stays the allocation-free
+/// `kPending` probe.
 ///
 /// ## Elasticity
 ///
@@ -90,13 +101,12 @@
 ///
 /// An event acknowledged with OK by `TrySubmit` is never lost, even when
 /// the submit races a concurrent `Drain` — draining waits out in-flight
-/// submits before its final sweep.
+/// submits before its final sweep. The same fence covers spill pushes.
 
 #ifndef COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
 #define COUNTLIB_PIPELINE_INGEST_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -106,8 +116,10 @@
 
 #include "analytics/concurrent_store.h"
 #include "pipeline/event.h"
+#include "pipeline/overload.h"
 #include "pipeline/producer_slot.h"
 #include "pipeline/spsc_ring.h"
+#include "util/event_count.h"
 #include "util/status.h"
 
 namespace countlib {
@@ -135,14 +147,17 @@ class IngestPipeline {
   /// `kInvalidArgument` for a bad producer slot or zero weight. Every
   /// rejection result (`kPending`, `kFailedPrecondition`, and both
   /// `kInvalidArgument` cases) is preallocated — no reject path ever
-  /// heap-allocates.
+  /// heap-allocates. The overload policy does not apply here: this is
+  /// always the pure ring probe.
   Status TrySubmit(uint64_t producer, uint64_t key, uint64_t weight = 1);
 
   /// Blocking submit: like `TrySubmit`, but on `kPending` it spins briefly
-  /// and then parks on the ring's not-full eventcount until a drain frees
-  /// space (or the pipeline is closed) — a producer blocked on sustained
-  /// backpressure costs ~0 CPU, the mirror of the idle-worker guarantee.
-  /// Never returns `kPending`.
+  /// and then follows the pipeline's overload policy — park on the ring's
+  /// not-full eventcount (`kBlock`), drop with exact accounting (`kShed`;
+  /// the OK return then means "accepted or shed", see
+  /// `PipelineStats::events_shed`), or overflow into the shared spill
+  /// buffer (`kSpill`, parking only once the spill is also full). Never
+  /// returns `kPending`.
   Status Submit(uint64_t producer, uint64_t key, uint64_t weight = 1);
 
   /// Leases a free, fully drained producer slot, blocking until one is
@@ -169,16 +184,18 @@ class IngestPipeline {
   Status SetWorkerCount(uint64_t n);
 
   /// Blocks until every event accepted before the call has been applied to
-  /// the store. With producers still submitting concurrently this is a
-  /// quiesce point, not a barrier. Fails fast with `kFailedPrecondition`
-  /// when the pipeline is paused (`SetWorkerCount(0)`) with events still
-  /// queued — there is no worker to make progress, so waiting would hang.
-  /// Otherwise returns the first worker error, if any.
+  /// the store (including spilled events). With producers still submitting
+  /// concurrently this is a quiesce point, not a barrier. Fails fast with
+  /// `kFailedPrecondition` when the pipeline is paused
+  /// (`SetWorkerCount(0)`) with events still queued or spilled — there is
+  /// no worker to make progress, so waiting would hang. Otherwise returns
+  /// the first worker error, if any.
   Status Flush();
 
-  /// Closes submission, flushes all queues, and joins the workers.
-  /// Idempotent: later calls (and the destructor) return the same result
-  /// immediately. Returns the first worker error, if any.
+  /// Closes submission, flushes all queues (and the spill buffer), and
+  /// joins the workers. Idempotent: later calls (and the destructor)
+  /// return the same result immediately. Returns the first worker error,
+  /// if any.
   Status Drain();
 
   /// Snapshot of the activity counters and current gauges.
@@ -198,6 +215,9 @@ class IngestPipeline {
   uint64_t num_workers() const {
     return worker_count_.load(std::memory_order_acquire);
   }
+
+  /// The pipeline's overload policy (fixed at `Make`).
+  OverloadPolicy overload_policy() const { return options_.overload.policy; }
 
  private:
   friend class ProducerSlot;
@@ -221,24 +241,32 @@ class IngestPipeline {
 
   /// Drains up to `max_batch` events from the rings named by `ring_ids`
   /// into `raw` (sized `max_batch` by the caller, reused across passes),
+  /// tops the batch up from the spill buffer when one exists,
   /// pre-aggregates via the reused `agg` map into `batch`, and applies.
   /// The scan begins at `ring_ids[start_ring % ring_ids.size()]` — callers
   /// advance it each pass for fairness. Pops that transition a ring
-  /// full→nonfull publish the ring's nonfull epoch (waking producers
-  /// parked in `Submit`). Returns the number of raw events consumed,
-  /// attributing the work to `cells` when non-null. The worker-owned
-  /// scratch keeps the drain loop itself allocation-light; the store's
-  /// batch call still allocates its stripe-routing scratch internally.
+  /// full→nonfull notify the ring's not-full eventcount shard (waking
+  /// producers parked in `Submit`). Returns the number of raw events
+  /// consumed, attributing the work to `cells` when non-null. The
+  /// worker-owned scratch keeps the drain loop itself allocation-light;
+  /// the store's batch call still allocates its stripe-routing scratch
+  /// internally.
   uint64_t DrainOnce(const std::vector<uint64_t>& ring_ids,
                      uint64_t start_ring, std::vector<Event>* raw,
                      std::unordered_map<uint64_t, uint64_t>* agg,
                      std::vector<analytics::KeyWeight>* batch,
                      WorkerStatCells* cells);
 
-  /// Producer-side eventcount signal: bumps the wake epoch and, only if a
-  /// worker is parked, takes the wake mutex and notifies. Called on
-  /// empty→nonempty ring transitions and on shutdown/resize.
-  void NotifyWorkers();
+  /// The not-full eventcount shard covering `ring` (round-robin mapping).
+  EventCount& NonFullShard(uint64_t ring) {
+    return nonfull_ecs_[ring % nonfull_shards_];
+  }
+
+  /// Accepts `e` into the spill buffer under the Drain refcount fence.
+  /// OK on success, `kPending` when the spill is full, the draining
+  /// status once closed. Wakes workers — spilled events must be drained
+  /// even when every ring is empty.
+  Status SpillSubmit(const Event& e);
 
   /// Spawns `n` workers of a fresh generation. Caller holds `workers_mu_`
   /// and has joined every previous worker.
@@ -268,40 +296,40 @@ class IngestPipeline {
   std::atomic<uint64_t> worker_gen_{0};    ///< bumped to retire a generation
   std::atomic<uint64_t> worker_count_{0};  ///< gauge mirror of workers_.size()
 
-  /// Eventcount the idle workers park on.
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::atomic<uint64_t> wake_epoch_{0};
-  std::atomic<uint64_t> sleepers_{0};
+  /// Idle workers park here; producers notify on empty→nonempty pushes,
+  /// spill pushes, shutdown, and resize.
+  EventCount wake_ec_;
 
-  /// Consumer→producer not-full eventcount: one epoch cell per ring (its
-  /// own cache line — workers bump it on the drain hot path), bumped on
-  /// every full→nonfull pop transition. Saturated blocking `Submit` calls
-  /// park on the shared CV; at most one producer waits per ring (the SPSC
-  /// contract), so notify_all fans out to few threads.
-  struct alignas(64) NonFullEpoch {
-    std::atomic<uint64_t> v{0};
-  };
-  std::unique_ptr<NonFullEpoch[]> nonfull_epochs_;
-  std::mutex nonfull_mu_;
-  std::condition_variable nonfull_cv_;
-  std::atomic<uint64_t> nonfull_waiters_{0};
+  /// Consumer→producer not-full eventcounts, sharded by ring group
+  /// (ring → shard round-robin) so saturated producers spread across
+  /// CVs instead of contending on one. Workers notify a ring's shard on
+  /// every full→nonfull pop transition; saturated blocking `Submit` calls
+  /// park on their ring's shard. A shard wake is a hint, not a verdict —
+  /// the woken producer revalidates with `TrySubmit`.
+  std::unique_ptr<EventCount[]> nonfull_ecs_;
+  uint64_t nonfull_shards_ = 1;
   std::atomic<uint64_t> producer_parks_{0};
   std::atomic<uint64_t> producer_wakeups_{0};
 
   /// Flush waiters park here; workers notify after a drain pass only when
-  /// flush_waiters_ is nonzero.
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  std::atomic<uint64_t> flush_waiters_{0};
+  /// a waiter is registered.
+  EventCount flush_ec_;
 
   /// Producer-slot registry: slot_leased_[i] marks an outstanding lease;
-  /// acquisition additionally requires an empty ring (drained-before-reuse).
+  /// acquisition additionally requires an empty ring (drained-before-
+  /// reuse). The array is guarded by slots_mu_; blocked acquirers park on
+  /// slots_ec_, notified by releases and by drain-pass pop progress.
   std::mutex slots_mu_;
-  std::condition_variable slots_cv_;
   std::vector<uint8_t> slot_leased_;  // guarded by slots_mu_
-  std::atomic<uint64_t> slot_waiters_{0};
+  EventCount slots_ec_;
   std::atomic<uint64_t> slots_in_use_{0};
+
+  /// Overload-control state: shed accounting is exact and per slot;
+  /// spill_ exists only under `kSpill` (preallocated, shared by all
+  /// producers, drained opportunistically by every worker).
+  std::unique_ptr<std::atomic<uint64_t>[]> shed_per_slot_;
+  std::atomic<uint64_t> shed_total_{0};
+  std::unique_ptr<SpillBuffer> spill_;
 
   std::atomic<bool> closed_{false};   ///< no new submissions accepted
   std::atomic<bool> stop_{false};     ///< workers may exit once their rings are empty

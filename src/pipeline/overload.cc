@@ -1,0 +1,43 @@
+#include "pipeline/overload.h"
+
+namespace countlib {
+namespace pipeline {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShed:
+      return "shed";
+    case OverloadPolicy::kSpill:
+      return "spill";
+  }
+  return "unknown";
+}
+
+SpillBuffer::SpillBuffer(uint64_t capacity) : buf_(capacity < 1 ? 1 : capacity) {}
+
+bool SpillBuffer::TryPush(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tail_ - head_ == buf_.size()) return false;
+  buf_[tail_ % buf_.size()] = e;
+  ++tail_;
+  size_.store(tail_ - head_, std::memory_order_release);
+  spilled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t SpillBuffer::PopBatch(Event* out, uint64_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = tail_ - head_;
+  if (n > max) n = max;
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = buf_[(head_ + i) % buf_.size()];
+  }
+  head_ += n;
+  size_.store(tail_ - head_, std::memory_order_release);
+  return n;
+}
+
+}  // namespace pipeline
+}  // namespace countlib

@@ -65,6 +65,24 @@ TEST(AutoscalerTest, MakeValidatesConfig) {
                   .status()
                   .IsInvalidArgument());
 
+  // An unreachable floor: SetWorkerCount clamps to the producer-slot
+  // count (4 here), so min_workers = 5 could never be honored and the
+  // control loop would churn futile resizes forever.
+  config = AutoscalerConfig{};
+  config.min_workers = 5;
+  config.max_workers = 8;
+  EXPECT_TRUE(Autoscaler::Make(pipeline.get(), config)
+                  .status()
+                  .IsInvalidArgument());
+
+  // A zero up-threshold votes "grow" on an empty pipeline every sample.
+  config = AutoscalerConfig{};
+  config.scale_up_queue_depth = 0;
+  config.scale_down_queue_depth = 0;
+  EXPECT_TRUE(Autoscaler::Make(pipeline.get(), config)
+                  .status()
+                  .IsInvalidArgument());
+
   config = AutoscalerConfig{};
   config.sample_interval = milliseconds(0);
   EXPECT_TRUE(Autoscaler::Make(pipeline.get(), config)

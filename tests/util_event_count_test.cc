@@ -1,0 +1,203 @@
+// Tests for the shared EventCount primitive: the epoch/waiter contract,
+// the free no-waiter notify path, the bounded backstop behind stale
+// conditions, both park shapes (ParkOne episodes, ParkUntil waits), and an
+// N-producer/N-consumer stress asserting zero lost notifications — the
+// Dekker discipline the pipeline's four waiter populations all ride.
+
+#include "util/event_count.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace countlib {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(EventCountTest, NotifyWithNoWaitersIsFree) {
+  EventCount ec;
+  EXPECT_EQ(ec.Epoch(), 0u);
+  EXPECT_FALSE(ec.HasWaiters());
+  // With nobody registered, a notify is just the epoch bump — it must not
+  // block, wait, or leave any waiter state behind. Hammer it enough that a
+  // mutex/CV round trip per call would be visibly slow, and assert every
+  // bump landed.
+  constexpr uint64_t kNotifies = 100000;
+  for (uint64_t i = 0; i < kNotifies; ++i) {
+    ec.NotifyIfWaiters();
+  }
+  EXPECT_EQ(ec.Epoch(), kNotifies);
+  EXPECT_FALSE(ec.HasWaiters());
+}
+
+TEST(EventCountTest, ParkOneReturnsImmediatelyOnStaleEpoch) {
+  EventCount ec;
+  const uint64_t snapshot = ec.Epoch();
+  ec.NotifyIfWaiters();  // epoch moves past the snapshot before the park
+  const auto t0 = steady_clock::now();
+  const bool signaled =
+      ec.ParkOne(snapshot, [] { return false; }, milliseconds(10000));
+  const auto elapsed = steady_clock::now() - t0;
+  EXPECT_TRUE(signaled);  // the moved epoch counts as a signal, not a timeout
+  EXPECT_LT(elapsed, milliseconds(1000)) << "stale-epoch park slept";
+}
+
+TEST(EventCountTest, ParkOneCancelPredicateEndsTheWait) {
+  EventCount ec;
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    const bool signaled = ec.ParkOne(
+        ec.Epoch(), [&] { return cancel.load(std::memory_order_acquire); },
+        milliseconds(10000));
+    EXPECT_TRUE(signaled);
+    done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(done.load(std::memory_order_acquire));
+  EXPECT_TRUE(ec.HasWaiters());
+  cancel.store(true, std::memory_order_release);
+  // The cancel flag alone does not wake the CV; the notify does. This is
+  // exactly the pipeline's shutdown shape (set closed_, then notify).
+  ec.NotifyIfWaiters();
+  waiter.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_FALSE(ec.HasWaiters());
+}
+
+TEST(EventCountTest, ParkOneBackstopFiresWithoutAnyNotify) {
+  EventCount ec;
+  // Nobody ever notifies: the bounded backstop must end the episode and
+  // report a timeout (false), not a signal.
+  const auto t0 = steady_clock::now();
+  const bool signaled =
+      ec.ParkOne(ec.Epoch(), [] { return false; }, milliseconds(20));
+  const auto elapsed = steady_clock::now() - t0;
+  EXPECT_FALSE(signaled);
+  EXPECT_GE(elapsed, milliseconds(15));
+  EXPECT_LT(elapsed, milliseconds(5000)) << "backstop never fired";
+}
+
+TEST(EventCountTest, ParkUntilBackstopCatchesAConditionChangedWithoutNotify) {
+  EventCount ec;
+  // The pipeline's stale-verdict corner: the condition becomes true but
+  // the notifier (believing nobody could be waiting) never signals.
+  // ParkUntil must still return via its bounded re-check.
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(milliseconds(60));
+    flag.store(true, std::memory_order_release);  // deliberately no notify
+  });
+  const auto t0 = steady_clock::now();
+  ec.ParkUntil([&] { return flag.load(std::memory_order_acquire); },
+               milliseconds(10));
+  const auto elapsed = steady_clock::now() - t0;
+  setter.join();
+  EXPECT_TRUE(flag.load());
+  EXPECT_GE(elapsed, milliseconds(50));
+  EXPECT_LT(elapsed, milliseconds(5000)) << "backstop re-check never fired";
+  EXPECT_FALSE(ec.HasWaiters());
+}
+
+TEST(EventCountTest, ParkUntilWithTruePredicateNeverSleeps) {
+  EventCount ec;
+  const auto t0 = steady_clock::now();
+  ec.ParkUntil([] { return true; }, milliseconds(10000));
+  EXPECT_LT(steady_clock::now() - t0, milliseconds(1000));
+}
+
+// The zero-lost-notifications stress: N producers each make K units of
+// progress, notifying after every unit; N consumers park until they have
+// observed all N*K units. A lost notification would strand a consumer in
+// a full backstop sleep per miss; with a generous per-unit budget the test
+// would time out (and the final assertions would see a partial count).
+// Run with a long backstop so the test passes only if the Dekker
+// discipline, not the timeout, delivers the wakes.
+TEST(EventCountTest, MultiProducerMultiConsumerStressLosesNoNotifications) {
+  EventCount ec;
+  constexpr uint64_t kProducers = 4;
+  constexpr uint64_t kConsumers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  std::atomic<uint64_t> progress{0};
+  std::atomic<uint64_t> consumers_done{0};
+
+  std::vector<std::thread> consumers;
+  for (uint64_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      // Episode shape, exactly like the pipeline's blocking Submit:
+      // snapshot, recheck, park on the snapshot.
+      while (true) {
+        const uint64_t epoch = ec.Epoch();
+        if (progress.load(std::memory_order_seq_cst) >= kTotal) break;
+        ec.ParkOne(epoch, [] { return false; }, milliseconds(2000));
+      }
+      consumers_done.fetch_add(1, std::memory_order_seq_cst);
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        progress.fetch_add(1, std::memory_order_seq_cst);
+        ec.NotifyIfWaiters();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Producers are done: every consumer must observe the final count. The
+  // last notification was issued after the final fetch_add, so no consumer
+  // can be parked past one backstop; join() hanging here IS the failure.
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(progress.load(), kTotal);
+  EXPECT_EQ(consumers_done.load(), kConsumers);
+  EXPECT_FALSE(ec.HasWaiters());
+  EXPECT_GE(ec.Epoch(), kTotal);  // every notify bumped the epoch
+}
+
+// Ping-pong handoff between two threads through two EventCounts: each
+// side's progress is the other side's park condition. Exercises the
+// register-then-check vs bump-then-read interleaving from both roles
+// simultaneously, which is where a broken ordering would deadlock.
+TEST(EventCountTest, PingPongHandoffDoesNotDeadlock) {
+  EventCount ping;
+  EventCount pong;
+  constexpr uint64_t kRounds = 5000;
+  std::atomic<uint64_t> turn{0};  // even: A's move, odd: B's move
+
+  std::thread a([&] {
+    for (uint64_t r = 0; r < kRounds; ++r) {
+      while (true) {
+        const uint64_t epoch = ping.Epoch();
+        if (turn.load(std::memory_order_seq_cst) == 2 * r) break;
+        ping.ParkOne(epoch, [] { return false; }, milliseconds(1000));
+      }
+      turn.fetch_add(1, std::memory_order_seq_cst);
+      pong.NotifyIfWaiters();
+    }
+  });
+  std::thread b([&] {
+    for (uint64_t r = 0; r < kRounds; ++r) {
+      while (true) {
+        const uint64_t epoch = pong.Epoch();
+        if (turn.load(std::memory_order_seq_cst) == 2 * r + 1) break;
+        pong.ParkOne(epoch, [] { return false; }, milliseconds(1000));
+      }
+      turn.fetch_add(1, std::memory_order_seq_cst);
+      ping.NotifyIfWaiters();
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(turn.load(), 2 * kRounds);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -30,10 +30,10 @@ import argparse
 import json
 import sys
 
-RATE_KEYS = {"events_per_sec", "attempts_per_sec"}
+RATE_KEYS = {"events_per_sec", "attempts_per_sec", "submits_per_sec"}
 COST_KEYS = {"cpu_seconds", "wake_latency_s"}
 ZERO_KEYS = {"lost_events", "reject_allocs", "invalid_slot_allocs",
-             "busy_passes"}
+             "busy_passes", "unaccounted_events"}
 # Absolute floors for cost metrics: ignore a relative rise that is smaller
 # than this many seconds — timer noise, not a regression.
 COST_FLOORS = {"cpu_seconds": 0.003, "wake_latency_s": 0.05}

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench_diff.py: direction-awareness (rates down = bad,
+costs up = bad), the absolute floors that keep timer noise out of cost
+verdicts, the must-stay-zero invariants, configs[] entry matching, and the
+CLI exit codes. Run directly (python3 tools/bench_diff_test.py) or via
+ctest; CI runs it as its own step.
+"""
+
+import argparse
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def judge(baseline, current, threshold=0.10):
+    """Run bench_diff's walk over two documents, returning its judged rows."""
+    bench_diff.ARGS = argparse.Namespace(threshold=threshold)
+    rows = []
+    bench_diff.walk(baseline, current, "$", rows)
+    return rows
+
+
+def verdicts(rows):
+    return {path: verdict for path, _, _, verdict, _ in rows}
+
+
+class WalkAndJudgeTest(unittest.TestCase):
+    def test_rate_drop_beyond_threshold_is_regression(self):
+        rows = judge({"events_per_sec": 1000.0}, {"events_per_sec": 800.0})
+        self.assertEqual(verdicts(rows)["$.events_per_sec"], "REGRESSION")
+
+    def test_rate_drop_within_threshold_is_ok(self):
+        rows = judge({"events_per_sec": 1000.0}, {"events_per_sec": 950.0})
+        self.assertEqual(verdicts(rows)["$.events_per_sec"], "ok")
+
+    def test_rate_rise_is_never_a_regression(self):
+        # Direction-awareness: higher is better for rates, even +1000%.
+        rows = judge({"events_per_sec": 100.0}, {"events_per_sec": 1100.0})
+        self.assertEqual(verdicts(rows)["$.events_per_sec"], "ok")
+
+    def test_zero_baseline_rate_is_skipped_not_crashed(self):
+        rows = judge({"events_per_sec": 0}, {"events_per_sec": 100.0})
+        self.assertEqual(verdicts(rows)["$.events_per_sec"], "skip")
+
+    def test_cost_rise_beyond_threshold_and_floor_is_regression(self):
+        # +100% and +0.1s: clears both the relative threshold and the 3ms
+        # absolute floor.
+        rows = judge({"cpu_seconds": 0.1}, {"cpu_seconds": 0.2})
+        self.assertEqual(verdicts(rows)["$.cpu_seconds"], "REGRESSION")
+
+    def test_cost_drop_is_never_a_regression(self):
+        # Direction-awareness: lower is better for costs.
+        rows = judge({"cpu_seconds": 0.2}, {"cpu_seconds": 0.01})
+        self.assertEqual(verdicts(rows)["$.cpu_seconds"], "ok")
+
+    def test_cost_rise_under_absolute_floor_is_ok(self):
+        # +50% relative but only +0.5ms absolute: timer noise, not a
+        # regression (the floor for cpu_seconds is 3ms).
+        rows = judge({"cpu_seconds": 0.001}, {"cpu_seconds": 0.0015})
+        self.assertEqual(verdicts(rows)["$.cpu_seconds"], "ok")
+
+    def test_free_baseline_cost_above_floor_is_regression(self):
+        # Baseline measured 0: any above-floor cost is new, with no
+        # relative change to divide by.
+        rows = judge({"cpu_seconds": 0.0}, {"cpu_seconds": 0.05})
+        self.assertEqual(verdicts(rows)["$.cpu_seconds"], "REGRESSION")
+
+    def test_zero_invariant_violation_regresses_regardless_of_threshold(self):
+        rows = judge({"lost_events": 0}, {"lost_events": 1}, threshold=1e9)
+        self.assertEqual(verdicts(rows)["$.lost_events"], "REGRESSION")
+
+    def test_zero_invariant_holds(self):
+        for key in ("lost_events", "reject_allocs", "invalid_slot_allocs",
+                    "busy_passes", "unaccounted_events"):
+            rows = judge({key: 0}, {key: 0})
+            self.assertEqual(verdicts(rows)[f"$.{key}"], "ok", key)
+
+    def test_unjudged_context_metrics_are_ignored(self):
+        rows = judge({"events": 100, "elapsed_s": 1.0, "worker_steps": [4, 2]},
+                     {"events": 5, "elapsed_s": 99.0, "worker_steps": [1]})
+        self.assertEqual(rows, [])
+
+    def test_configs_matched_by_mode_and_producers_not_position(self):
+        baseline = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0},
+            {"mode": "pipeline", "producers": 4, "events_per_sec": 2000.0},
+        ]}
+        # Same entries, reversed order, pipeline/p4 regressed.
+        current = {"configs": [
+            {"mode": "pipeline", "producers": 4, "events_per_sec": 500.0},
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0},
+        ]}
+        v = verdicts(judge(baseline, current))
+        self.assertEqual(v["$.configs[direct/p1].events_per_sec"], "ok")
+        self.assertEqual(v["$.configs[pipeline/p4].events_per_sec"],
+                         "REGRESSION")
+
+    def test_baseline_entry_missing_from_current_is_skipped(self):
+        baseline = {"configs": [
+            {"mode": "direct", "producers": 8, "events_per_sec": 1000.0}]}
+        current = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1.0}]}
+        self.assertEqual(judge(baseline, current), [])
+
+    def test_nested_sections_are_walked(self):
+        baseline = {"overload": {"shed": {"unaccounted_events": 0},
+                                 "spill": {"lost_events": 0}}}
+        current = {"overload": {"shed": {"unaccounted_events": 0},
+                                "spill": {"lost_events": 3}}}
+        v = verdicts(judge(baseline, current))
+        self.assertEqual(v["$.overload.shed.unaccounted_events"], "ok")
+        self.assertEqual(v["$.overload.spill.lost_events"], "REGRESSION")
+
+
+class CliTest(unittest.TestCase):
+    """End-to-end exit-code contract through the real CLI."""
+
+    GOOD = {"events_per_sec": 1000.0, "lost_events": 0}
+
+    def run_cli(self, baseline, current, *extra):
+        tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "bench_diff.py")
+        with tempfile.TemporaryDirectory() as d:
+            bpath = os.path.join(d, "baseline.json")
+            cpath = os.path.join(d, "current.json")
+            with open(bpath, "w") as f:
+                json.dump(baseline, f)
+            with open(cpath, "w") as f:
+                json.dump(current, f)
+            return subprocess.run(
+                [sys.executable, tool, "--baseline", bpath,
+                 "--current", cpath, *extra],
+                capture_output=True, text=True).returncode
+
+    def test_clean_diff_exits_zero(self):
+        self.assertEqual(self.run_cli(self.GOOD, self.GOOD), 0)
+
+    def test_regression_exits_one(self):
+        bad = copy.deepcopy(self.GOOD)
+        bad["lost_events"] = 7
+        self.assertEqual(self.run_cli(self.GOOD, bad), 1)
+
+    def test_warn_only_suppresses_the_failure(self):
+        bad = copy.deepcopy(self.GOOD)
+        bad["lost_events"] = 7
+        self.assertEqual(self.run_cli(self.GOOD, bad, "--warn-only"), 0)
+
+    def test_schema_mismatch_exits_two(self):
+        self.assertEqual(self.run_cli({"unrelated": 1}, {"other": 2}), 2)
+
+    def test_missing_input_exits_two(self):
+        tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "bench_diff.py")
+        rc = subprocess.run(
+            [sys.executable, tool, "--baseline", "/nonexistent.json",
+             "--current", "/nonexistent.json"],
+            capture_output=True, text=True).returncode
+        self.assertEqual(rc, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
