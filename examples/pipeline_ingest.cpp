@@ -33,23 +33,56 @@
 ///           the spill fills, and the spill depth counts toward the
 ///           autoscaler's pressure signal so the pool grows to drain it.
 ///
+/// With `--metrics_out=FILE` the whole run is instrumented through the
+/// obs layer (src/obs/README.md): the pipeline, store, and autoscaler
+/// register their counters/gauges/histograms in the process-wide registry,
+/// a `MetricsCollector` drives the coarse latency ticker and samples the
+/// gauges into ring-buffer time series, and a dump thread rewrites FILE
+/// with the Prometheus text exposition every `--metrics_period_ms` (plus a
+/// final dump after drain — the one CI validates with tools/promcheck.py).
+/// `FILE.json` gets the JSON twin, time series included.
+///
 ///   ./build/example_pipeline_ingest [--pages=N] [--visits=N] [--threads=N]
 ///       [--slots=N] [--overload=block|shed|spill]
+///       [--metrics_out=FILE] [--metrics_period_ms=N]
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "obs/collector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "pipeline/autoscaler.h"
 #include "pipeline/ingest_pipeline.h"
 #include "stream/trace.h"
 #include "util/cli.h"
 #include "util/logging.h"
+
+namespace {
+
+/// One snapshot -> two files: Prometheus text at `path`, JSON (with the
+/// collector's time series) at `path`.json.
+void DumpMetrics(const std::string& path) {
+  const countlib::obs::Snapshot snap = countlib::obs::GlobalSnapshot();
+  {
+    std::ofstream f(path);
+    f << countlib::obs::ToPrometheusText(snap);
+  }
+  {
+    std::ofstream f(path + ".json");
+    f << countlib::obs::ToJson(snap) << "\n";
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace countlib;
@@ -62,6 +95,13 @@ int main(int argc, char** argv) {
   flags.AddString("overload", "block",
                   "what a blocking Submit does under sustained backpressure: "
                   "block | shed | spill");
+  flags.AddString("metrics_out", "",
+                  "instrument the run and write the Prometheus text dump "
+                  "here (and the JSON twin to <file>.json); empty disables "
+                  "telemetry entirely");
+  flags.AddUint64("metrics_period_ms", 500,
+                  "rewrite --metrics_out every this many milliseconds "
+                  "while the run is live (0 = only the final dump)");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
@@ -71,18 +111,26 @@ int main(int argc, char** argv) {
   const uint64_t visits = flags.GetUint64("visits");
   const uint64_t threads = flags.GetUint64("threads");
   const uint64_t slots = flags.GetUint64("slots");
+  const std::string metrics_out = flags.GetString("metrics_out");
+  const uint64_t metrics_period_ms = flags.GetUint64("metrics_period_ms");
+  const bool metrics = !metrics_out.empty();
 
   // Zipf page popularity, 16 bits of packed counter state per page.
   auto trace = stream::Trace::GenerateZipf(pages, 1.05, visits, 99).ValueOrDie();
   auto store = analytics::ConcurrentCounterStore::Make(
                    16, CounterKind::kSampling, 16, visits, 1)
                    .ValueOrDie();
+  // Registered only now that the store sits at its final address (the
+  // gauges capture `this`); the handles release before the store dies.
+  std::vector<obs::Registration> store_metrics;
+  if (metrics) store_metrics = store.RegisterMetrics();
 
   pipeline::PipelineOptions options;
   options.num_producers = slots;
   options.queue_capacity = 8192;
   options.max_batch = 2048;
   options.num_workers = 1;  // start small; the autoscaler grows the pool
+  options.enable_metrics = metrics;
   const std::string overload = flags.GetString("overload");
   if (overload == "shed") {
     options.overload.policy = pipeline::OverloadPolicy::kShed;
@@ -109,7 +157,31 @@ int main(int argc, char** argv) {
   scaling.scale_up_samples = 1;
   scaling.scale_down_queue_depth = 256;
   scaling.scale_down_samples = 4;
+  scaling.enable_metrics = metrics;
   auto scaler = pipeline::Autoscaler::Make(ingest.get(), scaling).ValueOrDie();
+
+  // The telemetry side, entirely optional: the collector ticks the coarse
+  // clock (which arms the pipeline's latency stamping) and samples every
+  // registered gauge into bounded time series; the dump thread rewrites
+  // the export files while the run is live so an external scraper — or a
+  // human with `watch cat` — sees the system move.
+  std::unique_ptr<obs::MetricsCollector> collector;
+  std::atomic<bool> dumping{false};
+  std::thread dump_thread;
+  if (metrics) {
+    collector = obs::MetricsCollector::Make(nullptr, obs::CollectorOptions())
+                    .ValueOrDie();
+    if (metrics_period_ms > 0) {
+      dumping.store(true);
+      dump_thread = std::thread([&dumping, &metrics_out, metrics_period_ms] {
+        while (dumping.load(std::memory_order_acquire)) {
+          DumpMetrics(metrics_out);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(metrics_period_ms));
+        }
+      });
+    }
+  }
 
   // The producer pool: each thread claims trace chunks from a shared
   // cursor and, per chunk, leases whichever slot the registry hands it.
@@ -142,6 +214,20 @@ int main(int argc, char** argv) {
   scaler->Stop();
   const pipeline::AutoscalerStats scaling_stats = scaler->Stats();
   COUNTLIB_CHECK_OK(ingest->Drain());
+
+  if (metrics) {
+    // Final dump with everything drained: the must-stay-zero metrics
+    // (events_dropped, resize_errors, unaccounted_events) are now settled,
+    // which is exactly what tools/promcheck.py asserts in CI.
+    if (dump_thread.joinable()) {
+      dumping.store(false, std::memory_order_release);
+      dump_thread.join();
+    }
+    DumpMetrics(metrics_out);
+    collector->Stop();
+    std::printf("metrics: Prometheus text at %s, JSON at %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
 
   const pipeline::PipelineStats stats = ingest->Stats();
   std::printf(

@@ -44,7 +44,7 @@ Status ConcurrentCounterStore::Increment(uint64_t key, uint64_t weight) {
   std::lock_guard<std::mutex> lock(stripe.mu);
   Status st = stripe.store->Increment(key, weight);
   if (st.ok()) {
-    stat_cells_->increments.fetch_add(1, std::memory_order_relaxed);
+    stat_cells_->increments.Add(1);
   }
   return st;
 }
@@ -74,17 +74,16 @@ Status ConcurrentCounterStore::IncrementBatch(const KeyWeight* updates, size_t n
     COUNTLIB_RETURN_NOT_OK(
         stripes_[s]->store->IncrementBatch(sorted.data() + begin, end - begin));
   }
-  stat_cells_->batch_calls.fetch_add(1, std::memory_order_relaxed);
-  stat_cells_->batch_updates.fetch_add(n, std::memory_order_relaxed);
+  stat_cells_->batch_calls.Add(1);
+  stat_cells_->batch_updates.Add(n);
   return Status::OK();
 }
 
 StoreStats ConcurrentCounterStore::Stats() const {
   StoreStats stats;
-  stats.increments = stat_cells_->increments.load(std::memory_order_relaxed);
-  stats.batch_calls = stat_cells_->batch_calls.load(std::memory_order_relaxed);
-  stats.batch_updates =
-      stat_cells_->batch_updates.load(std::memory_order_relaxed);
+  stats.increments = stat_cells_->increments.Value();
+  stats.batch_calls = stat_cells_->batch_calls.Value();
+  stats.batch_updates = stat_cells_->batch_updates.Value();
   return stats;
 }
 
@@ -137,6 +136,27 @@ uint64_t ConcurrentCounterStore::TotalStateBits() const {
     total += stripe->store->TotalStateBits();
   }
   return total;
+}
+
+std::vector<obs::Registration> ConcurrentCounterStore::RegisterMetrics() {
+  obs::Registry& reg = obs::Registry::Default();
+  std::vector<obs::Registration> rs;
+  rs.reserve(5);
+  rs.push_back(reg.RegisterCounter("countlib_store_increments_total",
+                                   &stat_cells_->increments));
+  rs.push_back(reg.RegisterCounter("countlib_store_batch_calls_total",
+                                   &stat_cells_->batch_calls));
+  rs.push_back(reg.RegisterCounter("countlib_store_batch_updates_total",
+                                   &stat_cells_->batch_updates));
+  // O(stripes) lock sweeps — fine at gauge-sampling cadence (default
+  // 10 Hz), and each stripe lock is held for two loads.
+  rs.push_back(reg.RegisterGauge("countlib_store_keys", [this] {
+    return static_cast<double>(NumKeys());
+  }));
+  rs.push_back(reg.RegisterGauge("countlib_store_state_bits", [this] {
+    return static_cast<double>(TotalStateBits());
+  }));
+  return rs;
 }
 
 }  // namespace analytics

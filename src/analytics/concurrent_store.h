@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analytics/counter_store.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace countlib {
@@ -69,6 +70,14 @@ class ConcurrentCounterStore {
   /// Thread-safe snapshot of the ingest activity counters.
   StoreStats Stats() const;
 
+  /// Registers this store's counters and gauges (`countlib_store_*`, see
+  /// obs/README.md) with `obs::Registry::Default()`. Call once, after the
+  /// store has reached its final location: the gauge callbacks capture
+  /// `this`, so the handles must be released (destroyed) before the store
+  /// is moved or destroyed. Calling twice registers twice and
+  /// double-counts in snapshots.
+  std::vector<obs::Registration> RegisterMetrics();
+
   /// Total distinct keys across stripes (takes all locks; O(stripes)).
   uint64_t NumKeys() const;
 
@@ -83,11 +92,15 @@ class ConcurrentCounterStore {
     std::unique_ptr<CounterStore> store;
   };
 
-  /// Atomic stat cells, heap-held so the store stays movable.
+  /// Stat cells, heap-held so the store stays movable — which also keeps
+  /// the counter addresses handed to `RegisterMetrics` stable across
+  /// moves. Striped `obs::Counter`s: ingest threads hammer these from
+  /// every stripe, and the same cells back both `Stats()` and the
+  /// exported `countlib_store_*_total` metrics.
   struct StatCells {
-    std::atomic<uint64_t> increments{0};
-    std::atomic<uint64_t> batch_calls{0};
-    std::atomic<uint64_t> batch_updates{0};
+    obs::Counter increments;
+    obs::Counter batch_calls;
+    obs::Counter batch_updates;
   };
 
   explicit ConcurrentCounterStore(std::vector<std::unique_ptr<Stripe>> stripes)

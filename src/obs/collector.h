@@ -1,0 +1,123 @@
+/// \file collector.h
+/// \brief The background telemetry thread: drives the `CoarseClock` tick
+/// (the cheap timestamp the ingest hot path stamps events with) and
+/// samples every registered gauge into bounded ring-buffer time series on
+/// a fixed cadence — "queue depth over the last minute" for dashboards,
+/// with strictly bounded memory.
+///
+/// One thread, two cadences:
+///
+///  - every `tick_interval` (default 250µs) it refreshes
+///    `CoarseClock::Set(RealNowNanos())` — this is what makes per-event
+///    submit→apply latency affordable (a relaxed load per event instead of
+///    a clock syscall), at the price of tick-granularity resolution;
+///  - every `sample_interval` (default 100ms) it calls
+///    `Registry::SampleGauges()` and appends each reading to that gauge's
+///    `TimeSeries` ring buffer (capacity `series_capacity` points, oldest
+///    overwritten — 240 points at 100ms is the last 24 seconds).
+///
+/// The collector registers itself with the registry as a series provider,
+/// so `Registry::TakeSnapshot()` (and therefore the Prometheus/JSON
+/// exporters) transparently include the series while a collector runs.
+///
+/// Lifecycle: `Make` validates the options and starts the thread; `Stop`
+/// (idempotent, also run by the destructor) joins it and zeroes the coarse
+/// clock so stamped-but-never-recorded timestamps cannot go stale. Run at
+/// most one collector per process: two would fight over the coarse clock.
+
+#ifndef COUNTLIB_OBS_COLLECTOR_H_
+#define COUNTLIB_OBS_COLLECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace obs {
+
+/// \brief Tuning knobs for `MetricsCollector::Make`.
+struct CollectorOptions {
+  /// Coarse-clock refresh cadence. Smaller = finer latency resolution for
+  /// the event timestamps, more wakeups on the collector thread (a
+  /// nanosleep each). 250µs costs a few ms of CPU per second and bounds
+  /// the timestamp error at a quarter millisecond. Must be in
+  /// [10µs, 1s].
+  std::chrono::microseconds tick_interval{250};
+  /// Gauge-sampling cadence; must be >= tick_interval and <= 60s.
+  std::chrono::milliseconds sample_interval{100};
+  /// Ring-buffer capacity per gauge series, in points; oldest points are
+  /// overwritten. Must be in [2, 1<<20].
+  uint64_t series_capacity = 240;
+};
+
+/// \brief Background gauge sampler + coarse-clock ticker (see file
+/// comment).
+class MetricsCollector {
+ public:
+  /// Validates `options` and starts the collector thread over `registry`
+  /// (`Registry::Default()` when null). The registry must outlive the
+  /// collector.
+  static Result<std::unique_ptr<MetricsCollector>> Make(
+      Registry* registry, const CollectorOptions& options);
+
+  /// Stops the thread (`Stop`).
+  ~MetricsCollector();
+
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  /// Joins the collector thread and zeroes the coarse clock. Idempotent.
+  void Stop();
+
+  /// Copy of every gauge's ring buffer, oldest point first. Safe
+  /// concurrently with sampling.
+  std::map<std::string, std::vector<SeriesPoint>> Series() const;
+
+  /// Sampling rounds completed so far.
+  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+  /// Clock-tick refreshes published so far.
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Fixed-capacity ring of sample points; push overwrites the oldest
+  /// once full. Preallocated so the sampling loop never allocates per
+  /// point (only a new gauge appearing allocates its ring).
+  struct TimeSeries {
+    explicit TimeSeries(uint64_t capacity) { points.resize(capacity); }
+    std::vector<SeriesPoint> points;
+    uint64_t next = 0;   ///< write cursor (monotonic; index = next % cap)
+    uint64_t count = 0;  ///< min(pushes, capacity)
+  };
+
+  MetricsCollector(Registry* registry, const CollectorOptions& options);
+
+  void Loop();
+  void SampleOnce(uint64_t now_ns);
+
+  Registry* registry_;
+  const CollectorOptions options_;
+
+  mutable std::mutex series_mu_;
+  std::map<std::string, TimeSeries> series_;  // guarded by series_mu_
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> ticks_{0};
+  Registration provider_registration_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace countlib
+
+#endif  // COUNTLIB_OBS_COLLECTOR_H_

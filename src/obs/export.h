@@ -1,0 +1,43 @@
+/// \file export.h
+/// \brief The unified export surface: serialize one `obs::Snapshot` as
+/// Prometheus text exposition or JSON. Everything the process measures —
+/// pipeline counters, store gauges, hot-path latency histograms, collector
+/// time series — leaves through these two functions; examples dump the
+/// Prometheus form to a scrape file, the bench emits the JSON form.
+///
+/// Export contract (see obs/README.md for the name inventory):
+///
+///  - counters  → `# TYPE <name> counter` + `<name> <value>`
+///  - gauges    → `# TYPE <name> gauge` (or `counter` for
+///                `GaugeKind::kCounterGauge` readings)
+///  - histograms → Prometheus classic histograms: cumulative
+///                `<name>_bucket{le="<2^i - 1>"}` lines ending in
+///                `le="+Inf"`, plus `<name>_sum` and `<name>_count`
+///  - series    → JSON only (`"series"` object of `[t_ns, value]` pairs);
+///                Prometheus text has no native time-series form, a scrape
+///                is itself one point, so series are omitted there.
+///
+/// Both serializers are deterministic (instruments sort by name) so goldens
+/// and `tools/promcheck.py` can diff them.
+
+#ifndef COUNTLIB_OBS_EXPORT_H_
+#define COUNTLIB_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace countlib {
+namespace obs {
+
+/// Prometheus text exposition format (version 0.0.4) of `snap`.
+std::string ToPrometheusText(const Snapshot& snap);
+
+/// JSON object with "counters", "gauges", "histograms" (count/sum/max/
+/// p50/p90/p99 and the non-empty buckets), and "series".
+std::string ToJson(const Snapshot& snap);
+
+}  // namespace obs
+}  // namespace countlib
+
+#endif  // COUNTLIB_OBS_EXPORT_H_

@@ -64,7 +64,33 @@ Autoscaler::Autoscaler(IngestPipeline* pipeline,
   // Start the cooldown window open so the first decided vote can act.
   last_resize_ = std::chrono::steady_clock::now() - config_.cooldown;
   last_idle_passes_ = pipeline_->Stats().idle_passes;
+  if (config_.enable_metrics) RegisterMetrics();
   control_ = std::thread([this] { ControlLoop(); });
+}
+
+void Autoscaler::RegisterMetrics() {
+  obs::Registry& reg = obs::Registry::Default();
+  const auto counter_gauge = [](const std::atomic<uint64_t>* cell) {
+    return [cell] {
+      return static_cast<double>(cell->load(std::memory_order_relaxed));
+    };
+  };
+  registrations_.push_back(reg.RegisterGauge(
+      "countlib_autoscaler_samples_total", counter_gauge(&samples_),
+      obs::GaugeKind::kCounterGauge));
+  registrations_.push_back(reg.RegisterGauge(
+      "countlib_autoscaler_scale_ups_total", counter_gauge(&scale_ups_),
+      obs::GaugeKind::kCounterGauge));
+  registrations_.push_back(reg.RegisterGauge(
+      "countlib_autoscaler_scale_downs_total", counter_gauge(&scale_downs_),
+      obs::GaugeKind::kCounterGauge));
+  // First-class must-stay-zero invariant: a failed resize means the
+  // control loop asked for an impossible pool size.
+  registrations_.push_back(reg.RegisterGauge(
+      "countlib_autoscaler_resize_errors_total",
+      counter_gauge(&resize_errors_), obs::GaugeKind::kCounterGauge));
+  registrations_.push_back(reg.RegisterGauge(
+      "countlib_autoscaler_workers", counter_gauge(&current_workers_)));
 }
 
 Autoscaler::~Autoscaler() { Stop(); }

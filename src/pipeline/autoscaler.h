@@ -51,7 +51,9 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "pipeline/ingest_pipeline.h"
 #include "util/status.h"
 
@@ -95,6 +97,10 @@ struct AutoscalerConfig {
   uint64_t grow_step = 0;
   /// Workers removed per shrink decision. Must be >= 1.
   uint64_t shrink_step = 1;
+  /// Register the control loop's counters (`countlib_autoscaler_*`, see
+  /// obs/README.md) with `obs::Registry::Default()` for the autoscaler's
+  /// lifetime.
+  bool enable_metrics = false;
 };
 
 /// \brief Control-loop activity counters plus the latest sample, taken
@@ -143,6 +149,11 @@ class Autoscaler {
 
   void ControlLoop();
 
+  /// Registers the stats atomics as callback metrics (ctor helper,
+  /// `enable_metrics` only). Cumulative fields export as
+  /// `GaugeKind::kCounterGauge` so the Prometheus type is `counter`.
+  void RegisterMetrics();
+
   IngestPipeline* pipeline_;
   const AutoscalerConfig config_;
 
@@ -165,6 +176,11 @@ class Autoscaler {
   std::atomic<uint64_t> last_queue_depth_{0};
   std::atomic<uint64_t> last_spill_depth_{0};
   std::atomic<uint64_t> current_workers_{0};
+
+  /// Registry handles; the callbacks capture `this`, so this member is
+  /// declared last (destroyed first, releasing every registration before
+  /// the atomics above die).
+  std::vector<obs::Registration> registrations_;
 };
 
 }  // namespace pipeline

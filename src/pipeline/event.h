@@ -5,9 +5,11 @@
 ///
 /// The §1 motivating system ("count visits to every Wikipedia page under
 /// production write traffic") needs an ingest path between the producers
-/// and the bit-packed analytics stores; `src/pipeline/` provides it. Events
-/// are exactly the stores' `analytics::KeyWeight` updates, so batches move
-/// from queue to store without conversion.
+/// and the bit-packed analytics stores; `src/pipeline/` provides it. An
+/// `Event` (see event_type.h) carries one `analytics::KeyWeight` update
+/// plus an optional coarse submit timestamp for latency telemetry; the
+/// drain path pre-aggregates events into `KeyWeight` batches before the
+/// store apply, so the timestamp never reaches the store.
 
 #ifndef COUNTLIB_PIPELINE_EVENT_H_
 #define COUNTLIB_PIPELINE_EVENT_H_
@@ -16,13 +18,11 @@
 #include <vector>
 
 #include "analytics/counter_store.h"
+#include "pipeline/event_type.h"
 #include "pipeline/overload.h"
 
 namespace countlib {
 namespace pipeline {
-
-/// \brief One ingestion event: `weight` increments to `key`.
-using Event = analytics::KeyWeight;
 
 /// \brief Tuning knobs for `IngestPipeline::Make`.
 struct PipelineOptions {
@@ -48,6 +48,18 @@ struct PipelineOptions {
   /// block (default), shed with exact accounting, or spill into a bounded
   /// shared overflow buffer. See overload.h.
   OverloadOptions overload;
+  /// Register this pipeline's counters/gauges/histograms with
+  /// `obs::Registry::Default()` and record hot-path latencies. Off by
+  /// default: an uninstrumented pipeline pays zero telemetry cost beyond
+  /// its own Stats() atomics.
+  bool enable_metrics = false;
+  /// Submit→apply latency sampling: 1 event in 2^shift is stamped with a
+  /// coarse timestamp (per producer thread, round-robin). 0 stamps every
+  /// event; the default (6 → 1/64) keeps the stamp+record cost well under
+  /// the <5% instrumentation budget. Must be <= 20. Only meaningful with
+  /// `enable_metrics` and a running `obs::MetricsCollector` (no collector
+  /// ⇒ the coarse clock reads 0 ⇒ no stamping at all).
+  uint64_t latency_sample_shift = 6;
 };
 
 /// \brief Monotonic counters describing pipeline activity, plus an

@@ -1,0 +1,35 @@
+/// \file event_type.h
+/// \brief The event record that flows through the producer queues — split
+/// out of event.h so `overload.h` (whose `SpillBuffer` stores events) can
+/// name the type without a circular include.
+///
+/// An `Event` is an `analytics::KeyWeight` update plus an optional coarse
+/// submit timestamp. The timestamp exists for the telemetry layer: when a
+/// `MetricsCollector` is ticking the `obs::CoarseClock` and the pipeline
+/// was built with `enable_metrics`, a sampled subset of submits stamp
+/// `ts` and the draining worker records submit→apply latency when it
+/// applies them. `ts == 0` means "not stamped" (no collector running, or
+/// the event was not in the sample) and costs nothing downstream.
+
+#ifndef COUNTLIB_PIPELINE_EVENT_TYPE_H_
+#define COUNTLIB_PIPELINE_EVENT_TYPE_H_
+
+#include <cstdint>
+
+namespace countlib {
+namespace pipeline {
+
+/// \brief One ingestion event: `weight` increments to `key`, stamped with
+/// a coarse submit time when latency telemetry is on.
+struct Event {
+  uint64_t key = 0;
+  uint64_t weight = 0;
+  /// Coarse submit timestamp (`obs::CoarseClock::NowNanos()`), or 0 when
+  /// the event is not latency-sampled. Never persisted past the drain.
+  uint64_t ts = 0;
+};
+
+}  // namespace pipeline
+}  // namespace countlib
+
+#endif  // COUNTLIB_PIPELINE_EVENT_TYPE_H_

@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/timer.h"
+
 namespace countlib {
 namespace pipeline {
 
@@ -126,6 +128,10 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
     return Status::InvalidArgument(
         "IngestPipeline: overload.spill_capacity in [1, 2^30]");
   }
+  if (options.latency_sample_shift > 20) {
+    return Status::InvalidArgument(
+        "IngestPipeline: latency_sample_shift <= 20");
+  }
   return std::unique_ptr<IngestPipeline>(new IngestPipeline(store, options));
 }
 
@@ -148,10 +154,97 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
     spill_ = std::make_unique<SpillBuffer>(options_.overload.spill_capacity);
   }
   slot_leased_.assign(options_.num_producers, 0);
+  sample_mask_ = (uint64_t{1} << options_.latency_sample_shift) - 1;
+  if (options_.enable_metrics) RegisterMetrics();
   // Clamp before spawning: more workers than rings is never useful.
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
   std::lock_guard<std::mutex> lock(workers_mu_);
   SpawnWorkersLocked(options_.num_workers);
+}
+
+void IngestPipeline::RegisterMetrics() {
+  obs_ = std::make_unique<ObsState>();
+  obs::Registry& reg = obs::Registry::Default();
+  std::vector<obs::Registration>& rs = obs_->registrations;
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_events_submitted_total",
+                                   &submitted_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_events_rejected_total",
+                                   &rejected_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_events_applied_total",
+                                   &applied_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_events_dropped_total",
+                                   &dropped_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_events_shed_total",
+                                   &shed_total_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_updates_applied_total",
+                                   &updates_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_batches_applied_total",
+                                   &batches_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_producer_parks_total",
+                                   &producer_parks_));
+  rs.push_back(reg.RegisterCounter("countlib_pipeline_producer_wakeups_total",
+                                   &producer_wakeups_));
+  rs.push_back(reg.RegisterHistogram(
+      "countlib_pipeline_submit_apply_latency_ns",
+      &obs_->submit_apply_latency));
+  rs.push_back(reg.RegisterHistogram("countlib_pipeline_batch_drain_latency_ns",
+                                     &obs_->batch_drain_latency));
+  rs.push_back(reg.RegisterHistogram("countlib_pipeline_producer_park_ns",
+                                     &obs_->producer_park));
+  rs.push_back(reg.RegisterHistogram(
+      "countlib_pipeline_wakeup_drain_latency_ns",
+      &obs_->wakeup_drain_latency));
+  // Gauge callbacks run under the registry mutex at sample time; each is a
+  // handful of relaxed loads. They capture `this`, which is safe because
+  // obs_ (and with it every Registration) dies before any other member.
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_queue_depth", [this] {
+    double depth = 0;
+    for (const auto& ring : rings_) {
+      depth += static_cast<double>(ring->SizeApprox());
+    }
+    return depth;
+  }));
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_spill_depth", [this] {
+    return spill_ == nullptr ? 0.0
+                             : static_cast<double>(spill_->SizeApprox());
+  }));
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_workers", [this] {
+    return static_cast<double>(worker_count_.load(std::memory_order_acquire));
+  }));
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_busy_workers", [this] {
+    return static_cast<double>(busy_workers_.load(std::memory_order_acquire));
+  }));
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_slots_in_use", [this] {
+    return static_cast<double>(slots_in_use_.load(std::memory_order_relaxed));
+  }));
+  // First-class must-stay-zero invariant: every accepted event is either
+  // applied, dropped to a store error, or still sitting in a queue/spill.
+  // Transiently nonzero while events are mid-drain (the reads race);
+  // exactly zero whenever the pipeline is quiescent (post-Flush/Drain).
+  rs.push_back(reg.RegisterGauge("countlib_pipeline_unaccounted_events",
+                                 [this] {
+    double queued = 0;
+    for (const auto& ring : rings_) {
+      queued += static_cast<double>(ring->SizeApprox());
+    }
+    if (spill_ != nullptr) {
+      queued += static_cast<double>(spill_->SizeApprox());
+    }
+    return static_cast<double>(submitted_.Value()) -
+           static_cast<double>(applied_.Value()) -
+           static_cast<double>(dropped_.Value()) - queued;
+  }));
+}
+
+uint64_t IngestPipeline::SampleTimestamp() const {
+  if (obs_ == nullptr) return 0;
+  // Per-thread round-robin sampling: 1 submit in 2^latency_sample_shift is
+  // stamped. The counter is shared by every pipeline this thread submits
+  // to, which only dithers the phase, not the rate.
+  thread_local uint64_t submit_seq = 0;
+  if ((++submit_seq & sample_mask_) != 0) return 0;
+  // 0 when no collector is ticking — the event is simply not stamped.
+  return obs::CoarseClock::NowNanos();
 }
 
 IngestPipeline::~IngestPipeline() { Drain(); }
@@ -188,17 +281,28 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
     return DrainingStatus();
   }
   bool was_empty = false;
-  const bool pushed = rings_[producer]->TryPush(Event{key, weight}, &was_empty);
+  const bool pushed =
+      rings_[producer]->TryPush(Event{key, weight, SampleTimestamp()},
+                                &was_empty);
   active_submitters_.fetch_sub(1, std::memory_order_release);
   if (!pushed) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.Add(1);
     return QueueFullStatus();
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.Add(1);
   // Wake parked workers only on the empty->nonempty transition: pushes
   // into a nonempty ring mean a worker is already (or will be) on its way,
   // so the steady-state submit path touches no mutex and no CV.
-  if (was_empty) wake_ec_.NotifyIfWaiters();
+  if (was_empty) {
+    if (obs_ != nullptr) {
+      // Stamp the notify so the woken worker can record wakeup→drain
+      // latency. Real clock read, but only on the (rare under load)
+      // empty→nonempty transition.
+      last_wake_notify_ns_.store(obs::CoarseClock::RealNowNanos(),
+                                 std::memory_order_relaxed);
+    }
+    wake_ec_.NotifyIfWaiters();
+  }
   return Status::OK();
 }
 
@@ -214,7 +318,7 @@ Status IngestPipeline::SpillSubmit(const Event& e) {
   const bool pushed = spill_->TryPush(e);
   active_submitters_.fetch_sub(1, std::memory_order_release);
   if (!pushed) return SpillFullStatus();
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.Add(1);
   // Spilled events are invisible to the ring-emptiness verdicts the worker
   // park predicate reads, so always notify: a worker parked over empty
   // rings must wake to drain the spill. Spilling is already the slow path.
@@ -239,7 +343,7 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
     // bound. Accounting is exact and per slot; the OK return means
     // "accepted or shed" under this policy (see PipelineStats).
     shed_per_slot_[producer].fetch_add(1, std::memory_order_relaxed);
-    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_.Add(1);
     return Status::OK();
   }
   const bool spill = options_.overload.policy == OverloadPolicy::kSpill;
@@ -260,14 +364,22 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
     Status st = TrySubmit(producer, key, weight);
     if (!st.IsPending()) return st;
     if (spill) {
-      st = SpillSubmit(Event{key, weight});
+      st = SpillSubmit(Event{key, weight, SampleTimestamp()});
       if (!st.IsPending()) return st;
     }
-    producer_parks_.fetch_add(1, std::memory_order_relaxed);
+    producer_parks_.Add(1);
+    const uint64_t park_start_ns =
+        obs_ == nullptr ? 0 : obs::CoarseClock::RealNowNanos();
     const bool signaled = ec.ParkOne(
         epoch, [this] { return closed_.load(std::memory_order_acquire); },
         kSubmitParkBackstop);
-    if (signaled) producer_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_ != nullptr) {
+      // Parking is already the slow path; a real clock read per park
+      // episode is noise next to the park itself.
+      obs_->producer_park.Record(obs::CoarseClock::RealNowNanos() -
+                                 park_start_ns);
+    }
+    if (signaled) producer_wakeups_.Add(1);
   }
 }
 
@@ -353,6 +465,10 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
                                    std::vector<analytics::KeyWeight>* batch,
                                    WorkerStatCells* cells) {
   busy_workers_.fetch_add(1);
+  // One real clock read per pass when instrumented; recorded only for
+  // passes that consumed events (idle passes are counted, not timed).
+  const uint64_t pass_start_ns =
+      obs_ == nullptr ? 0 : obs::CoarseClock::RealNowNanos();
   // `raw` stays sized at max_batch; `count` tracks the fill so idle passes
   // touch no buffer memory at all. The scan starts at a different ring
   // each pass so a saturated early ring cannot starve the later ones.
@@ -396,16 +512,35 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
 
     Status st = store_->IncrementBatch(batch->data(), batch->size());
     if (st.ok()) {
-      applied_.fetch_add(count, std::memory_order_relaxed);
-      updates_.fetch_add(batch->size(), std::memory_order_relaxed);
-      batches_.fetch_add(1, std::memory_order_relaxed);
+      applied_.Add(count);
+      updates_.Add(batch->size());
+      batches_.Add(1);
       if (cells != nullptr) {
         cells->events.fetch_add(count, std::memory_order_relaxed);
         cells->batches.fetch_add(1, std::memory_order_relaxed);
       }
+      if (obs_ != nullptr) {
+        // Submit→apply latency for the stamped subset of this batch, dated
+        // at the store apply that made the events visible. Coarse clock on
+        // both ends: ts was a coarse stamp, so a real read here would only
+        // add false precision.
+        const uint64_t now = obs::CoarseClock::NowNanos();
+        if (now != 0) {
+          for (uint64_t i = 0; i < count; ++i) {
+            const uint64_t ts = (*raw)[i].ts;
+            if (ts != 0 && now > ts) {
+              obs_->submit_apply_latency.Record(now - ts);
+            }
+          }
+        }
+      }
     } else {
-      dropped_.fetch_add(count, std::memory_order_relaxed);
+      dropped_.Add(count);
       RecordError(st);
+    }
+    if (obs_ != nullptr) {
+      obs_->batch_drain_latency.Record(obs::CoarseClock::RealNowNanos() -
+                                       pass_start_ns);
     }
   }
   busy_workers_.fetch_sub(1);
@@ -474,7 +609,22 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
                  worker_gen_.load(std::memory_order_acquire) != gen;
         },
         kIdleSleep);
-    if (signaled) cells->wakeups.fetch_add(1, std::memory_order_relaxed);
+    if (signaled) {
+      cells->wakeups.fetch_add(1, std::memory_order_relaxed);
+      if (obs_ != nullptr) {
+        // Wakeup→drain latency: producer's notify stamp → now, with the
+        // drain starting on the next loop iteration. Concurrent notifies
+        // overwrite the stamp, so under a wake storm this reads the
+        // latest notify — a conservative (smaller) latency, never a
+        // stale-inflated one.
+        const uint64_t notified = last_wake_notify_ns_.load(
+            std::memory_order_relaxed);
+        const uint64_t now = obs::CoarseClock::RealNowNanos();
+        if (notified != 0 && now > notified) {
+          obs_->wakeup_drain_latency.Record(now - notified);
+        }
+      }
+    }
   }
 }
 
@@ -560,18 +710,18 @@ Status IngestPipeline::Drain() {
 
 PipelineStats IngestPipeline::Stats() const {
   PipelineStats stats;
-  stats.events_submitted = submitted_.load(std::memory_order_relaxed);
-  stats.events_rejected = rejected_.load(std::memory_order_relaxed);
-  stats.events_applied = applied_.load(std::memory_order_relaxed);
-  stats.events_dropped = dropped_.load(std::memory_order_relaxed);
-  stats.updates_applied = updates_.load(std::memory_order_relaxed);
-  stats.batches_applied = batches_.load(std::memory_order_relaxed);
+  stats.events_submitted = submitted_.Value();
+  stats.events_rejected = rejected_.Value();
+  stats.events_applied = applied_.Value();
+  stats.events_dropped = dropped_.Value();
+  stats.updates_applied = updates_.Value();
+  stats.batches_applied = batches_.Value();
   stats.workers = worker_count_.load(std::memory_order_acquire);
   stats.busy_workers = busy_workers_.load(std::memory_order_acquire);
   stats.slots_in_use = slots_in_use_.load(std::memory_order_relaxed);
-  stats.producer_parks = producer_parks_.load(std::memory_order_relaxed);
-  stats.producer_wakeups = producer_wakeups_.load(std::memory_order_relaxed);
-  stats.events_shed = shed_total_.load(std::memory_order_relaxed);
+  stats.producer_parks = producer_parks_.Value();
+  stats.producer_wakeups = producer_wakeups_.Value();
+  stats.events_shed = shed_total_.Value();
   // Only a kShed pipeline materializes the per-slot vector: the Autoscaler
   // samples Stats() on a tight cadence, and under the other policies the
   // counts are all zero by construction — keep that path allocation-free.

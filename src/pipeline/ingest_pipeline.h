@@ -115,6 +115,7 @@
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "obs/metrics.h"
 #include "pipeline/event.h"
 #include "pipeline/overload.h"
 #include "pipeline/producer_slot.h"
@@ -268,6 +269,15 @@ class IngestPipeline {
   /// even when every ring is empty.
   Status SpillSubmit(const Event& e);
 
+  /// Coarse submit timestamp for the current event, or 0 when the event
+  /// is not in the latency sample (1 in 2^latency_sample_shift per
+  /// submitting thread) or no collector is ticking the coarse clock.
+  uint64_t SampleTimestamp() const;
+
+  /// Builds `obs_` and registers every instrument with
+  /// `obs::Registry::Default()` (enable_metrics only; ctor helper).
+  void RegisterMetrics();
+
   /// Spawns `n` workers of a fresh generation. Caller holds `workers_mu_`
   /// and has joined every previous worker.
   void SpawnWorkersLocked(uint64_t n);
@@ -308,8 +318,8 @@ class IngestPipeline {
   /// the woken producer revalidates with `TrySubmit`.
   std::unique_ptr<EventCount[]> nonfull_ecs_;
   uint64_t nonfull_shards_ = 1;
-  std::atomic<uint64_t> producer_parks_{0};
-  std::atomic<uint64_t> producer_wakeups_{0};
+  obs::Counter producer_parks_;
+  obs::Counter producer_wakeups_;
 
   /// Flush waiters park here; workers notify after a drain pass only when
   /// a waiter is registered.
@@ -328,7 +338,7 @@ class IngestPipeline {
   /// spill_ exists only under `kSpill` (preallocated, shared by all
   /// producers, drained opportunistically by every worker).
   std::unique_ptr<std::atomic<uint64_t>[]> shed_per_slot_;
-  std::atomic<uint64_t> shed_total_{0};
+  obs::Counter shed_total_;
   std::unique_ptr<SpillBuffer> spill_;
 
   std::atomic<bool> closed_{false};   ///< no new submissions accepted
@@ -336,18 +346,46 @@ class IngestPipeline {
   std::atomic<uint64_t> busy_workers_{0};     ///< drains in progress (Flush fence)
   std::atomic<uint64_t> active_submitters_{0};  ///< in-flight TrySubmit calls (Drain fence)
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> applied_{0};
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> updates_{0};
-  std::atomic<uint64_t> batches_{0};
+  /// Activity counters, striped (obs::Counter) so the submit and drain hot
+  /// paths never contend on one cache line. These same cells back both
+  /// `Stats()` (folded at read) and, under `enable_metrics`, the exported
+  /// `countlib_pipeline_*_total` metrics — one source of truth, two
+  /// surfaces.
+  obs::Counter submitted_;
+  obs::Counter rejected_;
+  obs::Counter applied_;
+  obs::Counter dropped_;
+  obs::Counter updates_;
+  obs::Counter batches_;
+
+  /// RealNowNanos of the most recent empty→nonempty wake notify; the
+  /// signaled worker diffs against it for the wakeup→drain histogram.
+  /// Written only with `enable_metrics` on.
+  std::atomic<uint64_t> last_wake_notify_ns_{0};
+
+  /// Sampling mask for submit→apply stamping: stamp when
+  /// (++tl_counter & mask) == 0. Fixed at construction.
+  uint64_t sample_mask_ = 0;
 
   mutable std::mutex error_mu_;
   Status first_error_;
 
   std::once_flag drain_once_;
   Status drain_result_;
+
+  /// Latency histograms and registry handles; non-null only under
+  /// `enable_metrics`. Declared LAST: it is destroyed first, so every
+  /// Registration is released (synchronizing with any in-flight registry
+  /// snapshot) before the instruments and gauge-captured members above
+  /// start dying.
+  struct ObsState {
+    obs::Histogram submit_apply_latency;
+    obs::Histogram batch_drain_latency;
+    obs::Histogram producer_park;
+    obs::Histogram wakeup_drain_latency;
+    std::vector<obs::Registration> registrations;
+  };
+  std::unique_ptr<ObsState> obs_;
 };
 
 }  // namespace pipeline

@@ -38,7 +38,7 @@
 #include <mutex>
 #include <vector>
 
-#include "analytics/counter_store.h"
+#include "pipeline/event_type.h"
 
 namespace countlib {
 namespace pipeline {
@@ -73,8 +73,6 @@ struct OverloadOptions {
 /// a lock-free gauge read for stats and the autoscaler.
 class SpillBuffer {
  public:
-  using Event = analytics::KeyWeight;
-
   /// Preallocates storage for exactly `capacity` events.
   explicit SpillBuffer(uint64_t capacity);
 

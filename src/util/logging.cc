@@ -3,11 +3,25 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace countlib {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Function-local statics so the sink machinery is usable during static
+// init/teardown of other translation units.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,11 +38,43 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+void Emit(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (SinkSlot()) {
+    SinkSlot()(level, line);
+    return;
+  }
+  // Single write per line (newline appended into one buffer first), so
+  // concurrent emitters can never interleave mid-line even though stderr
+  // is shared. The mutex additionally orders whole lines.
+  std::string out;
+  out.reserve(line.size() + 1);
+  out.append(line);
+  out.push_back('\n');
+  std::fwrite(out.data(), 1, out.size(), stderr);
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return level == LogLevel::kFatal ||
+         static_cast<int>(level) >=
+             g_log_level.load(std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
 
 namespace internal {
 
@@ -42,12 +88,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  const bool fatal = level_ == LogLevel::kFatal;
-  if (fatal || static_cast<int>(level_) >= g_log_level.load()) {
-    std::string line = stream_.str();
-    std::fprintf(stderr, "%s\n", line.c_str());
+  // Re-check the level: COUNTLIB_LOG gates before construction, but
+  // COUNTLIB_LOG_INTERNAL users (the CHECK macros) come through ungated.
+  if (LogLevelEnabled(level_)) {
+    Emit(level_, stream_.str());
   }
-  if (fatal) std::abort();
+  if (level_ == LogLevel::kFatal) std::abort();
 }
 
 }  // namespace internal

@@ -1,14 +1,19 @@
 /// \file logging.h
 /// \brief Minimal leveled logging and check macros for countlib.
 ///
-/// Logging is intentionally tiny: a global level, stderr sink, and streaming
-/// macros. `COUNTLIB_CHECK*` macros abort on violation and are enabled in all
-/// build types — they guard internal invariants, not user input (user input
-/// is validated with `Status`).
+/// Logging is intentionally tiny: a global level, one sink, and streaming
+/// macros — but it is fully thread-safe: the level is an atomic (readable
+/// on any hot path without a lock), each line is emitted with a single
+/// `fwrite` so concurrent lines never interleave mid-line, and the sink is
+/// pluggable (`SetLogSink`) so tests and the obs layer can capture lines
+/// instead of scraping stderr. `COUNTLIB_CHECK*` macros abort on violation
+/// and are enabled in all build types — they guard internal invariants,
+/// not user input (user input is validated with `Status`).
 
 #ifndef COUNTLIB_UTIL_LOGGING_H_
 #define COUNTLIB_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -18,10 +23,28 @@ namespace countlib {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// \brief Sets the minimum level that is emitted (default: kInfo).
+/// Thread-safe (atomic); takes effect for lines whose emission starts
+/// after the call.
 void SetLogLevel(LogLevel level);
 
-/// \brief Returns the current minimum emitted level.
+/// \brief Returns the current minimum emitted level. Thread-safe.
 LogLevel GetLogLevel();
+
+/// \brief True when a line at `level` would be emitted right now. `kFatal`
+/// is always enabled. This is the gate `COUNTLIB_LOG` checks *before*
+/// constructing the message, so disabled log statements cost one relaxed
+/// atomic load.
+bool LogLevelEnabled(LogLevel level);
+
+/// \brief Receives each emitted line: the severity and the formatted
+/// message (prefix included, no trailing newline).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// \brief Replaces the process-wide sink; pass nullptr (or `{}`) to
+/// restore the default single-`fwrite`-to-stderr sink. Thread-safe. The
+/// sink runs under the logging mutex — one call at a time, fully ordered
+/// with the swap — so it must not log or call `SetLogSink` itself.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -49,14 +72,26 @@ struct NullStream {
   }
 };
 
+/// \brief Absorbs a stream expression into void — the glog trick that
+/// makes the level-gated `COUNTLIB_LOG` a single expression (no
+/// dangling-else hazard inside unbraced if/else).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 
 #define COUNTLIB_LOG_INTERNAL(level)                                        \
   ::countlib::internal::LogMessage(level, __FILE__, __LINE__).stream()
 
-/// Emits a log line if `level` is at or above the global level.
+/// Emits a log line if `level` is at or above the global level. The gate
+/// runs before the message is built: a disabled statement never touches
+/// the stream operands (beyond evaluating the gate's one atomic load).
 #define COUNTLIB_LOG(level_name)                                              \
-  COUNTLIB_LOG_INTERNAL(::countlib::LogLevel::k##level_name)
+  !::countlib::LogLevelEnabled(::countlib::LogLevel::k##level_name)           \
+      ? (void)0                                                               \
+      : ::countlib::internal::Voidify() &                                     \
+            COUNTLIB_LOG_INTERNAL(::countlib::LogLevel::k##level_name)
 
 /// Aborts with a message if `condition` is false.
 #define COUNTLIB_CHECK(condition)                                           \

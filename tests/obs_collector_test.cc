@@ -1,0 +1,145 @@
+// Tests for the MetricsCollector: option validation, coarse-clock
+// ticking, gauge sampling into ring-buffer series (including wraparound),
+// and stop semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/collector.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace countlib {
+namespace obs {
+namespace {
+
+CollectorOptions FastOptions() {
+  CollectorOptions options;
+  options.tick_interval = std::chrono::microseconds(200);
+  options.sample_interval = std::chrono::milliseconds(1);
+  options.series_capacity = 8;
+  return options;
+}
+
+TEST(ObsCollectorTest, RejectsBadOptions) {
+  Registry reg;
+  CollectorOptions options;
+  options.tick_interval = std::chrono::microseconds(1);
+  EXPECT_TRUE(MetricsCollector::Make(&reg, options).status().IsInvalidArgument());
+  options = CollectorOptions();
+  options.sample_interval = std::chrono::milliseconds(0);
+  EXPECT_TRUE(MetricsCollector::Make(&reg, options).status().IsInvalidArgument());
+  options = CollectorOptions();
+  options.series_capacity = 1;
+  EXPECT_TRUE(MetricsCollector::Make(&reg, options).status().IsInvalidArgument());
+}
+
+TEST(ObsCollectorTest, TicksTheCoarseClock) {
+  Registry reg;
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  // The ctor seeds the clock before the thread starts.
+  EXPECT_NE(CoarseClock::NowNanos(), 0u);
+  const uint64_t t0 = CoarseClock::NowNanos();
+  while (collector->ticks() < 5) std::this_thread::yield();
+  EXPECT_GE(CoarseClock::NowNanos(), t0);
+  collector->Stop();
+  // Stop declares the ticker dead so hot paths skip latency stamping.
+  EXPECT_EQ(CoarseClock::NowNanos(), 0u);
+}
+
+TEST(ObsCollectorTest, SamplesGaugesIntoSeries) {
+  Registry reg;
+  std::atomic<double> value{1.0};
+  const Registration r = reg.RegisterGauge("depth", [&value] {
+    return value.load(std::memory_order_relaxed);
+  });
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  while (collector->samples() < 3) std::this_thread::yield();
+  value.store(2.0, std::memory_order_relaxed);
+  const uint64_t seen = collector->samples();
+  while (collector->samples() < seen + 2) std::this_thread::yield();
+  collector->Stop();
+  const auto series = collector->Series();
+  ASSERT_TRUE(series.count("depth"));
+  const auto& points = series.at("depth");
+  ASSERT_GE(points.size(), 2u);
+  // Oldest-first ordering: timestamps never decrease.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].t_ns, points[i - 1].t_ns);
+  }
+  EXPECT_DOUBLE_EQ(points.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().value, 2.0);
+}
+
+TEST(ObsCollectorTest, RingWrapsKeepingNewestPoints) {
+  // capacity 8 with many more samples: the ring must hold exactly the 8
+  // newest points, oldest-first.
+  Registry reg;
+  std::atomic<uint64_t> counter{0};
+  const Registration r = reg.RegisterGauge("seq", [&counter] {
+    return static_cast<double>(
+        counter.fetch_add(1, std::memory_order_relaxed));
+  });
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  while (collector->samples() < 30) std::this_thread::yield();
+  collector->Stop();
+  const auto series = collector->Series();
+  const auto& points = series.at("seq");
+  ASSERT_EQ(points.size(), 8u);
+  // Consecutive samples read consecutive gauge values; wraparound must
+  // preserve both order and adjacency.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].value, points[i - 1].value + 1.0);
+    EXPECT_GE(points[i].t_ns, points[i - 1].t_ns);
+  }
+  // And the window is the NEWEST 8: the final sample (counter-1) is last.
+  EXPECT_DOUBLE_EQ(points.back().value,
+                   static_cast<double>(counter.load() - 1));
+}
+
+TEST(ObsCollectorTest, SnapshotIncludesCollectorSeries) {
+  Registry reg;
+  const Registration r = reg.RegisterGauge("g", [] { return 7.0; });
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  while (collector->samples() < 2) std::this_thread::yield();
+  // TakeSnapshot runs the provider registered by the collector (registry
+  // mutex -> series mutex, the one nesting direction).
+  const Snapshot snap = reg.TakeSnapshot();
+  ASSERT_TRUE(snap.series.count("g"));
+  EXPECT_GE(snap.series.at("g").size(), 1u);
+  collector->Stop();
+  // After Stop the provider is deregistered: no dangling series provider.
+  const Snapshot after = reg.TakeSnapshot();
+  EXPECT_EQ(after.series.count("g"), 0u);
+}
+
+TEST(ObsCollectorTest, StopIsIdempotentAndDestructorStops) {
+  Registry reg;
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  collector->Stop();
+  collector->Stop();
+  collector.reset();  // destructor after Stop: no double-join
+  EXPECT_EQ(reg.NumRegistered(), 0u);
+}
+
+TEST(ObsCollectorTest, NewGaugeAppearingMidRunGetsItsOwnSeries) {
+  Registry reg;
+  const Registration r1 = reg.RegisterGauge("first", [] { return 1.0; });
+  auto collector = MetricsCollector::Make(&reg, FastOptions()).ValueOrDie();
+  while (collector->samples() < 2) std::this_thread::yield();
+  const Registration r2 = reg.RegisterGauge("second", [] { return 2.0; });
+  const uint64_t seen = collector->samples();
+  while (collector->samples() < seen + 2) std::this_thread::yield();
+  collector->Stop();
+  const auto series = collector->Series();
+  EXPECT_TRUE(series.count("first"));
+  ASSERT_TRUE(series.count("second"));
+  EXPECT_GT(series.at("first").size(), series.at("second").size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace countlib

@@ -1,0 +1,121 @@
+// Tests for the export surface: Prometheus text exposition and JSON.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace countlib {
+namespace obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+Snapshot SampleSnapshot() {
+  Snapshot snap;
+  snap.counters["countlib_pipeline_events_submitted_total"] = 1000;
+  snap.counters["countlib_pipeline_events_dropped_total"] = 0;
+  snap.gauges["countlib_pipeline_queue_depth"] = 12.0;
+  snap.gauges["countlib_autoscaler_resize_errors_total"] = 0.0;
+  snap.gauge_kinds["countlib_autoscaler_resize_errors_total"] =
+      GaugeKind::kCounterGauge;
+  Histogram h;
+  h.Record(0);
+  h.Record(3);
+  h.Record(900);
+  snap.histograms["countlib_pipeline_submit_apply_latency_ns"] = h.Snapshot();
+  snap.series["countlib_pipeline_queue_depth"] = {
+      SeriesPoint{100, 1.0}, SeriesPoint{200, 2.0}};
+  return snap;
+}
+
+TEST(ObsExportTest, PrometheusCountersAndGauges) {
+  const std::string text = ToPrometheusText(SampleSnapshot());
+  EXPECT_TRUE(Contains(
+      text, "# TYPE countlib_pipeline_events_submitted_total counter\n"
+            "countlib_pipeline_events_submitted_total 1000\n"));
+  EXPECT_TRUE(Contains(text,
+                       "# TYPE countlib_pipeline_queue_depth gauge\n"
+                       "countlib_pipeline_queue_depth 12\n"));
+  // kCounterGauge readings export with type counter, not gauge.
+  EXPECT_TRUE(Contains(
+      text, "# TYPE countlib_autoscaler_resize_errors_total counter\n"
+            "countlib_autoscaler_resize_errors_total 0\n"));
+}
+
+TEST(ObsExportTest, PrometheusHistogramIsCumulativeWithInf) {
+  const std::string text = ToPrometheusText(SampleSnapshot());
+  EXPECT_TRUE(Contains(
+      text, "# TYPE countlib_pipeline_submit_apply_latency_ns histogram\n"));
+  // Value 0 -> bucket le="0"; 3 -> le="3" (width 2); 900 -> le="1023".
+  // Buckets are cumulative and close with +Inf == count.
+  EXPECT_TRUE(Contains(
+      text, "countlib_pipeline_submit_apply_latency_ns_bucket{le=\"0\"} 1\n"));
+  EXPECT_TRUE(Contains(
+      text, "countlib_pipeline_submit_apply_latency_ns_bucket{le=\"3\"} 2\n"));
+  EXPECT_TRUE(Contains(
+      text,
+      "countlib_pipeline_submit_apply_latency_ns_bucket{le=\"1023\"} 3\n"));
+  EXPECT_TRUE(Contains(
+      text,
+      "countlib_pipeline_submit_apply_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(
+      Contains(text, "countlib_pipeline_submit_apply_latency_ns_sum 903\n"));
+  EXPECT_TRUE(
+      Contains(text, "countlib_pipeline_submit_apply_latency_ns_count 3\n"));
+}
+
+TEST(ObsExportTest, PrometheusOmitsSeries) {
+  // A scrape is itself one time-series point; ring-buffer series are a
+  // JSON-only surface.
+  const std::string text = ToPrometheusText(SampleSnapshot());
+  EXPECT_FALSE(Contains(text, "["));  // series points render as [t, v] pairs
+}
+
+TEST(ObsExportTest, PrometheusIsDeterministic) {
+  EXPECT_EQ(ToPrometheusText(SampleSnapshot()),
+            ToPrometheusText(SampleSnapshot()));
+}
+
+TEST(ObsExportTest, JsonShape) {
+  const std::string json = ToJson(SampleSnapshot());
+  EXPECT_TRUE(
+      Contains(json, "\"countlib_pipeline_events_submitted_total\": 1000"));
+  EXPECT_TRUE(Contains(json, "\"countlib_pipeline_queue_depth\": 12"));
+  EXPECT_TRUE(Contains(json, "\"count\": 3"));
+  EXPECT_TRUE(Contains(json, "\"sum\": 903"));
+  EXPECT_TRUE(Contains(json, "\"max\": 900"));
+  EXPECT_TRUE(Contains(json, "\"p50\""));
+  EXPECT_TRUE(Contains(json, "\"p99\""));
+  EXPECT_TRUE(Contains(json, "[[100, 1], [200, 2]]"));
+}
+
+TEST(ObsExportTest, JsonPercentilesAreSane) {
+  Snapshot snap;
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v * 10);
+  snap.histograms["lat"] = h.Snapshot();
+  const HistogramSnapshot hs = snap.histograms["lat"];
+  EXPECT_LE(hs.Percentile(0.50), hs.Percentile(0.90));
+  EXPECT_LE(hs.Percentile(0.90), hs.Percentile(0.99));
+  EXPECT_LE(hs.Percentile(0.99), hs.max);
+  const std::string json = ToJson(snap);
+  EXPECT_TRUE(Contains(json, "\"lat\""));
+}
+
+TEST(ObsExportTest, EmptySnapshotSerializes) {
+  const Snapshot empty;
+  const std::string text = ToPrometheusText(empty);
+  EXPECT_TRUE(text.empty());
+  const std::string json = ToJson(empty);
+  EXPECT_TRUE(Contains(json, "\"counters\": {}"));
+  EXPECT_TRUE(Contains(json, "\"series\": {}"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace countlib

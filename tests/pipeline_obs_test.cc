@@ -1,0 +1,284 @@
+// End-to-end telemetry tests for the instrumented ingest path: exported
+// counters vs Stats(), deterministic submit→apply latency recording via a
+// manually ticked coarse clock, the must-stay-zero invariants after
+// stress, and the zero-heap-allocation guarantee on the recording hot
+// path (this binary owns a counting operator new for that).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "obs/collector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "pipeline/autoscaler.h"
+#include "pipeline/ingest_pipeline.h"
+
+// Binary-wide allocation counter: the zero-alloc tests diff it around a
+// measured region with no other threads running.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace countlib {
+namespace pipeline {
+namespace {
+
+analytics::ConcurrentCounterStore MakeStore() {
+  return analytics::ConcurrentCounterStore::Make(
+             /*stripes=*/4, CounterKind::kExact, 32, (uint64_t{1} << 32) - 1,
+             /*seed=*/1)
+      .ValueOrDie();
+}
+
+TEST(PipelineObsTest, DisabledByDefaultRegistersNothing) {
+  const uint64_t before = obs::Registry::Default().NumRegistered();
+  auto store = MakeStore();
+  PipelineOptions options;
+  options.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  EXPECT_EQ(obs::Registry::Default().NumRegistered(), before);
+}
+
+TEST(PipelineObsTest, ExportedCountersMatchStats) {
+  auto store = MakeStore();
+  const auto store_regs = store.RegisterMetrics();
+  PipelineOptions options;
+  options.num_producers = 2;
+  options.enable_metrics = true;
+  {
+    auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+    for (uint64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(pipeline->Submit(i % 2, i % 37, 1).ok());
+    }
+    ASSERT_TRUE(pipeline->Flush().ok());
+    const PipelineStats stats = pipeline->Stats();
+    const obs::Snapshot snap = obs::GlobalSnapshot();
+    EXPECT_EQ(snap.counters.at("countlib_pipeline_events_submitted_total"),
+              stats.events_submitted);
+    EXPECT_EQ(snap.counters.at("countlib_pipeline_events_applied_total"),
+              stats.events_applied);
+    EXPECT_EQ(snap.counters.at("countlib_pipeline_batches_applied_total"),
+              stats.batches_applied);
+    EXPECT_EQ(snap.counters.at("countlib_pipeline_events_applied_total"),
+              500u);
+    // Store-side counters ride the same registry.
+    const analytics::StoreStats store_stats = store.Stats();
+    EXPECT_EQ(snap.counters.at("countlib_store_batch_updates_total"),
+              store_stats.batch_updates);
+    EXPECT_GT(snap.gauges.at("countlib_store_keys"), 0.0);
+    // Quiesced: nothing in flight, nothing unaccounted.
+    EXPECT_DOUBLE_EQ(snap.gauges.at("countlib_pipeline_queue_depth"), 0.0);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("countlib_pipeline_unaccounted_events"),
+                     0.0);
+  }
+  // Pipeline destruction released its registrations; only the store's
+  // names remain.
+  const obs::Snapshot after = obs::GlobalSnapshot();
+  EXPECT_EQ(after.counters.count("countlib_pipeline_events_submitted_total"),
+            0u);
+  EXPECT_EQ(after.counters.count("countlib_store_increments_total"), 1u);
+}
+
+TEST(PipelineObsTest, SubmitApplyLatencyRecordsDeterministically) {
+  // Pause the pipeline, stamp submits at T1, advance the coarse clock to
+  // T2, resume, flush: every sampled event must record exactly T2 - T1.
+  auto store = MakeStore();
+  PipelineOptions options;
+  options.num_producers = 1;
+  options.enable_metrics = true;
+  options.latency_sample_shift = 0;  // stamp every event
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());
+  obs::CoarseClock::Set(1000000);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pipeline->TrySubmit(0, i, 1).ok());
+  }
+  obs::CoarseClock::Set(3000000);
+  ASSERT_TRUE(pipeline->SetWorkerCount(1).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+  const obs::Snapshot snap = obs::GlobalSnapshot();
+  const obs::HistogramSnapshot lat =
+      snap.histograms.at("countlib_pipeline_submit_apply_latency_ns");
+  EXPECT_EQ(lat.count, 64u);
+  EXPECT_EQ(lat.max, 2000000u);  // T2 - T1 for every event
+  EXPECT_LE(lat.Percentile(0.50), lat.Percentile(0.99));
+  EXPECT_LE(lat.Percentile(0.99), lat.max);
+  // The batch-drain histogram saw at least one applied batch.
+  EXPECT_GE(snap.histograms.at("countlib_pipeline_batch_drain_latency_ns")
+                .count,
+            1u);
+  obs::CoarseClock::Set(0);
+}
+
+TEST(PipelineObsTest, NoTickerMeansNoStamping) {
+  auto store = MakeStore();
+  PipelineOptions options;
+  options.num_producers = 1;
+  options.enable_metrics = true;
+  options.latency_sample_shift = 0;
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  obs::CoarseClock::Set(0);  // no collector running
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pipeline->Submit(0, i, 1).ok());
+  }
+  ASSERT_TRUE(pipeline->Flush().ok());
+  const obs::Snapshot snap = obs::GlobalSnapshot();
+  EXPECT_EQ(
+      snap.histograms.at("countlib_pipeline_submit_apply_latency_ns").count,
+      0u);
+}
+
+TEST(PipelineObsTest, InvariantsZeroAfterStress) {
+  // Multi-producer stress with an autoscaler and a live collector; after
+  // the dust settles every must-stay-zero metric must read zero and the
+  // accounting must balance to the last event.
+  auto store = MakeStore();
+  const auto store_regs = store.RegisterMetrics();
+  PipelineOptions options;
+  options.num_producers = 4;
+  options.queue_capacity = 256;
+  options.enable_metrics = true;
+  options.latency_sample_shift = 4;
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  AutoscalerConfig config;
+  config.sample_interval = std::chrono::milliseconds(5);
+  config.cooldown = std::chrono::milliseconds(10);
+  config.scale_up_queue_depth = 64;
+  config.scale_down_queue_depth = 8;
+  config.enable_metrics = true;
+  auto scaler = Autoscaler::Make(pipeline.get(), config).ValueOrDie();
+  obs::CollectorOptions collector_options;
+  collector_options.sample_interval = std::chrono::milliseconds(5);
+  auto collector =
+      obs::MetricsCollector::Make(nullptr, collector_options).ValueOrDie();
+
+  constexpr uint64_t kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> producers;
+  for (uint64_t p = 0; p < kThreads; ++p) {
+    producers.emplace_back([&pipeline, p] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(pipeline->Submit(p, i % 101, 1).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(pipeline->Flush().ok());
+  scaler->Stop();
+
+  const obs::Snapshot snap = obs::GlobalSnapshot();
+  EXPECT_EQ(snap.counters.at("countlib_pipeline_events_dropped_total"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("countlib_autoscaler_resize_errors_total"),
+                   0.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("countlib_pipeline_unaccounted_events"),
+                   0.0);
+  EXPECT_EQ(snap.counters.at("countlib_pipeline_events_submitted_total"),
+            kThreads * kPerThread);
+  EXPECT_EQ(snap.counters.at("countlib_pipeline_events_applied_total"),
+            kThreads * kPerThread);
+  // The collector sampled the invariant gauges into time series too.
+  collector->Stop();
+  const auto series = collector->Series();
+  EXPECT_TRUE(series.count("countlib_pipeline_queue_depth"));
+  // And the whole snapshot serializes through both exporters.
+  EXPECT_FALSE(obs::ToPrometheusText(snap).empty());
+  EXPECT_FALSE(obs::ToJson(snap).empty());
+}
+
+TEST(PipelineObsTest, ShedAccountingBalances) {
+  auto store = MakeStore();
+  PipelineOptions options;
+  options.num_producers = 1;
+  options.queue_capacity = 16;
+  options.enable_metrics = true;
+  options.overload.policy = OverloadPolicy::kShed;
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());  // force sustained fullness
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pipeline->Submit(0, i, 1).ok());
+  }
+  ASSERT_TRUE(pipeline->SetWorkerCount(1).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+  const PipelineStats stats = pipeline->Stats();
+  const obs::Snapshot snap = obs::GlobalSnapshot();
+  EXPECT_GT(stats.events_shed, 0u);
+  EXPECT_EQ(snap.counters.at("countlib_pipeline_events_shed_total"),
+            stats.events_shed);
+  // delivered + shed == 200, and submitted excludes shed events — so the
+  // unaccounted gauge must still balance to zero.
+  EXPECT_EQ(stats.events_applied + stats.events_shed, 200u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("countlib_pipeline_unaccounted_events"),
+                   0.0);
+}
+
+TEST(PipelineObsTest, CounterAndHistogramRecordPathsAreAllocFree) {
+  obs::Counter counter;
+  obs::Histogram histogram;
+  counter.Add(1);        // warm the thread stripe
+  histogram.Record(1);   // warm nothing (preallocated), but be symmetric
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    counter.Add(1);
+    histogram.Record(i % 100000);
+  }
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(PipelineObsTest, InstrumentedTrySubmitIsAllocFree) {
+  // The regression the bench also asserts: the full TrySubmit path —
+  // stamping included — must never heap-allocate, accepted or rejected.
+  auto store = MakeStore();
+  PipelineOptions options;
+  options.num_producers = 1;
+  options.queue_capacity = 1024;
+  options.enable_metrics = true;
+  options.latency_sample_shift = 0;  // stamp every event: worst case
+  auto pipeline = IngestPipeline::Make(&store, options).ValueOrDie();
+  ASSERT_TRUE(pipeline->SetWorkerCount(0).ok());  // no worker threads
+  obs::CoarseClock::Set(1000000);  // ticker "running"
+  // Warm thread-locals AND both outcomes: fill the ring so the first
+  // rejection happens here (the preallocated pending Status is a lazily
+  // constructed function-local static).
+  for (uint64_t i = 0; i < 1025; ++i) (void)pipeline->TrySubmit(0, 0, 1);
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    // Beyond capacity the ring rejects: both the accept path (push +
+    // stamp) and the preallocated kPending reject path are measured.
+    (void)pipeline->TrySubmit(0, i % 53, 1);
+  }
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  obs::CoarseClock::Set(0);
+  ASSERT_TRUE(pipeline->SetWorkerCount(1).ok());
+  ASSERT_TRUE(pipeline->Flush().ok());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace countlib

@@ -36,13 +36,13 @@ TEST(SpillBufferTest, PushPopRoundTripPreservesOrderAndCounts) {
   EXPECT_EQ(spill.capacity(), 8u);
   EXPECT_EQ(spill.SizeApprox(), 0u);
   for (uint64_t i = 0; i < 8; ++i) {
-    EXPECT_TRUE(spill.TryPush(SpillBuffer::Event{i, i + 1}));
+    EXPECT_TRUE(spill.TryPush(Event{i, i + 1}));
   }
-  EXPECT_FALSE(spill.TryPush(SpillBuffer::Event{99, 1}));  // full
+  EXPECT_FALSE(spill.TryPush(Event{99, 1}));  // full
   EXPECT_EQ(spill.SizeApprox(), 8u);
   EXPECT_EQ(spill.TotalSpilled(), 8u);  // the rejected push is not counted
 
-  SpillBuffer::Event out[8];
+  Event out[8];
   EXPECT_EQ(spill.PopBatch(out, 3), 3u);
   for (uint64_t i = 0; i < 3; ++i) {
     EXPECT_EQ(out[i].key, i);
@@ -50,7 +50,7 @@ TEST(SpillBufferTest, PushPopRoundTripPreservesOrderAndCounts) {
   }
   EXPECT_EQ(spill.SizeApprox(), 5u);
   // Freed space is reusable (ring wraparound).
-  EXPECT_TRUE(spill.TryPush(SpillBuffer::Event{100, 7}));
+  EXPECT_TRUE(spill.TryPush(Event{100, 7}));
   EXPECT_EQ(spill.PopBatch(out, 8), 6u);
   EXPECT_EQ(out[5].key, 100u);
   EXPECT_EQ(out[5].weight, 7u);
@@ -71,7 +71,7 @@ TEST(SpillBufferTest, ConcurrentPushersAndPoppersLoseNothing) {
   for (uint64_t p = 0; p < kPushers; ++p) {
     pushers.emplace_back([&, p] {
       for (uint64_t i = 0; i < kPerPusher; ++i) {
-        while (!spill.TryPush(SpillBuffer::Event{p, 1})) {
+        while (!spill.TryPush(Event{p, 1})) {
           std::this_thread::yield();
         }
       }
@@ -80,7 +80,7 @@ TEST(SpillBufferTest, ConcurrentPushersAndPoppersLoseNothing) {
   std::vector<std::thread> poppers;
   for (uint64_t c = 0; c < 2; ++c) {
     poppers.emplace_back([&] {
-      SpillBuffer::Event out[64];
+      Event out[64];
       while (true) {
         const uint64_t n = spill.PopBatch(out, 64);
         for (uint64_t i = 0; i < n; ++i) {

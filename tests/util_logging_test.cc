@@ -1,0 +1,161 @@
+// Tests for the logging layer: level gating (atomic, checked before the
+// message is built), the pluggable sink, and single-line emission under
+// concurrency. The concurrent case is a TSAN target (CI runs suites
+// matching "Logging" under TSAN).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace countlib {
+namespace {
+
+// RAII: capture emitted lines for one test, restore defaults after.
+class CapturedLog {
+ public:
+  CapturedLog() {
+    saved_level_ = GetLogLevel();
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.emplace_back(level, line);
+    });
+  }
+
+  ~CapturedLog() {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> Lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  LogLevel saved_level_;
+  std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+};
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(LoggingTest, LevelRoundTripsAndGates) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kFatal));  // always on
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLinesWithoutTrailingNewline) {
+  CapturedLog capture;
+  SetLogLevel(LogLevel::kInfo);
+  COUNTLIB_LOG(Info) << "hello " << 42;
+  COUNTLIB_LOG(Warning) << "watch out";
+  const auto lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_TRUE(Contains(lines[0].second, "hello 42"));
+  EXPECT_TRUE(Contains(lines[0].second, "util_logging_test.cc"));
+  EXPECT_TRUE(Contains(lines[0].second, "[INFO "));
+  EXPECT_FALSE(Contains(lines[0].second, "\n"));
+  EXPECT_EQ(lines[1].first, LogLevel::kWarning);
+  EXPECT_TRUE(Contains(lines[1].second, "[WARN "));
+}
+
+TEST(LoggingTest, DisabledStatementsSkipMessageConstruction) {
+  CapturedLog capture;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&evaluations] {
+    ++evaluations;
+    return "built";
+  };
+  COUNTLIB_LOG(Info) << side_effect();   // gated off: operand untouched
+  COUNTLIB_LOG(Error) << side_effect();  // emitted
+  EXPECT_EQ(evaluations, 1);
+  const auto lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, LogLevel::kError);
+}
+
+TEST(LoggingTest, LogMacroIsDanglingElseSafe) {
+  CapturedLog capture;
+  SetLogLevel(LogLevel::kInfo);
+  bool else_branch = false;
+  if (true)
+    COUNTLIB_LOG(Info) << "then";
+  else
+    else_branch = true;
+  EXPECT_FALSE(else_branch);
+  EXPECT_EQ(capture.Lines().size(), 1u);
+}
+
+TEST(LoggingTest, NullSinkRestoresDefault) {
+  {
+    CapturedLog capture;
+    SetLogLevel(LogLevel::kInfo);
+    COUNTLIB_LOG(Info) << "captured";
+    EXPECT_EQ(capture.Lines().size(), 1u);
+  }
+  // Sink restored to stderr: this must not crash (output goes to stderr,
+  // not anywhere we can observe here).
+  COUNTLIB_LOG(Info) << "back to stderr";
+}
+
+TEST(LoggingTest, ConcurrentEmissionKeepsLinesWhole) {
+  CapturedLog capture;
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        COUNTLIB_LOG(Info) << "t" << t << " line " << i << " end";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto lines = capture.Lines();
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  // Every captured line is a complete, well-formed single message.
+  for (const auto& entry : lines) {
+    EXPECT_TRUE(Contains(entry.second, " end"));
+    EXPECT_FALSE(Contains(entry.second, "\n"));
+  }
+}
+
+TEST(LoggingTest, ConcurrentLevelChangesAreSafe) {
+  // TSAN target: readers race SetLogLevel. No assertion beyond "no race".
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      SetLogLevel(i++ % 2 == 0 ? LogLevel::kInfo : LogLevel::kError);
+    }
+  });
+  for (int i = 0; i < 10000; ++i) {
+    (void)LogLevelEnabled(LogLevel::kInfo);
+    (void)GetLogLevel();
+  }
+  stop.store(true, std::memory_order_release);
+  flipper.join();
+  SetLogLevel(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace countlib

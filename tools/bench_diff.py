@@ -13,8 +13,12 @@ parallel and judges the metrics it understands, direction-aware:
     change also clears a small absolute floor — shared CI runners cannot
     time 1.5ms vs 1.7ms meaningfully.
   - invariant metrics (``lost_events``, ``reject_allocs``,
-    ``invalid_slot_allocs``, ``busy_passes``): must stay zero; any nonzero
-    current value is a regression regardless of threshold.
+    ``invalid_slot_allocs``, ``busy_passes``, ``record_allocs``): must stay
+    zero; any nonzero current value is a regression regardless of
+    threshold.
+  - ceiling metrics (``overhead_pct``): judged against a hard absolute
+    ceiling, not against the baseline — telemetry overhead must stay under
+    5% no matter what the (noise-prone) baseline measured.
 
 Entries in ``configs[]`` are matched by (mode, producers). Everything else
 (counts, elapsed times, worker steps) is context, not judged.
@@ -33,10 +37,13 @@ import sys
 RATE_KEYS = {"events_per_sec", "attempts_per_sec", "submits_per_sec"}
 COST_KEYS = {"cpu_seconds", "wake_latency_s"}
 ZERO_KEYS = {"lost_events", "reject_allocs", "invalid_slot_allocs",
-             "busy_passes", "unaccounted_events"}
+             "busy_passes", "unaccounted_events", "record_allocs"}
 # Absolute floors for cost metrics: ignore a relative rise that is smaller
 # than this many seconds — timer noise, not a regression.
 COST_FLOORS = {"cpu_seconds": 0.003, "wake_latency_s": 0.05}
+# Hard absolute ceilings, judged independently of the baseline value: the
+# current value must stay strictly below the ceiling.
+CEILING_KEYS = {"overhead_pct": 5.0}
 
 
 def walk(baseline, current, path, rows):
@@ -71,6 +78,8 @@ def walk(baseline, current, path, rows):
         rows.append(judge_cost(path, leaf, baseline, current))
     elif leaf in ZERO_KEYS:
         rows.append(judge_zero(path, baseline, current))
+    elif leaf in CEILING_KEYS:
+        rows.append(judge_ceiling(path, leaf, baseline, current))
 
 
 def judge_rate(path, leaf, base, cur):
@@ -97,6 +106,13 @@ def judge_zero(path, base, cur):
     if cur == 0:
         return (path, base, cur, "ok", "invariant holds")
     return (path, base, cur, "REGRESSION", "must stay zero")
+
+
+def judge_ceiling(path, leaf, base, cur):
+    ceiling = CEILING_KEYS[leaf]
+    if cur < ceiling:
+        return (path, base, cur, "ok", f"under ceiling {ceiling:g}")
+    return (path, base, cur, "REGRESSION", f"ceiling is {ceiling:g}")
 
 
 def main():

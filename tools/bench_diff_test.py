@@ -78,9 +78,26 @@ class WalkAndJudgeTest(unittest.TestCase):
 
     def test_zero_invariant_holds(self):
         for key in ("lost_events", "reject_allocs", "invalid_slot_allocs",
-                    "busy_passes", "unaccounted_events"):
+                    "busy_passes", "unaccounted_events", "record_allocs"):
             rows = judge({key: 0}, {key: 0})
             self.assertEqual(verdicts(rows)[f"$.{key}"], "ok", key)
+
+    def test_ceiling_breach_regresses_even_with_worse_baseline(self):
+        # Ceiling metrics ignore the baseline entirely: a baseline that
+        # itself breached the ceiling must not grandfather the breach in.
+        rows = judge({"overhead_pct": 9.0}, {"overhead_pct": 6.0},
+                     threshold=1e9)
+        self.assertEqual(verdicts(rows)["$.overhead_pct"], "REGRESSION")
+
+    def test_under_ceiling_is_ok_even_if_worse_than_baseline(self):
+        # Direction vs baseline does not matter, only the absolute ceiling:
+        # 0.1% -> 4.9% is a big relative rise but still within budget.
+        rows = judge({"overhead_pct": 0.1}, {"overhead_pct": 4.9})
+        self.assertEqual(verdicts(rows)["$.overhead_pct"], "ok")
+
+    def test_ceiling_exact_value_is_a_breach(self):
+        rows = judge({"overhead_pct": 0.0}, {"overhead_pct": 5.0})
+        self.assertEqual(verdicts(rows)["$.overhead_pct"], "REGRESSION")
 
     def test_unjudged_context_metrics_are_ignored(self):
         rows = judge({"events": 100, "elapsed_s": 1.0, "worker_steps": [4, 2]},
