@@ -41,7 +41,7 @@ ConcurrentCounterStore::Stripe& ConcurrentCounterStore::StripeFor(
 
 Status ConcurrentCounterStore::Increment(uint64_t key, uint64_t weight) {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   Status st = stripe.store->Increment(key, weight);
   if (st.ok()) {
     stat_cells_->increments.Add(1);
@@ -70,9 +70,12 @@ Status ConcurrentCounterStore::IncrementBatch(const KeyWeight* updates, size_t n
   for (uint64_t s = 0; s < num_stripes; ++s) {
     const size_t begin = offsets[s], end = offsets[s + 1];
     if (begin == end) continue;
-    std::lock_guard<std::mutex> lock(stripes_[s]->mu);
+    // The local reference is what lets the thread-safety analysis connect
+    // the lock to the guarded pointee across the index expression.
+    Stripe& stripe = *stripes_[s];
+    MutexLock lock(&stripe.mu);
     COUNTLIB_RETURN_NOT_OK(
-        stripes_[s]->store->IncrementBatch(sorted.data() + begin, end - begin));
+        stripe.store->IncrementBatch(sorted.data() + begin, end - begin));
   }
   stat_cells_->batch_calls.Add(1);
   stat_cells_->batch_updates.Add(n);
@@ -89,9 +92,10 @@ StoreStats ConcurrentCounterStore::Stats() const {
 
 Status ConcurrentCounterStore::ForEach(
     const std::function<void(uint64_t, double)>& fn) const {
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    COUNTLIB_RETURN_NOT_OK(stripe->store->ForEach(fn));
+  for (const auto& entry : stripes_) {
+    Stripe& stripe = *entry;
+    MutexLock lock(&stripe.mu);
+    COUNTLIB_RETURN_NOT_OK(stripe.store->ForEach(fn));
   }
   return Status::OK();
 }
@@ -116,24 +120,26 @@ Result<std::vector<KeyEstimate>> ConcurrentCounterStore::TopK(size_t k) const {
 
 Result<double> ConcurrentCounterStore::Estimate(uint64_t key) const {
   Stripe& stripe = StripeFor(key);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   return stripe.store->Estimate(key);
 }
 
 uint64_t ConcurrentCounterStore::NumKeys() const {
   uint64_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    total += stripe->store->num_keys();
+  for (const auto& entry : stripes_) {
+    Stripe& stripe = *entry;
+    MutexLock lock(&stripe.mu);
+    total += stripe.store->num_keys();
   }
   return total;
 }
 
 uint64_t ConcurrentCounterStore::TotalStateBits() const {
   uint64_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    total += stripe->store->TotalStateBits();
+  for (const auto& entry : stripes_) {
+    Stripe& stripe = *entry;
+    MutexLock lock(&stripe.mu);
+    total += stripe.store->TotalStateBits();
   }
   return total;
 }

@@ -12,12 +12,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "analytics/counter_store.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 namespace analytics {
@@ -88,8 +89,12 @@ class ConcurrentCounterStore {
 
  private:
   struct Stripe {
-    mutable std::mutex mu;
-    std::unique_ptr<CounterStore> store;
+    mutable Mutex mu;
+    /// The packed store behind this stripe's lock. The pointer itself is
+    /// set once at construction and never reseated; the pointee (every
+    /// CounterStore call) requires `mu` — which is exactly what
+    /// PT_GUARDED_BY expresses.
+    std::unique_ptr<CounterStore> store PT_GUARDED_BY(mu);
   };
 
   /// Stat cells, heap-held so the store stays movable — which also keeps

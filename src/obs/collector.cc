@@ -48,6 +48,8 @@ void MetricsCollector::Stop() {
   // Deregister the series provider first: after Release returns, no
   // snapshot can be mid-call into Series(), and the thread join below
   // makes the ring buffers quiescent.
+  // mo: acq_rel — the exchange both claims the single Stop (acquire the
+  // loser's view) and publishes the request to the loop's acquire load.
   const bool was_running = !stop_.exchange(true, std::memory_order_acq_rel);
   if (!was_running) return;
   if (thread_.joinable()) thread_.join();
@@ -63,12 +65,14 @@ void MetricsCollector::Loop() {
                                 options_.sample_interval)
                                 .count());
   uint64_t last_sample_ns = CoarseClock::RealNowNanos();
+  // mo: acquire — pairs with Stop's acq_rel exchange.
   while (!stop_.load(std::memory_order_acquire)) {
     // nanosleep (not a CV wait) keeps the per-tick cost to one syscall;
     // Stop latency is bounded by one tick_interval.
     std::this_thread::sleep_for(options_.tick_interval);
     const uint64_t now = CoarseClock::RealNowNanos();
     CoarseClock::Set(now);
+    // mo: relaxed — progress counter.
     ticks_.fetch_add(1, std::memory_order_relaxed);
     if (now - last_sample_ns >= sample_every_ns) {
       last_sample_ns = now;
@@ -83,7 +87,7 @@ void MetricsCollector::SampleOnce(uint64_t now_ns) {
   // provider path (registry mu_ -> series_mu_ in TakeSnapshot) cannot
   // deadlock against it.
   const auto samples = registry_->SampleGauges();
-  std::lock_guard<std::mutex> lock(series_mu_);
+  MutexLock lock(&series_mu_);
   for (const auto& [name, value, kind] : samples) {
     (void)kind;
     auto it = series_.find(name);
@@ -95,13 +99,14 @@ void MetricsCollector::SampleOnce(uint64_t now_ns) {
     ++ts.next;
     ts.count = std::min<uint64_t>(ts.count + 1, ts.points.size());
   }
+  // mo: relaxed — progress counter.
   samples_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::map<std::string, std::vector<SeriesPoint>> MetricsCollector::Series()
     const {
   std::map<std::string, std::vector<SeriesPoint>> out;
-  std::lock_guard<std::mutex> lock(series_mu_);
+  MutexLock lock(&series_mu_);
   for (const auto& [name, ts] : series_) {
     std::vector<SeriesPoint>& dst = out[name];
     dst.reserve(ts.count);

@@ -33,13 +33,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 namespace obs {
@@ -83,10 +84,16 @@ class MetricsCollector {
   std::map<std::string, std::vector<SeriesPoint>> Series() const;
 
   /// Sampling rounds completed so far.
-  uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+  uint64_t samples() const {
+    // mo: relaxed — progress counter for tests and gauges; no ordering.
+    return samples_.load(std::memory_order_relaxed);
+  }
 
   /// Clock-tick refreshes published so far.
-  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  uint64_t ticks() const {
+    // mo: relaxed — progress counter; no ordering.
+    return ticks_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Fixed-capacity ring of sample points; push overwrites the oldest
@@ -107,8 +114,8 @@ class MetricsCollector {
   Registry* registry_;
   const CollectorOptions options_;
 
-  mutable std::mutex series_mu_;
-  std::map<std::string, TimeSeries> series_;  // guarded by series_mu_
+  mutable Mutex series_mu_;
+  std::map<std::string, TimeSeries> series_ GUARDED_BY(series_mu_);
 
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> samples_{0};

@@ -14,6 +14,8 @@ uint64_t Counter::ThreadStripe() noexcept {
   static std::atomic<uint64_t> next{0};
   // One fetch_add per thread lifetime; afterwards the stripe index is a
   // plain thread-local read, keeping Add() wait-free.
+  // mo: relaxed — round-robin ticket draw; only uniqueness-ish spread
+  // matters, not ordering against anything.
   thread_local const uint64_t stripe =
       next.fetch_add(1, std::memory_order_relaxed) % kStripes;
   return stripe;
@@ -57,12 +59,14 @@ HistogramSnapshot Histogram::Snapshot() const {
   // count cell: a concurrent Record can never make the snapshot's count
   // disagree with its buckets, so Percentile is always internally
   // consistent. sum/max may trail the buckets by in-flight records.
+  // The snapshot's consistency comes from deriving count from the folded
+  // buckets, not from load ordering — hence relaxed on every cell.
   for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
-    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);  // mo: see above
     snap.count += snap.buckets[b];
   }
-  snap.sum = sum_.load(std::memory_order_relaxed);
-  snap.max = max_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);  // mo: see above
+  snap.max = max_.load(std::memory_order_relaxed);  // mo: see above
   return snap;
 }
 
@@ -105,7 +109,7 @@ std::string Registry::SanitizeName(const std::string& name) {
 }
 
 Registration Registry::Insert(Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entry.id = next_id_++;
   const uint64_t id = entry.id;
   entries_.push_back(std::move(entry));
@@ -149,7 +153,7 @@ void Registry::Unregister(uint64_t id) {
   // Taking mu_ here is the synchronization that makes Registration RAII
   // safe: once Unregister returns, no snapshot or collector sample can be
   // mid-call into this entry's callback or instrument pointer.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->id == id) {
       entries_.erase(it);
@@ -160,7 +164,7 @@ void Registry::Unregister(uint64_t id) {
 
 Snapshot Registry::TakeSnapshot() const {
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Entry& e : entries_) {
     if (e.counter != nullptr) {
       snap.counters[e.name] += e.counter->Value();
@@ -183,7 +187,7 @@ std::vector<std::tuple<std::string, double, GaugeKind>> Registry::SampleGauges()
     const {
   std::map<std::string, std::pair<double, GaugeKind>> agg;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const Entry& e : entries_) {
       if (!e.gauge) continue;
       auto [it, inserted] = agg.emplace(e.name,
@@ -201,7 +205,7 @@ std::vector<std::tuple<std::string, double, GaugeKind>> Registry::SampleGauges()
 }
 
 uint64_t Registry::NumRegistered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -51,10 +51,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 namespace obs {
@@ -74,7 +76,10 @@ class Counter {
   Counter& operator=(const Counter&) = delete;
 
   /// Adds `n`. Wait-free, allocation-free, relaxed ordering.
+  // HOTPATH: called from every submit and drain — no allocation permitted.
   void Add(uint64_t n = 1) noexcept {
+    // mo: relaxed — monotonic count cell; visibility rides the reader's
+    // own happens-before edges (joins, drains), not this RMW.
     cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
   }
 
@@ -82,6 +87,8 @@ class Counter {
   /// join or any other happens-before edge publishes its stripe).
   uint64_t Value() const noexcept {
     uint64_t total = 0;
+    // mo: relaxed — the fold is exact under quiescence and a fresh-ish
+    // lower bound otherwise; ordering would not improve either property.
     for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
     return total;
   }
@@ -146,9 +153,14 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   /// Records one value. Lock-free, allocation-free.
+  // HOTPATH: the drain loop's latency instrument — no allocation permitted.
   void Record(uint64_t value) noexcept {
+    // mo: relaxed ×2 — independent stat cells; snapshots tolerate
+    // in-flight records (count is derived from the folded buckets).
     buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // mo: relaxed — running-max CAS loop; only the final value matters
+    // and the loop re-reads on failure, so no ordering is needed.
     uint64_t prev = max_.load(std::memory_order_relaxed);
     while (prev < value &&
            !max_.compare_exchange_weak(prev, value,
@@ -302,9 +314,9 @@ class Registry {
   void Unregister(uint64_t id);
   Registration Insert(Entry entry);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;  // guarded by mu_; erased on deregistration
-  uint64_t next_id_ = 1;        // guarded by mu_
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);  // erased on deregistration
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Convenience: a snapshot of `Registry::Default()`.

@@ -38,12 +38,15 @@ class CoarseClock {
   /// The latest tick in steady-clock nanoseconds; 0 when no ticker is
   /// running (callers treat 0 as "do not record").
   static uint64_t NowNanos() noexcept {
+    // mo: relaxed — a timestamp cell; staleness is bounded by the ticker
+    // cadence, not by memory ordering, and readers tolerate any tick.
     return tick_.load(std::memory_order_relaxed);
   }
 
   /// Publishes a tick. Called by the `MetricsCollector` loop; tests may
   /// drive it manually. Set 0 to declare the ticker stopped.
   static void Set(uint64_t nanos) noexcept {
+    // mo: relaxed — see NowNanos; the tick orders against nothing.
     tick_.store(nanos, std::memory_order_relaxed);
   }
 

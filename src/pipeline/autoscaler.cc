@@ -72,6 +72,8 @@ void Autoscaler::RegisterMetrics() {
   obs::Registry& reg = obs::Registry::Default();
   const auto counter_gauge = [](const std::atomic<uint64_t>* cell) {
     return [cell] {
+      // mo: relaxed — stats cells written only by the control thread;
+      // export needs some recent value, not ordering.
       return static_cast<double>(cell->load(std::memory_order_relaxed));
     };
   };
@@ -96,16 +98,19 @@ void Autoscaler::RegisterMetrics() {
 Autoscaler::~Autoscaler() { Stop(); }
 
 void Autoscaler::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(stop_mu_);
-    stop_requested_ = true;
-    stop_cv_.notify_all();
-  }
+  // mo: seq_cst — the flag must precede the notify's epoch bump in the
+  // single total order, so a control thread that registered as a waiter
+  // either receives the notify or reads the flag (EventCount's Dekker
+  // discipline; see util/event_count.h).
+  stop_requested_.store(true, std::memory_order_seq_cst);
+  stop_ec_.NotifyIfWaiters();
   if (control_.joinable()) control_.join();
 }
 
 bool Autoscaler::Tick() {
   const PipelineStats stats = pipeline_->Stats();
+  // mo: relaxed ×4 — control-thread-only stats cells; Stats()/gauge
+  // readers fold them without ordering requirements.
   samples_.fetch_add(1, std::memory_order_relaxed);
   last_queue_depth_.store(stats.queue_depth, std::memory_order_relaxed);
   last_spill_depth_.store(stats.spill_depth, std::memory_order_relaxed);
@@ -151,6 +156,7 @@ bool Autoscaler::Tick() {
   const auto now = std::chrono::steady_clock::now();
   if (now - last_resize_ < config_.cooldown) {
     // Hold the decision (and the streak) until the window reopens.
+    // mo: relaxed — stats cell (see Tick's header note).
     cooldown_holds_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -158,6 +164,7 @@ bool Autoscaler::Tick() {
   const Status st = pipeline_->SetWorkerCount(target);
   if (st.IsFailedPrecondition()) return false;  // draining: retire the loop
   if (!st.ok()) {
+    // mo: relaxed — stats cell.
     resize_errors_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
@@ -165,30 +172,35 @@ bool Autoscaler::Tick() {
   up_streak_ = 0;
   down_streak_ = 0;
   if (target > stats.workers) {
+    // mo: relaxed — stats cell.
     scale_ups_.fetch_add(1, std::memory_order_relaxed);
   } else {
+    // mo: relaxed — stats cell.
     scale_downs_.fetch_add(1, std::memory_order_relaxed);
   }
+  // mo: relaxed — stats cell refreshed after the resize took effect.
   current_workers_.store(pipeline_->num_workers(), std::memory_order_relaxed);
   return true;
 }
 
 void Autoscaler::ControlLoop() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  while (!stop_requested_) {
-    // Park between samples; Stop's notify ends the wait early so shutdown
-    // never has to ride out a sample interval.
-    if (stop_cv_.wait_for(lock, config_.sample_interval,
-                          [this] { return stop_requested_; })) {
-      return;
-    }
-    lock.unlock();
-    const bool keep_going = Tick();
-    lock.lock();
-    if (!keep_going) {
+  const auto stopped = [this] {
+    // mo: seq_cst — ordered after the waiter-registration RMW inside the
+    // park, so a Stop that missed the registration is still seen here.
+    return stop_requested_.load(std::memory_order_seq_cst);
+  };
+  while (!stopped()) {
+    // Park between samples; Stop's notify moves the epoch and ends the
+    // wait early, so shutdown never has to ride out a sample interval.
+    // Standard episode shape: snapshot, recheck, park on the snapshot.
+    const uint64_t epoch = stop_ec_.Epoch();
+    if (stopped()) return;
+    stop_ec_.ParkOne(epoch, stopped, config_.sample_interval);
+    if (stopped()) return;
+    if (!Tick()) {
       // Pipeline is draining: SetWorkerCount can never succeed again, so
       // sampling is pure noise. Park until Stop.
-      stop_cv_.wait(lock, [this] { return stop_requested_; });
+      stop_ec_.ParkUntil(stopped, config_.sample_interval);
       return;
     }
   }
@@ -196,6 +208,8 @@ void Autoscaler::ControlLoop() {
 
 AutoscalerStats Autoscaler::Stats() const {
   AutoscalerStats stats;
+  // mo: relaxed ×8 — snapshot of independent stats cells; each field is
+  // individually fresh, the set is not one atomic cut.
   stats.samples = samples_.load(std::memory_order_relaxed);
   stats.scale_ups = scale_ups_.load(std::memory_order_relaxed);
   stats.scale_downs = scale_downs_.load(std::memory_order_relaxed);

@@ -46,15 +46,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "pipeline/ingest_pipeline.h"
+#include "util/event_count.h"
 #include "util/status.h"
 
 namespace countlib {
@@ -158,9 +157,13 @@ class Autoscaler {
   const AutoscalerConfig config_;
 
   std::thread control_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;  // guarded by stop_mu_
+  /// Shutdown signal: `Stop` sets the flag and notifies the eventcount;
+  /// the control thread parks between samples on `stop_ec_` with the
+  /// sample interval as its backstop, so shutdown never rides out a full
+  /// interval. Same primitive (and Dekker discipline) as every other
+  /// blocking wait in the pipeline — no raw CV.
+  std::atomic<bool> stop_requested_{false};
+  EventCount stop_ec_;
 
   // Control-loop state (touched only by the control thread).
   uint64_t up_streak_ = 0;

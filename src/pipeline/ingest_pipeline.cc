@@ -148,6 +148,8 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   shed_per_slot_ =
       std::make_unique<std::atomic<uint64_t>[]>(options_.num_producers);
   for (uint64_t i = 0; i < options_.num_producers; ++i) {
+    // mo: relaxed — construction-time zeroing; the thread spawn below
+    // publishes it.
     shed_per_slot_[i].store(0, std::memory_order_relaxed);
   }
   if (options_.overload.policy == OverloadPolicy::kSpill) {
@@ -158,7 +160,7 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   if (options_.enable_metrics) RegisterMetrics();
   // Clamp before spawning: more workers than rings is never useful.
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(&workers_mu_);
   SpawnWorkersLocked(options_.num_workers);
 }
 
@@ -209,12 +211,17 @@ void IngestPipeline::RegisterMetrics() {
                              : static_cast<double>(spill_->SizeApprox());
   }));
   rs.push_back(reg.RegisterGauge("countlib_pipeline_workers", [this] {
+    // mo: acquire — same pairing as num_workers(): never report a pool
+    // size whose spawn has not completed.
     return static_cast<double>(worker_count_.load(std::memory_order_acquire));
   }));
   rs.push_back(reg.RegisterGauge("countlib_pipeline_busy_workers", [this] {
+    // mo: acquire — pairs with the workers' busy-count RMWs so the gauge
+    // trails the real drain activity, never leads it.
     return static_cast<double>(busy_workers_.load(std::memory_order_acquire));
   }));
   rs.push_back(reg.RegisterGauge("countlib_pipeline_slots_in_use", [this] {
+    // mo: relaxed — freestanding gauge cell; nothing is ordered against it.
     return static_cast<double>(slots_in_use_.load(std::memory_order_relaxed));
   }));
   // First-class must-stay-zero invariant: every accepted event is either
@@ -251,19 +258,25 @@ IngestPipeline::~IngestPipeline() { Drain(); }
 
 void IngestPipeline::SpawnWorkersLocked(uint64_t n) {
   {
-    std::lock_guard<std::mutex> lock(cells_mu_);
+    MutexLock lock(&cells_mu_);
     while (worker_cells_.size() < n) {
       worker_cells_.push_back(std::make_unique<WorkerStatCells>());
     }
   }
+  // mo: acquire — reads the generation the retiring resize (if any)
+  // published; the spawned workers compare against this snapshot.
   const uint64_t gen = worker_gen_.load(std::memory_order_acquire);
   workers_.reserve(n);
   for (uint64_t w = 0; w < n; ++w) {
     workers_.emplace_back([this, w, gen, n] { WorkerLoop(w, gen, n); });
   }
+  // mo: release — publishes the fully spawned pool to num_workers() /
+  // gauge readers (paired acquire loads).
   worker_count_.store(n, std::memory_order_release);
 }
 
+// HOTPATH: the non-blocking submit probe — every rejection result is
+// preallocated and no path below may heap-allocate.
 Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
                                  uint64_t weight) {
   if (producer >= rings_.size()) return InvalidSlotStatus();
@@ -275,8 +288,12 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
   // handshake (this RMW + load, Drain's store + load) must be seq_cst:
   // it is a Dekker-style protocol, and weaker orderings allow the
   // submitter to read stale closed_ while Drain reads a stale zero count.
+  // mo: seq_cst — the refcount raise half of the Dekker handshake above.
   active_submitters_.fetch_add(1, std::memory_order_seq_cst);
+  // mo: seq_cst — the closed_ probe half of the same handshake.
   if (closed_.load(std::memory_order_seq_cst)) {
+    // mo: release — the bail-out drop publishes nothing, but release keeps
+    // Drain's acquire-side count read from hoisting past prior work.
     active_submitters_.fetch_sub(1, std::memory_order_release);
     return DrainingStatus();
   }
@@ -284,6 +301,8 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
   const bool pushed =
       rings_[producer]->TryPush(Event{key, weight, SampleTimestamp()},
                                 &was_empty);
+  // mo: release — orders the ring push before the count drop, so Drain's
+  // zero observation proves every slipped-past push has completed.
   active_submitters_.fetch_sub(1, std::memory_order_release);
   if (!pushed) {
     rejected_.Add(1);
@@ -298,6 +317,8 @@ Status IngestPipeline::TrySubmit(uint64_t producer, uint64_t key,
       // Stamp the notify so the woken worker can record wakeup→drain
       // latency. Real clock read, but only on the (rare under load)
       // empty→nonempty transition.
+      // mo: relaxed — best-effort telemetry stamp; a torn or lost
+      // race only skews one histogram sample.
       last_wake_notify_ns_.store(obs::CoarseClock::RealNowNanos(),
                                  std::memory_order_relaxed);
     }
@@ -310,12 +331,17 @@ Status IngestPipeline::SpillSubmit(const Event& e) {
   // Same Drain refcount fence as TrySubmit: a spill push that passes the
   // closed_ check completes before Drain's final sweep, so an OK here is
   // the same no-loss promise as an OK from the ring path.
+  // mo: seq_cst — refcount raise, same Dekker handshake as TrySubmit.
   active_submitters_.fetch_add(1, std::memory_order_seq_cst);
+  // mo: seq_cst — closed_ probe half of the handshake.
   if (closed_.load(std::memory_order_seq_cst)) {
+    // mo: release — see the TrySubmit bail-out.
     active_submitters_.fetch_sub(1, std::memory_order_release);
     return DrainingStatus();
   }
   const bool pushed = spill_->TryPush(e);
+  // mo: release — orders the spill push before the count drop (Drain's
+  // no-stranded-event proof covers the spill path too).
   active_submitters_.fetch_sub(1, std::memory_order_release);
   if (!pushed) return SpillFullStatus();
   submitted_.Add(1);
@@ -342,6 +368,7 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
     // Bounded-latency drop: the spin budget above is the whole latency
     // bound. Accounting is exact and per slot; the OK return means
     // "accepted or shed" under this policy (see PipelineStats).
+    // mo: relaxed — exact but unordered accounting; Stats folds it later.
     shed_per_slot_[producer].fetch_add(1, std::memory_order_relaxed);
     shed_total_.Add(1);
     return Status::OK();
@@ -371,6 +398,8 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
     const uint64_t park_start_ns =
         obs_ == nullptr ? 0 : obs::CoarseClock::RealNowNanos();
     const bool signaled = ec.ParkOne(
+        // mo: acquire — cancel probe; pairs with Drain's closed_ publish
+        // so a canceled park returns into the kFailedPrecondition path.
         epoch, [this] { return closed_.load(std::memory_order_acquire); },
         kSubmitParkBackstop);
     if (obs_ != nullptr) {
@@ -384,7 +413,9 @@ Status IngestPipeline::Submit(uint64_t producer, uint64_t key, uint64_t weight) 
 }
 
 Result<ProducerSlot> IngestPipeline::TryAcquireProducerSlot() {
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  MutexLock lock(&slots_mu_);
+  // mo: acquire — pairs with Drain's seq_cst closed_ store; once seen, no
+  // new lease is issued.
   if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
   for (uint64_t i = 0; i < rings_.size(); ++i) {
     // Drained-before-reuse: a slot whose previous holder left events
@@ -394,6 +425,7 @@ Result<ProducerSlot> IngestPipeline::TryAcquireProducerSlot() {
     // flight to the store — no cross-lease apply ordering is implied.)
     if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
       slot_leased_[i] = 1;
+      // mo: relaxed — gauge cell only; the lease itself is under slots_mu_.
       slots_in_use_.fetch_add(1, std::memory_order_relaxed);
       return ProducerSlot(this, i);
     }
@@ -410,17 +442,20 @@ Result<ProducerSlot> IngestPipeline::AcquireProducerSlot() {
   while (true) {
     const uint64_t epoch = slots_ec_.Epoch();
     {
-      std::lock_guard<std::mutex> lock(slots_mu_);
+      MutexLock lock(&slots_mu_);
+      // mo: acquire — same closed_ pairing as TryAcquireProducerSlot.
       if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
       for (uint64_t i = 0; i < rings_.size(); ++i) {
         if (!slot_leased_[i] && rings_[i]->SizeApprox() == 0) {
           slot_leased_[i] = 1;
+          // mo: relaxed — gauge cell; lease state is under slots_mu_.
           slots_in_use_.fetch_add(1, std::memory_order_relaxed);
           return ProducerSlot(this, i);
         }
       }
     }
     slots_ec_.ParkOne(
+        // mo: acquire — cancel probe, pairs with Drain's closed_ publish.
         epoch, [this] { return closed_.load(std::memory_order_acquire); },
         kSlotParkBackstop);
   }
@@ -428,9 +463,10 @@ Result<ProducerSlot> IngestPipeline::AcquireProducerSlot() {
 
 void IngestPipeline::ReleaseProducerSlot(uint64_t slot) {
   {
-    std::lock_guard<std::mutex> lock(slots_mu_);
+    MutexLock lock(&slots_mu_);
     if (slot >= slot_leased_.size() || !slot_leased_[slot]) return;
     slot_leased_[slot] = 0;
+    // mo: relaxed — gauge cell; lease state is under slots_mu_.
     slots_in_use_.fetch_sub(1, std::memory_order_relaxed);
   }
   slots_ec_.NotifyIfWaiters();
@@ -440,7 +476,8 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
   if (n > 256) {
     return Status::InvalidArgument("SetWorkerCount: n in [0, 256]");
   }
-  std::lock_guard<std::mutex> lock(workers_mu_);
+  MutexLock lock(&workers_mu_);
+  // mo: acquire — refuse resizes once Drain has published closed_.
   if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
   n = std::min<uint64_t>(n, rings_.size());
   if (n == workers_.size()) return Status::OK();
@@ -449,6 +486,8 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
   // re-dealt freely under the new count. Producers keep submitting
   // throughout — queued events simply wait for their new owner, and no
   // accepted event is dropped.
+  // mo: seq_cst — the retirement bump must order with the workers' parked
+  // predicate reads so no worker sleeps through its own retirement.
   worker_gen_.fetch_add(1, std::memory_order_seq_cst);
   wake_ec_.NotifyIfWaiters();
   for (std::thread& t : workers_) t.join();
@@ -516,7 +555,10 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
       updates_.Add(batch->size());
       batches_.Add(1);
       if (cells != nullptr) {
+        // mo: relaxed — per-worker stats cells, folded under cells_mu_ by
+        // the snapshot readers; no ordering carried.
         cells->events.fetch_add(count, std::memory_order_relaxed);
+        // mo: relaxed — same stats-cell convention.
         cells->batches.fetch_add(1, std::memory_order_relaxed);
       }
       if (obs_ != nullptr) {
@@ -562,7 +604,15 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
   for (uint64_t i = w; i < rings_.size(); i += num_workers) {
     owned.push_back(i);
   }
-  WorkerStatCells* cells = worker_cells_[w].get();
+  WorkerStatCells* cells = nullptr;
+  {
+    // The spawn (under workers_mu_) grew the vector before this thread
+    // existed, but the lock keeps the read honest against the guarded-by
+    // contract (and any future growth path) instead of relying on the
+    // spawn edge implicitly.
+    MutexLock lock(&cells_mu_);
+    cells = worker_cells_[w].get();
+  }
   std::vector<Event> raw(options_.max_batch);
   std::unordered_map<uint64_t, uint64_t> agg;
   std::vector<analytics::KeyWeight> batch;
@@ -578,10 +628,13 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
   while (true) {
     // Retired by a resize: exit immediately; queued events are picked up
     // by the successor generation (or Drain's final sweep).
+    // mo: acquire — pairs with the resize's seq_cst retirement bump.
     if (worker_gen_.load(std::memory_order_acquire) != gen) return;
     // Load stop BEFORE draining: once stop_ is set the queues are closed,
     // so a subsequent empty pass proves the owned rings (and the spill
     // buffer) are fully drained.
+    // mo: acquire — pairs with Drain's release store; once stop_ is seen,
+    // the queues are closed and an empty pass is proof of full drain.
     const bool saw_stop = stop_.load(std::memory_order_acquire);
     const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch, cells);
     if (n > 0) {
@@ -589,6 +642,7 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
       continue;
     }
     if (saw_stop) return;
+    // mo: relaxed — stats cell (see DrainOnce).
     cells->idle.fetch_add(1, std::memory_order_relaxed);
     if (++idle_streak < options_.idle_spin_passes) {
       std::this_thread::yield();
@@ -605,11 +659,14 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
     const bool signaled = wake_ec_.ParkOne(
         epoch,
         [&] {
+          // mo: acquire ×2 — cancel probes for shutdown and retirement;
+          // pair with Drain's release store and the resize's seq_cst bump.
           return stop_.load(std::memory_order_acquire) ||
                  worker_gen_.load(std::memory_order_acquire) != gen;
         },
         kIdleSleep);
     if (signaled) {
+      // mo: relaxed — stats cell (see DrainOnce).
       cells->wakeups.fetch_add(1, std::memory_order_relaxed);
       if (obs_ != nullptr) {
         // Wakeup→drain latency: producer's notify stamp → now, with the
@@ -617,6 +674,7 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
         // overwrite the stamp, so under a wake storm this reads the
         // latest notify — a conservative (smaller) latency, never a
         // stale-inflated one.
+        // mo: relaxed — telemetry stamp, tolerates raciness by design.
         const uint64_t notified = last_wake_notify_ns_.load(
             std::memory_order_relaxed);
         const uint64_t now = obs::CoarseClock::RealNowNanos();
@@ -637,6 +695,8 @@ Status IngestPipeline::Flush() {
       if (ring->SizeApprox() != 0) return false;
     }
     if (spill_ != nullptr && spill_->SizeApprox() != 0) return false;
+    // mo: acquire — a zero busy count must not be read ahead of the ring
+    // emptiness checks above; workers raise the count before popping.
     return busy_workers_.load(std::memory_order_acquire) == 0;
   };
   // Workers notify flush_ec_ after each drain pass while a waiter is
@@ -651,6 +711,8 @@ Status IngestPipeline::Flush() {
         // will ever make progress, so fail fast instead of hanging. Once
         // draining has begun the worker count is also 0, but Drain's final
         // sweep is the consumer then — keep waiting and let it finish.
+        // mo: acquire ×2 — pool gauge and closed_ flag; both only need to
+        // be no staler than their publishers' release/seq_cst stores.
         if (worker_count_.load(std::memory_order_acquire) == 0 &&
             !closed_.load(std::memory_order_acquire)) {
           result = PausedFlushStatus();
@@ -665,6 +727,8 @@ Status IngestPipeline::Flush() {
 
 Status IngestPipeline::Drain() {
   std::call_once(drain_once_, [this] {
+    // mo: seq_cst — the close half of the Dekker handshake with
+    // TrySubmit/SpillSubmit's refcount raise.
     closed_.store(true, std::memory_order_seq_cst);
     // Release acquirers blocked on the slot registry and producers parked
     // on the not-full eventcounts: they observe closed_ and return
@@ -678,15 +742,19 @@ Status IngestPipeline::Drain() {
     // closed_ check has finished its push, so the sweep below observes
     // every accepted event. seq_cst pairs with the seq_cst RMW/load in
     // TrySubmit/SpillSubmit (Dekker handshake).
+    // mo: seq_cst — the count probe half of the same handshake.
     while (active_submitters_.load(std::memory_order_seq_cst) != 0) {
       std::this_thread::yield();
     }
+    // mo: release — publishes "queues closed" to the workers' acquire
+    // loads; an empty pass after this is proof of full drain.
     stop_.store(true, std::memory_order_release);
     wake_ec_.NotifyIfWaiters();  // wake parked workers so they observe stop_
     {
-      std::lock_guard<std::mutex> lock(workers_mu_);
+      MutexLock lock(&workers_mu_);
       for (std::thread& t : workers_) t.join();
       workers_.clear();
+      // mo: release — gauge publish, paired with num_workers()'s acquire.
       worker_count_.store(0, std::memory_order_release);
     }
     // Workers exit only after an empty pass, but sweep once more so
@@ -716,8 +784,11 @@ PipelineStats IngestPipeline::Stats() const {
   stats.events_dropped = dropped_.Value();
   stats.updates_applied = updates_.Value();
   stats.batches_applied = batches_.Value();
+  // mo: acquire — pool gauge, paired with the spawn/join release stores.
   stats.workers = worker_count_.load(std::memory_order_acquire);
+  // mo: acquire — busy gauge trails real drain activity (see Flush).
   stats.busy_workers = busy_workers_.load(std::memory_order_acquire);
+  // mo: relaxed — freestanding gauge cell.
   stats.slots_in_use = slots_in_use_.load(std::memory_order_relaxed);
   stats.producer_parks = producer_parks_.Value();
   stats.producer_wakeups = producer_wakeups_.Value();
@@ -728,6 +799,8 @@ PipelineStats IngestPipeline::Stats() const {
   if (options_.overload.policy == OverloadPolicy::kShed) {
     stats.shed_per_slot.reserve(rings_.size());
     for (uint64_t i = 0; i < rings_.size(); ++i) {
+      // mo: relaxed — per-slot stats cells; exactness comes from the RMWs,
+      // not from ordering.
       stats.shed_per_slot.push_back(
           shed_per_slot_[i].load(std::memory_order_relaxed));
     }
@@ -737,8 +810,9 @@ PipelineStats IngestPipeline::Stats() const {
     stats.spill_depth = spill_->SizeApprox();
   }
   {
-    std::lock_guard<std::mutex> lock(cells_mu_);
+    MutexLock lock(&cells_mu_);
     for (const auto& cells : worker_cells_) {
+      // mo: relaxed ×2 — stats cells; the fold needs no ordering.
       stats.idle_passes += cells->idle.load(std::memory_order_relaxed);
       stats.worker_wakeups += cells->wakeups.load(std::memory_order_relaxed);
     }
@@ -749,12 +823,14 @@ PipelineStats IngestPipeline::Stats() const {
 
 std::vector<WorkerStats> IngestPipeline::PerWorkerStats() const {
   std::vector<WorkerStats> out;
-  std::lock_guard<std::mutex> lock(cells_mu_);
+  MutexLock lock(&cells_mu_);
   out.reserve(worker_cells_.size());
   for (uint64_t w = 0; w < worker_cells_.size(); ++w) {
     const WorkerStatCells& cells = *worker_cells_[w];
     WorkerStats stats;
     stats.worker_id = w;
+    // mo: relaxed ×4 — stats cells snapshotted under cells_mu_; the lock
+    // serializes the fold, the loads need no ordering of their own.
     stats.events_applied = cells.events.load(std::memory_order_relaxed);
     stats.batches_applied = cells.batches.load(std::memory_order_relaxed);
     stats.idle_passes = cells.idle.load(std::memory_order_relaxed);
@@ -765,12 +841,12 @@ std::vector<WorkerStats> IngestPipeline::PerWorkerStats() const {
 }
 
 Status IngestPipeline::LastError() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(&error_mu_);
   return first_error_;
 }
 
 void IngestPipeline::RecordError(const Status& st) {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(&error_mu_);
   if (first_error_.ok()) first_error_ = st;
 }
 

@@ -121,7 +121,9 @@
 #include "pipeline/producer_slot.h"
 #include "pipeline/spsc_ring.h"
 #include "util/event_count.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 namespace pipeline {
@@ -214,6 +216,8 @@ class IngestPipeline {
   /// Current drain-thread count (changes only via `SetWorkerCount`; 0
   /// while paused or after `Drain`).
   uint64_t num_workers() const {
+    // mo: acquire — gauge mirror of workers_.size(), paired with the
+    // release store after a spawn so callers see a fully started pool.
     return worker_count_.load(std::memory_order_acquire);
   }
 
@@ -280,7 +284,7 @@ class IngestPipeline {
 
   /// Spawns `n` workers of a fresh generation. Caller holds `workers_mu_`
   /// and has joined every previous worker.
-  void SpawnWorkersLocked(uint64_t n);
+  void SpawnWorkersLocked(uint64_t n) REQUIRES(workers_mu_);
 
   /// Returns `slot` to the registry (handle destructor path).
   void ReleaseProducerSlot(uint64_t slot);
@@ -294,15 +298,16 @@ class IngestPipeline {
   /// Worker pool; guarded by workers_mu_ (resize/join), as are
   /// options_.num_workers updates. workers_mu_ is held across joins, so
   /// nothing on a read path may take it.
-  std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mu_;
+  std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
   /// Stat cells are guarded by their own (briefly held) mutex so
   /// Stats/PerWorkerStats snapshots never block behind a resize or drain
   /// join. The vector only grows, and only while no workers are live;
   /// workers hold raw pointers to their own cells, which growth never
   /// invalidates.
-  mutable std::mutex cells_mu_;
-  std::vector<std::unique_ptr<WorkerStatCells>> worker_cells_;
+  mutable Mutex cells_mu_;
+  std::vector<std::unique_ptr<WorkerStatCells>> worker_cells_
+      GUARDED_BY(cells_mu_);
   std::atomic<uint64_t> worker_gen_{0};    ///< bumped to retire a generation
   std::atomic<uint64_t> worker_count_{0};  ///< gauge mirror of workers_.size()
 
@@ -329,8 +334,8 @@ class IngestPipeline {
   /// acquisition additionally requires an empty ring (drained-before-
   /// reuse). The array is guarded by slots_mu_; blocked acquirers park on
   /// slots_ec_, notified by releases and by drain-pass pop progress.
-  std::mutex slots_mu_;
-  std::vector<uint8_t> slot_leased_;  // guarded by slots_mu_
+  Mutex slots_mu_;
+  std::vector<uint8_t> slot_leased_ GUARDED_BY(slots_mu_);
   EventCount slots_ec_;
   std::atomic<uint64_t> slots_in_use_{0};
 
@@ -367,8 +372,8 @@ class IngestPipeline {
   /// (++tl_counter & mask) == 0. Fixed at construction.
   uint64_t sample_mask_ = 0;
 
-  mutable std::mutex error_mu_;
-  Status first_error_;
+  mutable Mutex error_mu_;
+  Status first_error_ GUARDED_BY(error_mu_);
 
   std::once_flag drain_once_;
   Status drain_result_;

@@ -35,10 +35,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "pipeline/event_type.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 namespace pipeline {
@@ -89,21 +90,30 @@ class SpillBuffer {
   /// Events currently buffered (lock-free gauge; exact only when
   /// quiescent).
   uint64_t SizeApprox() const {
+    // mo: acquire — any-thread gauge read paired with the release store
+    // under the lock, so the gauge is no staler than the last push/pop.
     return size_.load(std::memory_order_acquire);
   }
 
   /// Cumulative events ever pushed (monotonic; for stats).
   uint64_t TotalSpilled() const {
+    // mo: relaxed — monotonic stats counter; readers only need some
+    // recent value, never ordering against the buffered events.
     return spilled_.load(std::memory_order_relaxed);
   }
 
-  uint64_t capacity() const { return buf_.size(); }
+  uint64_t capacity() const { return capacity_; }
 
  private:
-  std::mutex mu_;
-  std::vector<Event> buf_;  // flat ring storage, fixed at construction
-  uint64_t head_ = 0;       // pop cursor (guarded by mu_)
-  uint64_t tail_ = 0;       // push cursor (guarded by mu_)
+  Mutex mu_;
+  /// Flat ring storage. The vector is sized once at construction and never
+  /// reallocated, but its slots are written/read only under `mu_`.
+  std::vector<Event> buf_ GUARDED_BY(mu_);
+  uint64_t head_ GUARDED_BY(mu_) = 0;  // pop cursor
+  uint64_t tail_ GUARDED_BY(mu_) = 0;  // push cursor
+  /// Immutable after construction; lets `capacity()` stay lock-free
+  /// instead of reading `buf_.size()` without the guard.
+  uint64_t capacity_ = 0;
   std::atomic<uint64_t> size_{0};
   std::atomic<uint64_t> spilled_{0};
 };

@@ -44,11 +44,18 @@ class SpscRing {
   /// workers. The consumer's head index is read with acquire semantics, so
   /// the report may lag a concurrent pop by one observation; wakeup paths
   /// must tolerate a (rare) stale verdict with a bounded-timeout recheck.
+  // HOTPATH: the producer-side submit probe — no allocation permitted.
   bool TryPush(const Event& e, bool* was_empty = nullptr) {
+    // mo: relaxed — tail_ is producer-owned; only this thread writes it,
+    // so its own last store is always visible without ordering.
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // mo: acquire — pairs with the consumer's release store in PopBatch so
+    // freed slots observed here are genuinely reusable (their reads done).
     const uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) return false;  // full
     buf_[tail & mask_] = e;
+    // mo: release — publishes the event write above to the consumer's
+    // acquire load of tail_ in PopBatch.
     tail_.store(tail + 1, std::memory_order_release);
     if (was_empty != nullptr) *was_empty = (tail == head);
     return true;
@@ -63,8 +70,12 @@ class SpscRing {
   /// acquire semantics, so the report may lag a concurrent push by one
   /// observation; wakeup paths must tolerate a (rare) stale verdict with a
   /// bounded-timeout recheck.
+  // HOTPATH: the consumer-side drain step — no allocation permitted.
   uint64_t PopBatch(Event* out, uint64_t max, bool* was_full = nullptr) {
+    // mo: relaxed — head_ is consumer-owned; only this thread writes it.
     const uint64_t head = head_.load(std::memory_order_relaxed);
+    // mo: acquire — pairs with the producer's release store in TryPush so
+    // the event writes behind the observed tail are visible to the copies.
     const uint64_t tail = tail_.load(std::memory_order_acquire);
     if (was_full != nullptr) *was_full = (tail - head == buf_.size());
     uint64_t n = tail - head;
@@ -72,13 +83,19 @@ class SpscRing {
     for (uint64_t i = 0; i < n; ++i) {
       out[i] = buf_[(head + i) & mask_];
     }
+    // mo: release — publishes the slot reads above before handing the
+    // capacity back to the producer's acquire load of head_.
     if (n > 0) head_.store(head + n, std::memory_order_release);
     return n;
   }
 
   /// Events currently queued. Exact only when both sides are quiescent.
   uint64_t SizeApprox() const {
+    // mo: acquire — an any-thread gauge read; acquire keeps each index no
+    // staler than its owner's latest release, but the pair is still only
+    // approximate (the two loads are not one atomic snapshot).
     const uint64_t tail = tail_.load(std::memory_order_acquire);
+    // mo: acquire — see above; the subtraction clamps the torn-pair case.
     const uint64_t head = head_.load(std::memory_order_acquire);
     return tail >= head ? tail - head : 0;
   }

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <thread>
 
 #include "stats/error_metrics.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace countlib {
 namespace stream {
@@ -36,7 +36,7 @@ Result<TrialReport> RunTrials(const CounterFactory& factory,
 
   std::vector<stats::StreamingSummary> bit_summaries(threads);
   std::atomic<uint64_t> next_trial{0};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   Status first_error;
 
   auto worker = [&](unsigned worker_id) {
@@ -45,7 +45,7 @@ Result<TrialReport> RunTrials(const CounterFactory& factory,
       if (trial >= trials) return;
       Result<std::unique_ptr<Counter>> counter = factory(trial);
       if (!counter.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(&error_mutex);
         if (first_error.ok()) first_error = counter.status();
         return;
       }

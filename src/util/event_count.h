@@ -40,6 +40,17 @@
 /// the far index) can still be stale, which is why every sleep carries a
 /// bounded `backstop` timeout. The backstop also caps a fully idle
 /// waiter's wake rate at ~1000/backstop_ms per second.
+///
+/// ## Static-analysis status
+///
+/// This header is the codebase's one sanctioned raw
+/// `std::mutex`/`std::condition_variable` site (conclint.py enforces
+/// that): `condition_variable::wait` demands a genuine
+/// `std::unique_lock<std::mutex>`, which the annotated `countlib::Mutex`
+/// cannot provide without defeating the analysis anyway. There is no
+/// mutex-guarded plain state here — everything shared is an atomic with
+/// the seq_cst discipline above — so Clang Thread Safety Analysis has
+/// nothing to track; the TSAN CI lane is the checker for this file.
 
 #ifndef COUNTLIB_UTIL_EVENT_COUNT_H_
 #define COUNTLIB_UTIL_EVENT_COUNT_H_
@@ -64,13 +75,21 @@ class EventCount {
 
   /// Current epoch (seq_cst). Snapshot this *before* rechecking the
   /// condition you are about to park on; pass the snapshot to `ParkOne`.
-  uint64_t Epoch() const { return epoch_.load(std::memory_order_seq_cst); }
+  uint64_t Epoch() const {
+    // mo: seq_cst — the snapshot must order before the caller's condition
+    // recheck in the Dekker total order so a notify between snapshot and
+    // park is never missed.
+    return epoch_.load(std::memory_order_seq_cst);
+  }
 
   /// True when at least one waiter is registered. For gating optional
   /// signals on hot paths (the caller skips even the epoch bump when
   /// nobody could care); pairs with the waiters' bounded backstop, which
   /// covers the registered-after-the-check race.
   bool HasWaiters() const {
+    // mo: seq_cst — this gate must slot into the same total order as the
+    // waiter-registration RMWs; a weaker load could miss a waiter that
+    // registered before the caller's progress became visible.
     return waiters_.load(std::memory_order_seq_cst) > 0;
   }
 
@@ -78,7 +97,12 @@ class EventCount {
   /// only if a waiter is registered. When nobody waits this is one atomic
   /// RMW plus one atomic load — no mutex, no syscall.
   void NotifyIfWaiters() {
+    // mo: seq_cst — the epoch bump must precede the waiter-count read in
+    // the single total order (the notifier half of the Dekker pattern; see
+    // the file comment).
     epoch_.fetch_add(1, std::memory_order_seq_cst);
+    // mo: seq_cst — paired with the waiter's seq_cst registration RMW:
+    // either this load sees the waiter or the waiter sees the new epoch.
     if (waiters_.load(std::memory_order_seq_cst) > 0) {
       // Empty critical section on purpose: taking the mutex orders this
       // notify after any waiter that registered and is about to block, so
@@ -100,10 +124,16 @@ class EventCount {
   bool ParkOne(uint64_t epoch, Cancel cancel,
                std::chrono::milliseconds backstop) {
     std::unique_lock<std::mutex> lock(mu_);
+    // mo: seq_cst — registration must precede the predicate's first epoch
+    // read in the total order (the waiter half of the Dekker pattern).
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     const bool signaled = cv_.wait_for(lock, backstop, [&] {
+      // mo: seq_cst — ordered after the registration RMW above, so a
+      // notify that missed the registration is still seen as an epoch move.
       return epoch_.load(std::memory_order_seq_cst) != epoch || cancel();
     });
+    // mo: seq_cst — symmetric with the registration; keeps the waiter
+    // count's RMWs in one total order with HasWaiters/NotifyIfWaiters.
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
     return signaled;
   }
@@ -117,10 +147,13 @@ class EventCount {
   template <typename Pred>
   void ParkUntil(Pred pred, std::chrono::milliseconds backstop) {
     std::unique_lock<std::mutex> lock(mu_);
+    // mo: seq_cst — registration before the first pred() evaluation, same
+    // Dekker discipline as ParkOne.
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     while (!pred()) {
       cv_.wait_for(lock, backstop);
     }
+    // mo: seq_cst — symmetric deregistration (see ParkOne).
     waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
 

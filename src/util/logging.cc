@@ -3,24 +3,28 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace countlib {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
-// Function-local statics so the sink machinery is usable during static
-// init/teardown of other translation units.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
+// The sink and its guard live in one struct so the guarded-by relation is
+// expressible to the thread-safety analysis; a function-local static keeps
+// the machinery usable during static init/teardown of other translation
+// units.
+struct SinkState {
+  Mutex mu;
+  LogSink sink GUARDED_BY(mu);
+};
 
-LogSink& SinkSlot() {
-  static LogSink sink;
-  return sink;
+SinkState& Sink() {
+  static SinkState state;
+  return state;
 }
 
 const char* LevelName(LogLevel level) {
@@ -40,9 +44,10 @@ const char* LevelName(LogLevel level) {
 }
 
 void Emit(LogLevel level, const std::string& line) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  if (SinkSlot()) {
-    SinkSlot()(level, line);
+  SinkState& state = Sink();
+  MutexLock lock(&state.mu);
+  if (state.sink) {
+    state.sink(level, line);
     return;
   }
   // Single write per line (newline appended into one buffer first), so
@@ -58,22 +63,27 @@ void Emit(LogLevel level, const std::string& line) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  // mo: relaxed — a settings cell; log sites tolerate reading either side
+  // of a concurrent level change.
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  // mo: relaxed — settings cell (see SetLogLevel).
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
 bool LogLevelEnabled(LogLevel level) {
+  // mo: relaxed — settings cell (see SetLogLevel).
   return level == LogLevel::kFatal ||
          static_cast<int>(level) >=
              g_log_level.load(std::memory_order_relaxed);
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  SinkSlot() = std::move(sink);
+  SinkState& state = Sink();
+  MutexLock lock(&state.mu);
+  state.sink = std::move(sink);
 }
 
 namespace internal {

@@ -127,6 +127,30 @@ TEST(AutoscalerTest, StopIsIdempotentAndSafeAfterDrain) {
   EXPECT_EQ(scaler->Stats().resize_errors, 0u);
 }
 
+// Regression test for the stop signal's EventCount migration: the control
+// loop parks for a whole sample_interval between ticks, so Stop must wake
+// it via the eventcount rather than waiting the interval out. With a 10s
+// interval, a Stop that loses the flag/notify race (flag stored after the
+// epoch bump, or the park not observing the notify) blows the bound by
+// two orders of magnitude.
+TEST(AutoscalerTest, StopInterruptsALongSampleParkPromptly) {
+  auto store = MakeExactStore();
+  PipelineOptions opt;
+  opt.num_producers = 2;
+  auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+  AutoscalerConfig config;
+  config.sample_interval = std::chrono::seconds(10);
+  auto scaler = Autoscaler::Make(pipeline.get(), config).ValueOrDie();
+
+  // Give the control loop a moment to reach its park.
+  std::this_thread::sleep_for(milliseconds(50));
+  const auto t0 = steady_clock::now();
+  scaler->Stop();
+  const auto elapsed = steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  ASSERT_TRUE(pipeline->Drain().ok());
+}
+
 // The policy acceptance test: a burst of producer traffic must grow the
 // pool above its floor, a quiet period must shrink it back, and the churn
 // must lose zero events. Thresholds are sized so the verdicts are forced,

@@ -105,6 +105,38 @@ TEST(SpillBufferTest, ConcurrentPushersAndPoppersLoseNothing) {
   EXPECT_EQ(spill.TotalSpilled(), kPushers * kPerPusher);
 }
 
+// Regression test for capacity(): it used to read buf_.size() without the
+// lock — an unguarded read of mutex-protected state (benign only because
+// the vector never resizes, but a data race by contract and a
+// thread-safety-analysis violation). It is now an immutable member set at
+// construction; it must hold its value (including the 0 -> 1 clamp) while
+// pushers and poppers churn the buffer.
+TEST(SpillBufferTest, CapacityIsImmutableUnderConcurrentChurn) {
+  EXPECT_EQ(SpillBuffer(0).capacity(), 1u);  // clamp survives the refactor
+
+  SpillBuffer spill(64);
+  std::atomic<bool> stop{false};
+  std::thread pusher([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      spill.TryPush(Event{i++, 1});
+    }
+  });
+  std::thread popper([&] {
+    Event out[16];
+    while (!stop.load(std::memory_order_acquire)) {
+      spill.PopBatch(out, 16);
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(spill.capacity(), 64u);
+  }
+  stop.store(true, std::memory_order_release);
+  pusher.join();
+  popper.join();
+  EXPECT_EQ(spill.capacity(), 64u);
+}
+
 TEST(OverloadPolicyTest, NamesAreStable) {
   EXPECT_STREQ(OverloadPolicyName(OverloadPolicy::kBlock), "block");
   EXPECT_STREQ(OverloadPolicyName(OverloadPolicy::kShed), "shed");

@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""countlib's concurrency linter: mechanical checks for the conventions
+documented in docs/concurrency.md. Runs over src/ by default; CI runs it
+as part of the static-analysis lane and ctest runs its test suite
+(tools/conclint_test.py).
+
+Rules (names are stable; the allowlist references them):
+
+  mo-comment     Every explicit ``std::memory_order_*`` argument must be
+                 justified by a ``// mo:`` comment — on the same line, or
+                 in the comment block immediately above the statement. A
+                 contiguous run of memory-order statements may share one
+                 block comment (e.g. ``// mo: relaxed x4 — ...``).
+
+  hotpath-alloc  A function tagged with a ``// HOTPATH`` comment directly
+                 above its signature must not allocate: no ``new``, no
+                 malloc-family call, no growing container calls
+                 (push_back/emplace/resize/reserve/insert/append), no
+                 make_unique/make_shared, no std::string construction or
+                 to_string. These functions are the submit/drain/record
+                 paths that must stay allocation-free under saturation.
+
+  raw-park       Raw standard park/notify machinery —
+                 ``std::condition_variable``, ``std::mutex`` and its lock
+                 guards, ``notify_one``/``notify_all`` — is forbidden
+                 outside the two sanctioned files: util/event_count.h
+                 (the one park/notify primitive; a CV wait demands a
+                 genuine std::unique_lock<std::mutex>) and util/mutex.h
+                 (the annotated wrapper over std::mutex). Everything else
+                 blocks via EventCount and locks via countlib::Mutex.
+
+Allowlist: ``tools/conclint_allow.txt``, one ``path:line:rule`` entry per
+line (path is repo-relative, ``#`` comments allowed). An entry silences
+exactly one finding at that location; entries that match nothing are
+themselves reported (stale allowlist lines rot fast, so they fail the
+lint).
+
+Usage:
+  tools/conclint.py [paths...] [--allowlist tools/conclint_allow.txt]
+
+Exit status: 0 = clean, 1 = violations found, 2 = bad invocation.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files where rule raw-park does not apply (repo-relative, POSIX slashes).
+RAW_PARK_SANCTIONED = (
+    "src/util/event_count.h",
+    "src/util/mutex.h",
+)
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+MEMORY_ORDER_TOKEN = "std::memory_order_"
+
+RAW_PARK_RE = re.compile(
+    r"std::(condition_variable(_any)?|mutex|timed_mutex|recursive_mutex|"
+    r"shared_mutex|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bnotify_(one|all)\s*\("
+)
+
+ALLOC_RE = re.compile(
+    r"\bnew\b"
+    r"|\b(malloc|calloc|realloc|strdup)\s*\("
+    r"|(?:\.|->)(push_back|emplace_back|emplace|resize|reserve|insert|append)\b"
+    r"|\bmake_(unique|shared)\b"
+    r"|\bstd::string\s*[({]"
+    r"|\bto_string\b"
+)
+
+HOTPATH_TAG_RE = re.compile(r"^\s*//+\s*HOTPATH\b")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path  # repo-relative
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals blanked out
+    (replaced by spaces, preserving line numbers and column positions) and,
+    separately, the comment text of each line. Good enough for the token
+    scans above: no raw strings or trigraphs in this codebase."""
+    code_lines = []
+    comment_lines = []
+    in_block_comment = False
+    for line in lines:
+        code = []
+        comment = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block_comment:
+                if c == "*" and nxt == "/":
+                    in_block_comment = False
+                    comment.append("*/")
+                    code.append("  ")
+                    i += 2
+                else:
+                    comment.append(c)
+                    code.append(" ")
+                    i += 1
+            elif c == "/" and nxt == "/":
+                comment.append(line[i:])
+                code.append(" " * (n - i))
+                i = n
+            elif c == "/" and nxt == "*":
+                in_block_comment = True
+                comment.append("/*")
+                code.append("  ")
+                i += 2
+            elif c == '"' or c == "'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        code.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        code.append(quote)
+                        i += 1
+                        break
+                    code.append(" ")
+                    i += 1
+            else:
+                code.append(c)
+                i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+def check_mo_comments(path, lines, code, comments, out):
+    """Rule mo-comment (see module docstring for the covering rules)."""
+    for i, code_line in enumerate(code):
+        if MEMORY_ORDER_TOKEN not in code_line:
+            continue
+        if "mo:" in comments[i]:
+            continue
+        # Walk upward: skip continuation lines of this statement, skip
+        # complete statements that are themselves memory-order sites (a
+        # shared block comment covers the whole contiguous run), and
+        # accept any comment line carrying "mo:" before other code.
+        justified = False
+        j = i - 1
+        while j >= 0:
+            comment = comments[j].strip()
+            stripped = code[j].strip()
+            if stripped == "" and comment != "":
+                if "mo:" in comment:
+                    justified = True
+                    break
+                j -= 1
+                continue
+            if MEMORY_ORDER_TOKEN in code[j] and stripped.endswith(";"):
+                j -= 1
+                continue
+            if stripped != "" and not stripped.endswith((";", "{", "}")):
+                j -= 1  # continuation line of a multi-line statement
+                continue
+            break
+        if not justified:
+            out.append(Violation(
+                path, i + 1, "mo-comment",
+                "explicit std::memory_order_* without a `// mo:` "
+                "justification on the same line or in the comment block "
+                "above the statement"))
+
+
+def check_hotpath_alloc(path, lines, code, comments, out):
+    """Rule hotpath-alloc (see module docstring)."""
+    for i, comment in enumerate(comments):
+        if not HOTPATH_TAG_RE.match(comment.strip()) and not (
+                code[i].strip() == "" and HOTPATH_TAG_RE.match(comment)):
+            continue
+        # Find the function's opening brace after the tag, then its match.
+        depth = 0
+        opened = False
+        j = i + 1
+        while j < len(code):
+            for c in code[j]:
+                if c == "{":
+                    depth += 1
+                    opened = True
+                elif c == "}":
+                    depth -= 1
+            if opened:
+                m = ALLOC_RE.search(code[j])
+                if m:
+                    out.append(Violation(
+                        path, j + 1, "hotpath-alloc",
+                        f"allocation in `// HOTPATH` function "
+                        f"(tagged at line {i + 1}): {m.group(0)!r}"))
+            if opened and depth <= 0:
+                break
+            j += 1
+
+
+def check_raw_park(path, lines, code, comments, out):
+    """Rule raw-park (see module docstring)."""
+    if path in RAW_PARK_SANCTIONED:
+        return
+    for i, code_line in enumerate(code):
+        m = RAW_PARK_RE.search(code_line)
+        if m:
+            out.append(Violation(
+                path, i + 1, "raw-park",
+                f"raw park/notify primitive {m.group(0)!r} outside "
+                f"util/event_count.h — park via EventCount, lock via "
+                f"countlib::Mutex (util/mutex.h)"))
+
+
+def lint_text(path, text):
+    """Lints one file's contents; `path` is repo-relative with POSIX
+    slashes. Returns a list of Violations."""
+    lines = text.splitlines()
+    code, comments = strip_code(lines)
+    out = []
+    check_mo_comments(path, lines, code, comments, out)
+    check_hotpath_alloc(path, lines, code, comments, out)
+    check_raw_park(path, lines, code, comments, out)
+    return out
+
+
+def load_allowlist(path):
+    """Parses `path` into a set of (file, line, rule) triples. Raises
+    ValueError on a malformed entry."""
+    entries = set()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.rsplit(":", 2)
+            if len(parts) != 3 or not parts[1].isdigit():
+                raise ValueError(
+                    f"{path}:{lineno}: malformed allowlist entry {raw!r} "
+                    f"(want path:line:rule)")
+            entries.add((parts[0], int(parts[1]), parts[2]))
+    return entries
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isfile(absolute):
+            files.append(absolute)
+        elif os.path.isdir(absolute):
+            for root, _, names in os.walk(absolute):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="countlib concurrency linter (see docs/concurrency.md)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             "(default: src/ under the repo root)")
+    parser.add_argument("--allowlist",
+                        default=os.path.join(REPO_ROOT, "tools",
+                                             "conclint_allow.txt"),
+                        help="path:line:rule suppression file")
+    args = parser.parse_args(argv)
+
+    paths = args.paths if args.paths else ["src"]
+    try:
+        files = collect_files(paths)
+    except FileNotFoundError as e:
+        print(f"conclint: no such path: {e}", file=sys.stderr)
+        return 2
+
+    allow = set()
+    if os.path.exists(args.allowlist):
+        try:
+            allow = load_allowlist(args.allowlist)
+        except ValueError as e:
+            print(f"conclint: {e}", file=sys.stderr)
+            return 2
+
+    violations = []
+    for absolute in files:
+        rel = os.path.relpath(absolute, REPO_ROOT).replace(os.sep, "/")
+        try:
+            with open(absolute, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as e:
+            print(f"conclint: cannot read {rel}: {e}", file=sys.stderr)
+            return 2
+        violations.extend(lint_text(rel, text))
+
+    used = set()
+    reported = []
+    for v in violations:
+        key = (v.path, v.line, v.rule)
+        if key in allow:
+            used.add(key)
+        else:
+            reported.append(v)
+    for entry in sorted(allow - used):
+        reported.append(Violation(
+            entry[0], entry[1], entry[2],
+            "stale allowlist entry (no matching finding) — remove it from "
+            "tools/conclint_allow.txt"))
+
+    for v in reported:
+        print(v)
+    if reported:
+        print(f"conclint: {len(reported)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"conclint: clean ({len(files)} file(s))", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
