@@ -77,7 +77,7 @@ class ConcurrentCounterStore {
   /// `this`, so the handles must be released (destroyed) before the store
   /// is moved or destroyed. Calling twice registers twice and
   /// double-counts in snapshots.
-  std::vector<obs::Registration> RegisterMetrics();
+  [[nodiscard]] std::vector<obs::Registration> RegisterMetrics();
 
   /// Total distinct keys across stripes (takes all locks; O(stripes)).
   uint64_t NumKeys() const;
@@ -89,7 +89,7 @@ class ConcurrentCounterStore {
 
  private:
   struct Stripe {
-    mutable Mutex mu;
+    mutable Mutex mu LOCK_LEVEL(80);
     /// The packed store behind this stripe's lock. The pointer itself is
     /// set once at construction and never reseated; the pointee (every
     /// CounterStore call) requires `mu` — which is exactly what

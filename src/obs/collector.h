@@ -114,7 +114,7 @@ class MetricsCollector {
   Registry* registry_;
   const CollectorOptions options_;
 
-  mutable Mutex series_mu_;
+  mutable Mutex series_mu_ LOCK_LEVEL(70);
   std::map<std::string, TimeSeries> series_ GUARDED_BY(series_mu_);
 
   std::atomic<bool> stop_{false};

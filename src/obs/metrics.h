@@ -222,7 +222,11 @@ class Registry;
 
 /// \brief RAII handle for one registered instrument; deregisters on
 /// destruction. Movable, not copyable.
-class Registration {
+///
+/// `[[nodiscard]]`: ignoring the returned handle destroys it immediately,
+/// which silently deregisters the instrument in the same statement that
+/// registered it.
+class [[nodiscard]] Registration {
  public:
   Registration() = default;
   Registration(Registration&& other) noexcept { *this = std::move(other); }
@@ -314,7 +318,7 @@ class Registry {
   void Unregister(uint64_t id);
   Registration Insert(Entry entry);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ LOCK_LEVEL(60);
   std::vector<Entry> entries_ GUARDED_BY(mu_);  // erased on deregistration
   uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/timer.h"
+#include "util/logging.h"
 
 namespace countlib {
 namespace pipeline {
@@ -254,7 +255,16 @@ uint64_t IngestPipeline::SampleTimestamp() const {
   return obs::CoarseClock::NowNanos();
 }
 
-IngestPipeline::~IngestPipeline() { Drain(); }
+IngestPipeline::~IngestPipeline() {
+  // A destructor cannot propagate the drain status; surface it instead of
+  // silently dropping events that never reached the store.
+  Status st = Drain();
+  if (!st.ok()) {
+    COUNTLIB_LOG(Error) << "IngestPipeline::~IngestPipeline: final drain "
+                           "failed: "
+                        << st.ToString();
+  }
+}
 
 void IngestPipeline::SpawnWorkersLocked(uint64_t n) {
   {

@@ -298,14 +298,14 @@ class IngestPipeline {
   /// Worker pool; guarded by workers_mu_ (resize/join), as are
   /// options_.num_workers updates. workers_mu_ is held across joins, so
   /// nothing on a read path may take it.
-  Mutex workers_mu_;
+  Mutex workers_mu_ LOCK_LEVEL(10);
   std::vector<std::thread> workers_ GUARDED_BY(workers_mu_);
   /// Stat cells are guarded by their own (briefly held) mutex so
   /// Stats/PerWorkerStats snapshots never block behind a resize or drain
   /// join. The vector only grows, and only while no workers are live;
   /// workers hold raw pointers to their own cells, which growth never
   /// invalidates.
-  mutable Mutex cells_mu_;
+  mutable Mutex cells_mu_ LOCK_LEVEL(20);
   std::vector<std::unique_ptr<WorkerStatCells>> worker_cells_
       GUARDED_BY(cells_mu_);
   std::atomic<uint64_t> worker_gen_{0};    ///< bumped to retire a generation
@@ -334,7 +334,7 @@ class IngestPipeline {
   /// acquisition additionally requires an empty ring (drained-before-
   /// reuse). The array is guarded by slots_mu_; blocked acquirers park on
   /// slots_ec_, notified by releases and by drain-pass pop progress.
-  Mutex slots_mu_;
+  Mutex slots_mu_ LOCK_LEVEL(30);
   std::vector<uint8_t> slot_leased_ GUARDED_BY(slots_mu_);
   EventCount slots_ec_;
   std::atomic<uint64_t> slots_in_use_{0};
@@ -372,7 +372,7 @@ class IngestPipeline {
   /// (++tl_counter & mask) == 0. Fixed at construction.
   uint64_t sample_mask_ = 0;
 
-  mutable Mutex error_mu_;
+  mutable Mutex error_mu_ LOCK_LEVEL(40);
   Status first_error_ GUARDED_BY(error_mu_);
 
   std::once_flag drain_once_;

@@ -105,7 +105,7 @@ class SpillBuffer {
   uint64_t capacity() const { return capacity_; }
 
  private:
-  Mutex mu_;
+  Mutex mu_ LOCK_LEVEL(50);
   /// Flat ring storage. The vector is sized once at construction and never
   /// reallocated, but its slots are written/read only under `mu_`.
   std::vector<Event> buf_ GUARDED_BY(mu_);

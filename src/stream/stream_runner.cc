@@ -36,7 +36,7 @@ Result<TrialReport> RunTrials(const CounterFactory& factory,
 
   std::vector<stats::StreamingSummary> bit_summaries(threads);
   std::atomic<uint64_t> next_trial{0};
-  Mutex error_mutex;
+  Mutex error_mutex LOCK_LEVEL(85);
   Status first_error;
 
   auto worker = [&](unsigned worker_id) {

@@ -18,7 +18,7 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 // the machinery usable during static init/teardown of other translation
 // units.
 struct SinkState {
-  Mutex mu;
+  Mutex mu LOCK_LEVEL(90);
   LogSink sink GUARDED_BY(mu);
 };
 

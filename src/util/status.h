@@ -46,7 +46,12 @@ const char* StatusCodeToString(StatusCode code);
 /// The OK state is represented without allocation; error states carry a
 /// heap-allocated message. `Status` is cheap to move and to copy in the OK
 /// case.
-class Status {
+///
+/// The class is `[[nodiscard]]`: every function returning a `Status` by
+/// value warns when the caller ignores the result, so error paths cannot
+/// be dropped silently. Tested inspection (`if (!s.ok())`) or propagation
+/// (COUNTLIB_RETURN_NOT_OK) are the only sanctioned uses.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -138,8 +143,11 @@ class Status {
 ///
 /// `Result` mirrors `arrow::Result`: it always holds exactly one of the two.
 /// Accessing the value of an errored result aborts (programming error).
+///
+/// `[[nodiscard]]` for the same reason as `Status`: discarding a `Result`
+/// discards both the computed value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

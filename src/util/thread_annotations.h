@@ -90,4 +90,21 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   COUNTLIB_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+/// Declares a mutex's position in the global lock hierarchy
+/// (docs/concurrency.md, "Lock hierarchy"). While holding a mutex of
+/// level L, a thread may only acquire mutexes with level strictly
+/// greater than L — so the hierarchy is acyclic by construction and
+/// tools/locktree.py can check every acquisition site against it.
+/// Every `countlib::Mutex` declaration in src/ must carry one:
+///
+///   Mutex cells_mu_ LOCK_LEVEL(20);
+///
+/// Under Clang this also plants an `annotate("countlib::lock_level=N")`
+/// attribute in the AST so locktree's libclang cross-validation pass can
+/// verify the levels it parsed syntactically; elsewhere it expands to
+/// nothing. locktree itself reads the macro text, so the check runs on
+/// any toolchain.
+#define LOCK_LEVEL(n) \
+  COUNTLIB_THREAD_ANNOTATION__(annotate("countlib::lock_level=" #n))
+
 #endif  // COUNTLIB_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,153 @@
+// Runtime companion to tools/locktree.py: exercises the documented lock
+// hierarchy's cross-class edges concurrently, in the documented order,
+// so the TSAN CI lane (which includes this suite) would observe any
+// lock-order inversion the static analyzer misses as a real deadlock or
+// race. The three edges covered are exactly the ones the static engine
+// cannot fully see (docs/concurrency.md "Known limits"):
+//
+//   Registry::mu_ (60) -> ConcurrentCounterStore::mu (80)
+//     via gauge std::function callbacks run under the registry lock;
+//   IngestPipeline::workers_mu_ (10) -> cells_mu_ (20)
+//     via SetWorkerCount's resize barrier;
+//   Registry::mu_ (60) -> MetricsCollector::series_mu_ (70)
+//     via the collector's series-provider callback in TakeSnapshot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "obs/collector.h"
+#include "obs/metrics.h"
+#include "pipeline/ingest_pipeline.h"
+
+namespace countlib {
+namespace {
+
+analytics::ConcurrentCounterStore MakeStore(uint64_t stripes = 4) {
+  return analytics::ConcurrentCounterStore::Make(
+             stripes, CounterKind::kExact, 32, (uint64_t{1} << 32) - 1, 1)
+      .ValueOrDie();
+}
+
+// Registry (60) -> stripe (80): snapshots run the store's gauge callbacks
+// under the registry mutex while writers hammer the stripe locks.
+TEST(LockHierarchyTest, RegistrySnapshotVsStripeWriters) {
+  auto store = MakeStore();
+  std::vector<obs::Registration> regs = store.RegisterMetrics();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t key = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(store.Increment(key++ % 64, 1).ok());
+    }
+  });
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::Snapshot snap = obs::Registry::Default().TakeSnapshot();
+      (void)snap;
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  snapshotter.join();
+
+  // Handles must release before the store (and this test) go away.
+  regs.clear();
+  EXPECT_GT(store.NumKeys(), 0u);
+}
+
+// workers_mu_ (10) -> cells_mu_ (20): elastic resizes take both in order
+// while stats readers take cells_mu_ alone and submitters run the lock-free
+// fast path.
+TEST(LockHierarchyTest, ElasticResizeVsStatsReaders) {
+  auto store = MakeStore();
+  pipeline::PipelineOptions opt;
+  opt.num_producers = 2;
+  opt.num_workers = 1;
+  auto pipe = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    uint64_t n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(pipe->SetWorkerCount(1 + (n++ % 3)).ok());
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<pipeline::WorkerStats> per = pipe->PerWorkerStats();
+      (void)per;
+      pipeline::PipelineStats s = pipe->Stats();
+      (void)s;
+      std::this_thread::yield();
+    }
+  });
+  std::thread submitter([&] {
+    uint64_t key = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status st = pipe->TrySubmit(0, key++ % 16, 1);
+      ASSERT_TRUE(st.ok() || st.IsPending());
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  resizer.join();
+  reader.join();
+  submitter.join();
+
+  ASSERT_TRUE(pipe->Drain().ok());
+}
+
+// Registry (60) -> collector series (70): snapshots fold the collector's
+// ring buffers in under the registry mutex while the collector thread and
+// a direct Series() reader take series_mu_ on their own.
+TEST(LockHierarchyTest, RegistrySnapshotVsCollectorSeries) {
+  obs::Registry registry;
+  obs::Counter work;
+  obs::Registration counter_reg =
+      registry.RegisterCounter("lock_hierarchy_work", &work);
+  obs::CollectorOptions opt;
+  opt.sample_interval = std::chrono::milliseconds(1);
+  auto collector =
+      obs::MetricsCollector::Make(&registry, opt).ValueOrDie();
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::Snapshot snap = registry.TakeSnapshot();
+      (void)snap;
+      std::this_thread::yield();
+    }
+  });
+  std::thread series_reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto series = collector->Series();
+      (void)series;
+      work.Add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  series_reader.join();
+
+  collector->Stop();
+  EXPECT_GT(collector->ticks(), 0u);
+}
+
+}  // namespace
+}  // namespace countlib

@@ -10,11 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "util/logging.h"
 
 namespace countlib {
 namespace pipeline {
@@ -307,6 +310,35 @@ TEST(IngestPipelineTest, StatsReportQueueDepthWhileIdleWorkerSleeps) {
   EXPECT_EQ(stats.events_applied, 100u);
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_TRUE(pipeline->LastError().ok());
+}
+
+// Regression for the destructor discarding Drain()'s status: destruction
+// without an explicit Drain must still drain every accepted event, and a
+// clean final drain must not emit an error line through the destructor's
+// status-surfacing path.
+TEST(IngestPipelineTest, DestructorDrainsAndSurfacesStatus) {
+  std::vector<std::string> error_lines;
+  std::mutex sink_mu;
+  SetLogSink([&](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kError) {
+      std::lock_guard<std::mutex> lock(sink_mu);
+      error_lines.push_back(line);
+    }
+  });
+
+  auto store = MakeExactStore();
+  {
+    PipelineOptions opt;
+    opt.num_producers = 2;
+    auto pipeline = IngestPipeline::Make(&store, opt).ValueOrDie();
+    ASSERT_TRUE(pipeline->Submit(0, 7, 3).ok());
+    ASSERT_TRUE(pipeline->Submit(1, 7, 4).ok());
+    // No Drain() here: the destructor owns the final drain.
+  }
+  SetLogSink(nullptr);
+
+  EXPECT_EQ(store.Estimate(7).ValueOrDie(), 7.0);
+  EXPECT_TRUE(error_lines.empty());
 }
 
 }  // namespace

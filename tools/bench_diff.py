@@ -152,7 +152,16 @@ def main():
             regressions += 1
         print(f"{path:<{width}}  base={base:<14.6g} cur={cur:<14.6g} "
               f"{verdict:<10} {note}")
-    print(f"\nbench_diff: {len(rows)} metrics judged, "
+    # Always end on an explicit one-line verdict, so a green run is
+    # greppable in CI logs and a human skimming the step sees the outcome
+    # without counting rows.
+    if regressions == 0:
+        verdict = "PASS"
+    elif ARGS.warn_only:
+        verdict = "WARN (not gating)"
+    else:
+        verdict = "FAIL"
+    print(f"\nbench_diff: {verdict} — {len(rows)} metrics judged, "
           f"{regressions} regression(s) at threshold {ARGS.threshold:.0%}")
     if regressions and not ARGS.warn_only:
         return 1

@@ -141,7 +141,7 @@ class CliTest(unittest.TestCase):
 
     GOOD = {"events_per_sec": 1000.0, "lost_events": 0}
 
-    def run_cli(self, baseline, current, *extra):
+    def run_cli_full(self, baseline, current, *extra):
         tool = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                             "bench_diff.py")
         with tempfile.TemporaryDirectory() as d:
@@ -154,7 +154,10 @@ class CliTest(unittest.TestCase):
             return subprocess.run(
                 [sys.executable, tool, "--baseline", bpath,
                  "--current", cpath, *extra],
-                capture_output=True, text=True).returncode
+                capture_output=True, text=True)
+
+    def run_cli(self, baseline, current, *extra):
+        return self.run_cli_full(baseline, current, *extra).returncode
 
     def test_clean_diff_exits_zero(self):
         self.assertEqual(self.run_cli(self.GOOD, self.GOOD), 0)
@@ -168,6 +171,24 @@ class CliTest(unittest.TestCase):
         bad = copy.deepcopy(self.GOOD)
         bad["lost_events"] = 7
         self.assertEqual(self.run_cli(self.GOOD, bad, "--warn-only"), 0)
+
+    def test_clean_diff_prints_pass_verdict(self):
+        # The explicit verdict line must appear even when nothing regressed
+        # — a green run is a statement, not an absence of output.
+        proc = self.run_cli_full(self.GOOD, self.GOOD)
+        self.assertIn("bench_diff: PASS", proc.stdout)
+
+    def test_regression_prints_fail_verdict(self):
+        bad = copy.deepcopy(self.GOOD)
+        bad["lost_events"] = 7
+        proc = self.run_cli_full(self.GOOD, bad)
+        self.assertIn("bench_diff: FAIL", proc.stdout)
+
+    def test_warn_only_prints_warn_verdict(self):
+        bad = copy.deepcopy(self.GOOD)
+        bad["lost_events"] = 7
+        proc = self.run_cli_full(self.GOOD, bad, "--warn-only")
+        self.assertIn("bench_diff: WARN (not gating)", proc.stdout)
 
     def test_schema_mismatch_exits_two(self):
         self.assertEqual(self.run_cli({"unrelated": 1}, {"other": 2}), 2)

@@ -30,10 +30,8 @@ Rules (names are stable; the allowlist references them):
                  blocks via EventCount and locks via countlib::Mutex.
 
 Allowlist: ``tools/conclint_allow.txt``, one ``path:line:rule`` entry per
-line (path is repo-relative, ``#`` comments allowed). An entry silences
-exactly one finding at that location; entries that match nothing are
-themselves reported (stale allowlist lines rot fast, so they fail the
-lint).
+line — format, matching, and stale-entry discipline are shared with
+locktree via tools/lintlib.py.
 
 Usage:
   tools/conclint.py [paths...] [--allowlist tools/conclint_allow.txt]
@@ -46,15 +44,15 @@ import os
 import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lintlib import (REPO_ROOT, Violation, apply_allowlist, collect_files,
+                     load_allowlist, repo_relative, strip_code)
 
 # Files where rule raw-park does not apply (repo-relative, POSIX slashes).
 RAW_PARK_SANCTIONED = (
     "src/util/event_count.h",
     "src/util/mutex.h",
 )
-
-SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 MEMORY_ORDER_TOKEN = "std::memory_order_"
 
@@ -74,75 +72,6 @@ ALLOC_RE = re.compile(
 )
 
 HOTPATH_TAG_RE = re.compile(r"^\s*//+\s*HOTPATH\b")
-
-
-class Violation:
-    def __init__(self, path, line, rule, message):
-        self.path = path  # repo-relative
-        self.line = line  # 1-based
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_code(lines):
-    """Returns lines with comments and string/char literals blanked out
-    (replaced by spaces, preserving line numbers and column positions) and,
-    separately, the comment text of each line. Good enough for the token
-    scans above: no raw strings or trigraphs in this codebase."""
-    code_lines = []
-    comment_lines = []
-    in_block_comment = False
-    for line in lines:
-        code = []
-        comment = []
-        i = 0
-        n = len(line)
-        while i < n:
-            c = line[i]
-            nxt = line[i + 1] if i + 1 < n else ""
-            if in_block_comment:
-                if c == "*" and nxt == "/":
-                    in_block_comment = False
-                    comment.append("*/")
-                    code.append("  ")
-                    i += 2
-                else:
-                    comment.append(c)
-                    code.append(" ")
-                    i += 1
-            elif c == "/" and nxt == "/":
-                comment.append(line[i:])
-                code.append(" " * (n - i))
-                i = n
-            elif c == "/" and nxt == "*":
-                in_block_comment = True
-                comment.append("/*")
-                code.append("  ")
-                i += 2
-            elif c == '"' or c == "'":
-                quote = c
-                code.append(quote)
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        code.append("  ")
-                        i += 2
-                        continue
-                    if line[i] == quote:
-                        code.append(quote)
-                        i += 1
-                        break
-                    code.append(" ")
-                    i += 1
-            else:
-                code.append(c)
-                i += 1
-        code_lines.append("".join(code))
-        comment_lines.append("".join(comment))
-    return code_lines, comment_lines
 
 
 def check_mo_comments(path, lines, code, comments, out):
@@ -237,40 +166,6 @@ def lint_text(path, text):
     return out
 
 
-def load_allowlist(path):
-    """Parses `path` into a set of (file, line, rule) triples. Raises
-    ValueError on a malformed entry."""
-    entries = set()
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, raw in enumerate(fh, start=1):
-            line = raw.split("#", 1)[0].strip()
-            if not line:
-                continue
-            parts = line.rsplit(":", 2)
-            if len(parts) != 3 or not parts[1].isdigit():
-                raise ValueError(
-                    f"{path}:{lineno}: malformed allowlist entry {raw!r} "
-                    f"(want path:line:rule)")
-            entries.add((parts[0], int(parts[1]), parts[2]))
-    return entries
-
-
-def collect_files(paths):
-    files = []
-    for p in paths:
-        absolute = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
-        if os.path.isfile(absolute):
-            files.append(absolute)
-        elif os.path.isdir(absolute):
-            for root, _, names in os.walk(absolute):
-                for name in sorted(names):
-                    if name.endswith(SOURCE_EXTENSIONS):
-                        files.append(os.path.join(root, name))
-        else:
-            raise FileNotFoundError(p)
-    return files
-
-
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="countlib concurrency linter (see docs/concurrency.md)")
@@ -300,7 +195,7 @@ def main(argv=None):
 
     violations = []
     for absolute in files:
-        rel = os.path.relpath(absolute, REPO_ROOT).replace(os.sep, "/")
+        rel = repo_relative(absolute)
         try:
             with open(absolute, "r", encoding="utf-8") as fh:
                 text = fh.read()
@@ -309,19 +204,7 @@ def main(argv=None):
             return 2
         violations.extend(lint_text(rel, text))
 
-    used = set()
-    reported = []
-    for v in violations:
-        key = (v.path, v.line, v.rule)
-        if key in allow:
-            used.add(key)
-        else:
-            reported.append(v)
-    for entry in sorted(allow - used):
-        reported.append(Violation(
-            entry[0], entry[1], entry[2],
-            "stale allowlist entry (no matching finding) — remove it from "
-            "tools/conclint_allow.txt"))
+    reported = apply_allowlist(violations, allow, "tools/conclint_allow.txt")
 
     for v in reported:
         print(v)

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Shared infrastructure for countlib's repo linters (conclint, locktree).
+
+One implementation of the pieces every linter here needs:
+
+  Violation       the finding record every linter emits (path:line:rule).
+  strip_code      blank comments and string/char literals out of source
+                  lines while preserving line numbers and columns, and
+                  return the comment text separately.
+  load_allowlist  parse a ``path:line:rule`` suppression file.
+  apply_allowlist filter findings through an allowlist and report stale
+                  entries (entries that match nothing) as violations —
+                  stale allowlist lines rot fast, so they fail the lint.
+  collect_files   expand file/directory arguments into source files.
+
+Allowlist format (shared by tools/conclint_allow.txt and
+tools/locktree_allow.txt): one ``path:line:rule`` entry per line, path
+repo-relative with POSIX slashes, ``#`` comments allowed. An entry
+silences exactly one finding at that exact location; when the code moves,
+the entry goes stale and the lint fails until it is re-anchored or
+removed.
+"""
+
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path  # repo-relative
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Returns lines with comments and string/char literals blanked out
+    (replaced by spaces, preserving line numbers and column positions) and,
+    separately, the comment text of each line. Good enough for the token
+    scans the linters do: no raw strings or trigraphs in this codebase."""
+    code_lines = []
+    comment_lines = []
+    in_block_comment = False
+    for line in lines:
+        code = []
+        comment = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block_comment:
+                if c == "*" and nxt == "/":
+                    in_block_comment = False
+                    comment.append("*/")
+                    code.append("  ")
+                    i += 2
+                else:
+                    comment.append(c)
+                    code.append(" ")
+                    i += 1
+            elif c == "/" and nxt == "/":
+                comment.append(line[i:])
+                code.append(" " * (n - i))
+                i = n
+            elif c == "/" and nxt == "*":
+                in_block_comment = True
+                comment.append("/*")
+                code.append("  ")
+                i += 2
+            elif c == '"' or c == "'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        code.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        code.append(quote)
+                        i += 1
+                        break
+                    code.append(" ")
+                    i += 1
+            else:
+                code.append(c)
+                i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+def load_allowlist(path):
+    """Parses `path` into a set of (file, line, rule) triples. Raises
+    ValueError on a malformed entry."""
+    entries = set()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.rsplit(":", 2)
+            if len(parts) != 3 or not parts[1].isdigit():
+                raise ValueError(
+                    f"{path}:{lineno}: malformed allowlist entry {raw!r} "
+                    f"(want path:line:rule)")
+            entries.add((parts[0], int(parts[1]), parts[2]))
+    return entries
+
+
+def apply_allowlist(violations, allow, allowlist_name):
+    """Filters `violations` through the (file, line, rule) set `allow`.
+    Returns the surviving list, with one extra Violation appended per
+    stale allowlist entry (an entry that matched no finding).
+    `allowlist_name` is the repo-relative file named in the stale-entry
+    message."""
+    used = set()
+    reported = []
+    for v in violations:
+        key = (v.path, v.line, v.rule)
+        if key in allow:
+            used.add(key)
+        else:
+            reported.append(v)
+    for entry in sorted(allow - used):
+        reported.append(Violation(
+            entry[0], entry[1], entry[2],
+            f"stale allowlist entry (no matching finding) — remove it "
+            f"from {allowlist_name}"))
+    return reported
+
+
+def collect_files(paths, extensions=SOURCE_EXTENSIONS):
+    """Expands file/directory arguments (repo-relative or absolute) into a
+    list of absolute source-file paths. Raises FileNotFoundError."""
+    files = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(REPO_ROOT, p)
+        if os.path.isfile(absolute):
+            files.append(absolute)
+        elif os.path.isdir(absolute):
+            for root, _, names in os.walk(absolute):
+                for name in sorted(names):
+                    if name.endswith(extensions):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def repo_relative(absolute):
+    return os.path.relpath(absolute, REPO_ROOT).replace(os.sep, "/")

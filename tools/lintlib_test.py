@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lintlib.py — the allowlist parser/matcher and
+source stripper shared by conclint and locktree. Run directly or via
+ctest (lintlib_py_test)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lintlib
+from lintlib import (Violation, apply_allowlist, collect_files,
+                     load_allowlist, strip_code)
+
+
+def write_allow(text):
+    fh = tempfile.NamedTemporaryFile(
+        "w", suffix=".txt", delete=False, encoding="utf-8")
+    fh.write(text)
+    fh.close()
+    return fh.name
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_line_comment_blanked(self):
+        code, comments = strip_code(["int x;  // trailing note"])
+        self.assertEqual(code[0].rstrip(), "int x;")
+        self.assertIn("trailing note", comments[0])
+
+    def test_block_comment_spans_lines(self):
+        code, comments = strip_code(["int a; /* start", "middle", "end */ int b;"])
+        self.assertEqual(code[0].rstrip(), "int a;")
+        self.assertEqual(code[1].strip(), "")
+        self.assertIn("int b;", code[2])
+        self.assertIn("middle", comments[1])
+
+    def test_string_contents_blanked_columns_preserved(self):
+        code, _ = strip_code(['call("std::mutex inside string");'])
+        self.assertNotIn("std::mutex", code[0])
+        self.assertEqual(len(code[0]), len('call("std::mutex inside string");'))
+        # Quotes themselves survive so paren/quote balance is intact.
+        self.assertEqual(code[0].count('"'), 2)
+
+    def test_escaped_quote_in_string(self):
+        code, _ = strip_code(['s = "a\\"b"; int y;'])
+        self.assertIn("int y;", code[0])
+
+    def test_char_literal_blanked(self):
+        code, _ = strip_code(["if (c == '{') depth++;"])
+        self.assertNotIn("{", code[0])
+        self.assertIn("depth++", code[0])
+
+    def test_comment_containing_code_tokens(self):
+        code, comments = strip_code(["// std::mutex m; new Foo();"])
+        self.assertEqual(code[0].strip(), "")
+        self.assertIn("std::mutex", comments[0])
+
+
+class LoadAllowlistTest(unittest.TestCase):
+    def test_parses_entries_and_comments(self):
+        path = write_allow(
+            "# header comment\n"
+            "src/a.cc:12:lock-order\n"
+            "src/b.h:3:raw-park  # trailing comment\n"
+            "\n")
+        try:
+            entries = load_allowlist(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(entries, {("src/a.cc", 12, "lock-order"),
+                                   ("src/b.h", 3, "raw-park")})
+
+    def test_malformed_entry_raises(self):
+        path = write_allow("src/a.cc:notanumber:rule\n")
+        try:
+            with self.assertRaises(ValueError):
+                load_allowlist(path)
+        finally:
+            os.unlink(path)
+
+    def test_missing_field_raises(self):
+        path = write_allow("src/a.cc:12\n")
+        try:
+            with self.assertRaises(ValueError):
+                load_allowlist(path)
+        finally:
+            os.unlink(path)
+
+    def test_path_with_colons_uses_last_two_fields(self):
+        # rsplit(:, 2) keeps any colons in the path intact.
+        path = write_allow("weird:dir/a.cc:7:rule\n")
+        try:
+            entries = load_allowlist(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(entries, {("weird:dir/a.cc", 7, "rule")})
+
+
+class ApplyAllowlistTest(unittest.TestCase):
+    def v(self, path, line, rule):
+        return Violation(path, line, rule, "msg")
+
+    def test_matching_entry_suppresses(self):
+        out = apply_allowlist([self.v("src/a.cc", 5, "r")],
+                              {("src/a.cc", 5, "r")}, "allow.txt")
+        self.assertEqual(out, [])
+
+    def test_non_matching_entry_is_stale(self):
+        out = apply_allowlist([], {("src/a.cc", 5, "r")}, "allow.txt")
+        self.assertEqual(len(out), 1)
+        self.assertIn("stale allowlist entry", out[0].message)
+        self.assertIn("allow.txt", out[0].message)
+        self.assertEqual((out[0].path, out[0].line, out[0].rule),
+                         ("src/a.cc", 5, "r"))
+
+    def test_wrong_line_does_not_match(self):
+        out = apply_allowlist([self.v("src/a.cc", 6, "r")],
+                              {("src/a.cc", 5, "r")}, "allow.txt")
+        # The finding survives AND the entry is reported stale.
+        self.assertEqual(len(out), 2)
+
+    def test_wrong_rule_does_not_match(self):
+        out = apply_allowlist([self.v("src/a.cc", 5, "other")],
+                              {("src/a.cc", 5, "r")}, "allow.txt")
+        self.assertEqual(len(out), 2)
+
+    def test_one_entry_covers_all_findings_at_location(self):
+        # Two findings at the same (path, line, rule) are both silenced by
+        # the single entry (same behavior conclint always had).
+        out = apply_allowlist([self.v("src/a.cc", 5, "r"),
+                               self.v("src/a.cc", 5, "r")],
+                              {("src/a.cc", 5, "r")}, "allow.txt")
+        self.assertEqual(out, [])
+
+
+class CollectFilesTest(unittest.TestCase):
+    def test_walks_directory_for_sources(self):
+        with tempfile.TemporaryDirectory() as d:
+            os.makedirs(os.path.join(d, "sub"))
+            for name in ("a.cc", "b.h", "sub/c.cpp", "sub/skip.txt"):
+                with open(os.path.join(d, name), "w") as fh:
+                    fh.write("int x;\n")
+            files = collect_files([d])
+        rels = sorted(os.path.basename(f) for f in files)
+        self.assertEqual(rels, ["a.cc", "b.h", "c.cpp"])
+
+    def test_missing_path_raises(self):
+        with self.assertRaises(FileNotFoundError):
+            collect_files(["/nonexistent/definitely/not/here"])
+
+    def test_explicit_file_kept_regardless_of_extension(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = os.path.join(d, "notes.txt")
+            with open(p, "w") as fh:
+                fh.write("x\n")
+            self.assertEqual(collect_files([p]), [p])
+
+
+class SharedUsageTest(unittest.TestCase):
+    def test_conclint_uses_lintlib(self):
+        # The refactor's point: one allowlist implementation. conclint must
+        # be importing these, not redefining them.
+        import conclint
+        self.assertIs(conclint.load_allowlist, lintlib.load_allowlist)
+        self.assertIs(conclint.strip_code, lintlib.strip_code)
+        self.assertIs(conclint.Violation, lintlib.Violation)
+
+
+if __name__ == "__main__":
+    unittest.main()
