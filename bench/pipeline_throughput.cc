@@ -32,6 +32,11 @@
 ///  - **autoscale**: a producer burst against a 1-worker pool with the
 ///    `Autoscaler` attached must grow the pool (and shrink it back once
 ///    quiet) with zero lost events (asserted).
+///  - **net**: the socket front-end (src/net/) on loopback — EventClient
+///    connections framing the trace over TCP with credit flow control
+///    into the same pipeline config, against the in-process Submit
+///    ceiling. The gap is the wire tax; the exact-books invariants are
+///    asserted and the lost/unaccounted counts judged as must-stay-zero.
 ///  - **overload**: the shed/spill policies against a paused pipeline.
 ///    Shed mode blasts a frozen ring and must balance its books exactly —
 ///    `delivered + shed == submitted`, asserted, with the shed Submit
@@ -49,6 +54,9 @@
 /// wakeups, cpu_seconds}`, `backpressure {attempts, accepted, rejected,
 /// elapsed_s, attempts_per_sec, rejects_per_sec, reject_attempts,
 /// reject_allocs, invalid_slot_attempts, invalid_slot_allocs}`,
+/// `net {events, connections, elapsed_s,
+/// events_per_sec, inproc_events_per_sec, frames_tx, bytes_tx,
+/// credit_stalls, reconnects, lost_events, unaccounted_events}`,
 /// `saturated_producer_cpu
 /// {park_seconds, cpu_seconds, parks, wakeups, retries_while_parked,
 /// wake_latency_s}`, `autoscale {events, burst_seconds, events_per_sec,
@@ -82,6 +90,8 @@
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/collector.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -591,6 +601,116 @@ OverloadResult RunOverload() {
   return r;
 }
 
+struct NetResult {
+  uint64_t events;
+  uint64_t connections;
+  double elapsed_s;
+  double events_per_sec;         // over loopback TCP, framed + credited
+  double inproc_events_per_sec;  // the same trace via in-process Submit
+  uint64_t frames_tx;            // client-side event frames
+  uint64_t bytes_tx;             // client-side wire bytes out
+  uint64_t credit_stalls;        // client parks waiting for a refill
+  uint64_t reconnects;
+  uint64_t lost_events;          // must stay zero on a healthy loopback
+  uint64_t unaccounted_events;   // submitted - delivered - shed - lost (0)
+};
+
+/// The socket front-end against its in-process ceiling: the same Zipf
+/// trace replayed (a) through EventClient connections over loopback TCP —
+/// framing, CRC, credit flow control, acks — into the pipeline, and (b)
+/// through plain in-process `Submit` on the identical pipeline config.
+/// The events/s gap is the whole wire tax; the exact-accounting
+/// invariants (nothing lost, nothing unaccounted) are asserted here and
+/// judged as must-stay-zero by bench_diff.
+NetResult RunNet(uint64_t num_events, uint64_t keys, double skew,
+                 uint64_t stripes, uint64_t connections,
+                 uint64_t queue_capacity, uint64_t max_batch) {
+  auto trace =
+      stream::Trace::GenerateZipf(keys, skew, num_events, 4242).ValueOrDie();
+  const auto& events = trace.events();
+  NetResult r{};
+  r.events = num_events;
+  r.connections = connections;
+
+  const auto make_pipeline = [&](analytics::ConcurrentCounterStore* store) {
+    pipeline::PipelineOptions opt;
+    opt.num_producers = connections;
+    opt.num_workers = 2;
+    opt.queue_capacity = queue_capacity;
+    opt.max_batch = max_batch;
+    return pipeline::IngestPipeline::Make(store, opt).ValueOrDie();
+  };
+
+  {
+    // Loopback run.
+    auto store = MakeStore(stripes, num_events);
+    auto ingest = make_pipeline(&store);
+    auto server =
+        net::EventServer::Make(ingest.get(), net::ServerOptions()).ValueOrDie();
+    std::vector<net::ClientStats> per_conn(connections);
+    const double start = Now();
+    std::vector<std::thread> threads;
+    for (uint64_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        net::ClientOptions copt;
+        copt.port = server->port();
+        auto client = net::EventClient::Connect(copt).ValueOrDie();
+        for (uint64_t i = c; i < events.size(); i += connections) {
+          COUNTLIB_CHECK_OK(client->Submit(events[i].key, events[i].weight));
+        }
+        COUNTLIB_CHECK_OK(client->Close());
+        per_conn[c] = client->Stats();
+      });
+    }
+    for (auto& t : threads) t.join();
+    r.elapsed_s = Now() - start;
+    COUNTLIB_CHECK_OK(server->Stop());
+    COUNTLIB_CHECK_OK(ingest->Drain());
+
+    uint64_t submitted = 0, delivered = 0, shed = 0;
+    for (const auto& s : per_conn) {
+      submitted += s.events_submitted;
+      delivered += s.events_delivered;
+      shed += s.events_shed;
+      r.lost_events += s.events_lost_unacked;
+      r.frames_tx += s.frames_tx;
+      r.bytes_tx += s.bytes_tx;
+      r.credit_stalls += s.credit_stalls;
+      r.reconnects += s.reconnects;
+    }
+    r.unaccounted_events = submitted - delivered - shed - r.lost_events;
+    r.events_per_sec = static_cast<double>(submitted) / r.elapsed_s;
+    // The acceptance gates: exact books over the wire, nothing lost on a
+    // healthy loopback, and everything a client submitted reached the
+    // pipeline.
+    COUNTLIB_CHECK_EQ(submitted, num_events);
+    COUNTLIB_CHECK_EQ(r.lost_events, uint64_t{0});
+    COUNTLIB_CHECK_EQ(r.unaccounted_events, uint64_t{0});
+    COUNTLIB_CHECK_EQ(ingest->Stats().events_applied, delivered);
+  }
+
+  {
+    // In-process ceiling: same pipeline shape, no sockets.
+    auto store = MakeStore(stripes, num_events);
+    auto ingest = make_pipeline(&store);
+    const double start = Now();
+    std::vector<std::thread> threads;
+    for (uint64_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        for (uint64_t i = c; i < events.size(); i += connections) {
+          COUNTLIB_CHECK_OK(ingest->Submit(c, events[i].key,
+                                           events[i].weight));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    COUNTLIB_CHECK_OK(ingest->Drain());
+    r.inproc_events_per_sec =
+        static_cast<double>(num_events) / (Now() - start);
+  }
+  return r;
+}
+
 struct ObservabilityResult {
   uint64_t events;                        // per replay
   double uninstrumented_events_per_sec;   // best of 3
@@ -731,8 +851,8 @@ std::string ToJson(const std::vector<RunResult>& results,
                    const SaturatedProducerResult& sat,
                    const AutoscaleResult& autoscale,
                    const OverloadResult& overload,
-                   const ObservabilityResult& obs, uint64_t keys,
-                   double skew) {
+                   const ObservabilityResult& obs, const NetResult& net,
+                   uint64_t keys, double skew) {
   std::string out = "{\"bench\":\"pipeline_throughput\",\"keys\":" +
                     std::to_string(keys) + ",\"skew\":" + std::to_string(skew) +
                     ",\"configs\":[";
@@ -847,6 +967,23 @@ std::string ToJson(const std::vector<RunResult>& results,
       static_cast<unsigned long long>(obs.latency_max_ns),
       static_cast<unsigned long long>(obs.series_points));
   out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"net\":{\"events\":%llu,\"connections\":%llu,\"elapsed_s\":%.4f,"
+      "\"events_per_sec\":%.1f,\"inproc_events_per_sec\":%.1f,"
+      "\"frames_tx\":%llu,\"bytes_tx\":%llu,\"credit_stalls\":%llu,"
+      "\"reconnects\":%llu,\"lost_events\":%llu,"
+      "\"unaccounted_events\":%llu}",
+      static_cast<unsigned long long>(net.events),
+      static_cast<unsigned long long>(net.connections), net.elapsed_s,
+      net.events_per_sec, net.inproc_events_per_sec,
+      static_cast<unsigned long long>(net.frames_tx),
+      static_cast<unsigned long long>(net.bytes_tx),
+      static_cast<unsigned long long>(net.credit_stalls),
+      static_cast<unsigned long long>(net.reconnects),
+      static_cast<unsigned long long>(net.lost_events),
+      static_cast<unsigned long long>(net.unaccounted_events));
+  out += buf;
   out += "}";
   return out;
 }
@@ -861,6 +998,10 @@ int Main(int argc, const char* const* argv) {
   flags.AddUint64("queue_capacity", 8192, "per-producer queue capacity");
   flags.AddUint64("max_batch", 2048, "max events per pre-aggregated batch");
   flags.AddDouble("idle_seconds", 1.0, "quiet-pipeline observation window");
+  flags.AddUint64("net_events", 1000000,
+                  "events for the loopback socket-ingestion scenario");
+  flags.AddUint64("net_connections", 4,
+                  "client connections in the net scenario");
   flags.AddString("json_out", "BENCH_pipeline_throughput.json",
                   "write the JSON document to this file (empty to skip)");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
@@ -984,8 +1125,26 @@ int Main(int argc, const char* const* argv) {
       static_cast<unsigned long long>(obs.latency_samples),
       static_cast<unsigned long long>(obs.series_points));
 
-  const std::string json = ToJson(results, elastic, worker_steps, idle, bp,
-                                  sat, autoscale, overload, obs, keys, skew);
+  const NetResult net = RunNet(
+      flags.GetUint64("net_events"), keys, skew, flags.GetUint64("stripes"),
+      flags.GetUint64("net_connections"), flags.GetUint64("queue_capacity"),
+      flags.GetUint64("max_batch"));
+  std::printf(
+      "# net: %llu events over %llu loopback connections -> %.2fM ev/s "
+      "(in-process ceiling %.2fM), %llu frames, %.1f MB tx, %llu credit "
+      "stalls, %llu lost, %llu unaccounted\n",
+      static_cast<unsigned long long>(net.events),
+      static_cast<unsigned long long>(net.connections),
+      net.events_per_sec / 1e6, net.inproc_events_per_sec / 1e6,
+      static_cast<unsigned long long>(net.frames_tx),
+      static_cast<double>(net.bytes_tx) / 1e6,
+      static_cast<unsigned long long>(net.credit_stalls),
+      static_cast<unsigned long long>(net.lost_events),
+      static_cast<unsigned long long>(net.unaccounted_events));
+
+  const std::string json =
+      ToJson(results, elastic, worker_steps, idle, bp, sat, autoscale,
+             overload, obs, net, keys, skew);
   std::printf("%s\n", json.c_str());
   const std::string json_out = flags.GetString("json_out");
   if (!json_out.empty()) {

@@ -1,0 +1,133 @@
+/// \file analytics_loadgen.cpp
+/// \brief Remote-producer load generator for `example_analytics_server`:
+/// N connections (each an `EventClient`, src/net/client.h) replay a
+/// partitioned Zipf trace over TCP, honoring the server's credit grants,
+/// then settle their books with a clean close.
+///
+/// The exit code is the verdict CI's loopback smoke relies on: after all
+/// connections close, the aggregate ledgers must satisfy
+///
+///     submitted == delivered + shed + lost_unacked,  pending == 0
+///
+/// and a fully healthy run (no kill, no shed policy) additionally shows
+/// lost_unacked == 0. Any imbalance exits nonzero.
+///
+///   ./build/example_analytics_loadgen --port=N [--host=ADDR]
+///       [--connections=N] [--events=N] [--keys=N] [--skew=F] [--batch=N]
+///       [--window=N] [--expect_lossless]
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "stream/trace.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace countlib;  // NOLINT(build/namespaces)
+
+  FlagParser flags("TCP load generator for example_analytics_server.");
+  flags.AddString("host", "127.0.0.1", "server address");
+  flags.AddUint64("port", 7700, "server port");
+  flags.AddUint64("connections", 4, "concurrent client connections");
+  flags.AddUint64("events", 1000000, "total events across all connections");
+  flags.AddUint64("keys", 10000, "distinct keys in the trace");
+  flags.AddDouble("skew", 1.0, "Zipf skew");
+  flags.AddUint64("batch", 512, "client batch size per frame");
+  flags.AddUint64("window", 0, "requested credit window (0 = server default)");
+  flags.AddBool("expect_lossless", true,
+                "fail if any event lands in the lost_unacked ledger");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::fputs(flags.HelpText().c_str(), stdout);
+    return 0;
+  }
+
+  const uint64_t connections = flags.GetUint64("connections");
+  const uint64_t total_events = flags.GetUint64("events");
+  COUNTLIB_CHECK_GE(connections, 1u);
+
+  auto trace = stream::Trace::GenerateZipf(flags.GetUint64("keys"),
+                                           flags.GetDouble("skew"),
+                                           total_events, /*seed=*/77)
+                   .ValueOrDie();
+  const auto& events = trace.events();
+
+  net::ClientOptions copt;
+  copt.host = flags.GetString("host");
+  copt.port = static_cast<uint16_t>(flags.GetUint64("port"));
+  copt.max_batch_events = flags.GetUint64("batch");
+  copt.requested_window = static_cast<uint32_t>(flags.GetUint64("window"));
+
+  // Each connection replays a round-robin partition of the trace, so every
+  // client sees the same key skew (the bench's partitioning idiom).
+  std::vector<net::ClientStats> per_conn(connections);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::EventClient::Connect(copt).ValueOrDie();
+      for (uint64_t i = c; i < events.size(); i += connections) {
+        COUNTLIB_CHECK_OK(client->Submit(events[i].key, events[i].weight));
+      }
+      COUNTLIB_CHECK_OK(client->Close());
+      per_conn[c] = client->Stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  net::ClientStats sum;
+  for (const auto& s : per_conn) {
+    sum.events_submitted += s.events_submitted;
+    sum.events_sent += s.events_sent;
+    sum.events_delivered += s.events_delivered;
+    sum.events_shed += s.events_shed;
+    sum.events_lost_unacked += s.events_lost_unacked;
+    sum.events_pending += s.events_pending;
+    sum.frames_tx += s.frames_tx;
+    sum.frames_rx += s.frames_rx;
+    sum.bytes_tx += s.bytes_tx;
+    sum.bytes_rx += s.bytes_rx;
+    sum.credit_stalls += s.credit_stalls;
+    sum.reconnects += s.reconnects;
+    sum.decode_errors += s.decode_errors;
+  }
+
+  std::printf(
+      "analytics_loadgen: %llu events over %llu connections in %.2fs "
+      "(%.0f events/s)\n",
+      static_cast<unsigned long long>(sum.events_submitted),
+      static_cast<unsigned long long>(connections), elapsed,
+      elapsed > 0 ? static_cast<double>(sum.events_submitted) / elapsed : 0.0);
+  std::printf(
+      "analytics_loadgen: delivered=%llu shed=%llu lost=%llu pending=%llu "
+      "stalls=%llu reconnects=%llu\n",
+      static_cast<unsigned long long>(sum.events_delivered),
+      static_cast<unsigned long long>(sum.events_shed),
+      static_cast<unsigned long long>(sum.events_lost_unacked),
+      static_cast<unsigned long long>(sum.events_pending),
+      static_cast<unsigned long long>(sum.credit_stalls),
+      static_cast<unsigned long long>(sum.reconnects));
+
+  // The books: every submitted event must be in exactly one ledger.
+  if (sum.events_submitted != sum.events_delivered + sum.events_shed +
+                                  sum.events_lost_unacked ||
+      sum.events_pending != 0) {
+    std::printf("analytics_loadgen: BOOKS VIOLATION\n");
+    return 1;
+  }
+  if (flags.GetBool("expect_lossless") && sum.events_lost_unacked != 0) {
+    std::printf("analytics_loadgen: LOST EVENTS on a healthy run\n");
+    return 1;
+  }
+  std::printf("analytics_loadgen: books balance\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+/// \file analytics_server.cpp
+/// \brief The §1 analytics system as a *service*: an `EventServer`
+/// (src/net/server.h) listens on TCP, leases a pipeline producer slot per
+/// connection, and feeds remote page-visit events through the async
+/// batched path into a striped `ConcurrentCounterStore`. Point the
+/// companion loadgen (`example_analytics_loadgen`) at it for a loopback
+/// end-to-end run — that pair is also CI's smoke test for the net
+/// subsystem.
+///
+/// Overload policy works exactly as in-process (`--overload`, see
+/// overload.h); the wire adds credit-based flow control on top, so a
+/// saturated pipeline makes remote producers park client-side instead of
+/// flooding the socket (docs/net_protocol.md).
+///
+/// With `--metrics_out=FILE` the run is instrumented through the obs
+/// layer and the final Prometheus dump includes the `countlib_net_*`
+/// inventory (src/obs/README.md) — CI validates it with
+/// tools/promcheck.py.
+///
+///   ./build/example_analytics_server [--port=N] [--bind=ADDR]
+///       [--slots=N] [--queue_capacity=N] [--workers=N]
+///       [--overload=block|shed|spill] [--run_seconds=N]
+///       [--metrics_out=FILE]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "analytics/concurrent_store.h"
+#include "net/server.h"
+#include "obs/collector.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "pipeline/ingest_pipeline.h"
+#include "util/cli.h"
+#include "util/logging.h"
+
+namespace {
+
+countlib::pipeline::OverloadPolicy ParsePolicy(const std::string& name) {
+  using countlib::pipeline::OverloadPolicy;
+  if (name == "shed") return OverloadPolicy::kShed;
+  if (name == "spill") return OverloadPolicy::kSpill;
+  COUNTLIB_CHECK(name == "block") << "unknown --overload policy: " << name;
+  return OverloadPolicy::kBlock;
+}
+
+void DumpMetrics(const std::string& path) {
+  const countlib::obs::Snapshot snap = countlib::obs::GlobalSnapshot();
+  std::ofstream f(path);
+  f << countlib::obs::ToPrometheusText(snap);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace countlib;  // NOLINT(build/namespaces)
+
+  FlagParser flags(
+      "TCP ingestion server over the async batched pipeline.");
+  flags.AddUint64("port", 7700, "listen port (0 = ephemeral, printed)");
+  flags.AddString("bind", "127.0.0.1", "bind address");
+  flags.AddUint64("slots", 8, "producer slots == max concurrent connections");
+  flags.AddUint64("queue_capacity", 4096, "per-slot ring capacity");
+  flags.AddUint64("workers", 2, "drain worker threads");
+  flags.AddString("overload", "block", "block|shed|spill");
+  flags.AddUint64("run_seconds", 30, "serve this long, then drain and exit");
+  flags.AddString("metrics_out", "", "final Prometheus dump path (optional)");
+  COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
+  if (flags.help_requested()) {
+    std::printf("%s\n", flags.HelpText().c_str());
+    return 0;
+  }
+
+  const bool metrics = !flags.GetString("metrics_out").empty();
+  auto store = analytics::ConcurrentCounterStore::Make(
+                   /*stripes=*/16, CounterKind::kExact, /*slot_bits=*/32,
+                   (uint64_t{1} << 32) - 1, /*seed=*/1)
+                   .ValueOrDie();
+
+  pipeline::PipelineOptions popt;
+  popt.num_producers = flags.GetUint64("slots");
+  popt.queue_capacity = flags.GetUint64("queue_capacity");
+  popt.num_workers = flags.GetUint64("workers");
+  popt.overload.policy = ParsePolicy(flags.GetString("overload"));
+  popt.enable_metrics = metrics;
+  auto pipe = pipeline::IngestPipeline::Make(&store, popt).ValueOrDie();
+
+  net::ServerOptions sopt;
+  sopt.bind_address = flags.GetString("bind");
+  sopt.port = static_cast<uint16_t>(flags.GetUint64("port"));
+  sopt.enable_metrics = metrics;
+  auto server = net::EventServer::Make(pipe.get(), sopt).ValueOrDie();
+  std::printf("analytics_server: listening on %s:%u (%llu slots, %s)\n",
+              sopt.bind_address.c_str(), server->port(),
+              static_cast<unsigned long long>(popt.num_producers),
+              pipeline::OverloadPolicyName(popt.overload.policy));
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(
+      std::chrono::seconds(flags.GetUint64("run_seconds")));
+
+  COUNTLIB_CHECK_OK(server->Stop());
+  const net::ServerStats net_stats = server->Stats();
+  COUNTLIB_CHECK_OK(pipe->Drain());
+  const pipeline::PipelineStats pipe_stats = pipe->Stats();
+
+  std::printf(
+      "analytics_server: %llu conns (%llu refused), %llu frames rx, "
+      "%llu events rx, %llu delivered, %llu shed, %llu decode errors, "
+      "%llu partial frames, %llu credit stalls\n",
+      static_cast<unsigned long long>(net_stats.connections_accepted),
+      static_cast<unsigned long long>(net_stats.connections_refused),
+      static_cast<unsigned long long>(net_stats.frames_rx),
+      static_cast<unsigned long long>(net_stats.events_rx),
+      static_cast<unsigned long long>(net_stats.events_delivered),
+      static_cast<unsigned long long>(net_stats.events_shed),
+      static_cast<unsigned long long>(net_stats.decode_errors),
+      static_cast<unsigned long long>(net_stats.partial_frames),
+      static_cast<unsigned long long>(net_stats.credit_stalls));
+  std::printf("analytics_server: pipeline applied %llu events (%llu shed)\n",
+              static_cast<unsigned long long>(pipe_stats.events_applied),
+              static_cast<unsigned long long>(pipe_stats.events_shed));
+
+  // Server-side books: every event from an acked-or-complete frame is
+  // either delivered or shed — nothing vanishes inside the server.
+  if (net_stats.events_delivered + net_stats.events_shed >
+      net_stats.events_rx) {
+    std::printf("analytics_server: BOOKS VIOLATION (delivered+shed > rx)\n");
+    return 1;
+  }
+
+  if (metrics) DumpMetrics(flags.GetString("metrics_out"));
+  return 0;
+}

@@ -1,0 +1,221 @@
+/// \file server.h
+/// \brief Poll-based TCP ingestion server: the socket front-end that turns
+/// the in-process `IngestPipeline` into a service.
+///
+/// One accept thread polls the listening socket (and a self-pipe so
+/// `Stop` interrupts it); each accepted connection leases a
+/// `ProducerSlot` from the pipeline's registry and runs on its own
+/// thread, preserving the slot's SPSC contract — the connection thread is
+/// the slot's single producer for the lease's lifetime. When every slot
+/// is leased the server refuses the connection at accept time (counted,
+/// closed immediately); remote producers retry with backoff, which is the
+/// registry's `kPending` semantics extended over the wire.
+///
+/// ## Flow control
+///
+/// Submission credits (src/net/credit.h) extend the pipeline's overload
+/// policies to remote producers. The handshake grants an initial window
+/// sized from live pipeline headroom (per-slot ring headroom + spill
+/// headroom, capped by `ServerOptions::max_credit_window`); each ack
+/// piggybacks a refill toward the current target. A backed-up pipeline
+/// shrinks the window to the liveness floor of 1, so clients park on
+/// their last credit instead of flooding the server — there is no
+/// unbounded server-side buffering anywhere: each connection holds
+/// exactly one frame buffer and submits it fully before reading the next
+/// frame.
+///
+/// ## Books
+///
+/// Acks carry cumulative `delivered_total`/`shed_total` per connection,
+/// measured around the actual `Submit` calls (shed via
+/// `IngestPipeline::ShedCountForSlot` deltas), so
+/// `delivered + shed == events received from acked frames` holds exactly
+/// — the client folds these into its own `submitted == delivered + shed +
+/// lost_unacked` invariant. A connection that dies mid-frame loses only
+/// the partial frame (counted in `partial_frames`); complete frames are
+/// always fully submitted before the next read.
+///
+/// ## Locking
+///
+/// One mutex, `conns_mu_` at LOCK_LEVEL(5) (docs/concurrency.md): it
+/// guards the connection registry only. Nothing blocking — no `Submit`,
+/// no park, no `join` — runs under it; connection threads submit
+/// lock-free on their leased slot, and `Stop` extracts the registry under
+/// the lock but joins outside it.
+
+#ifndef COUNTLIB_NET_SERVER_H_
+#define COUNTLIB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "pipeline/ingest_pipeline.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace countlib {
+namespace net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with `EventServer::port()`.
+  uint16_t port = 0;
+  /// Connection cap; 0 means one per pipeline producer slot (the natural
+  /// limit — a connection without a slot could not submit anyway).
+  uint64_t max_connections = 0;
+  /// Most events the server accepts in one kEventBatch frame; advertised
+  /// to the client in the hello ack and enforced on decode.
+  uint64_t max_frame_events = 4096;
+  /// Hard cap on any connection's credit window, whatever the pipeline
+  /// headroom says.
+  uint64_t max_credit_window = uint64_t{1} << 16;
+  /// Disconnect a connection that sends nothing for this long (0 = never;
+  /// chaos tests park clients far longer than any sane default).
+  int idle_timeout_ms = 0;
+  /// Poll slice for stop-responsiveness of blocked reads.
+  int poll_slice_ms = 50;
+  int listen_backlog = 64;
+  /// Register the countlib_net_* instruments with
+  /// `obs::Registry::Default()` (the counters are maintained either way
+  /// and surfaced through `Stats()`).
+  bool enable_metrics = false;
+};
+
+/// Snapshot of the server's activity counters (cumulative since Make).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< no free slot / over the cap
+  uint64_t connections_active = 0;
+  uint64_t frames_rx = 0;
+  uint64_t frames_tx = 0;
+  uint64_t bytes_rx = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t events_rx = 0;         ///< events in decoded complete frames
+  uint64_t events_delivered = 0;  ///< accepted by the pipeline (or spilled)
+  uint64_t events_shed = 0;       ///< shed by the pipeline's kShed policy
+  uint64_t decode_errors = 0;     ///< malformed frames and protocol violations
+  uint64_t partial_frames = 0;    ///< connections dropped mid-frame
+  uint64_t credit_stalls = 0;     ///< acks issued at the liveness-floor window
+};
+
+/// \brief TCP front-end feeding an `IngestPipeline`. Thread-safe;
+/// `Stop()` (and the destructor) joins every thread it started.
+class EventServer {
+ public:
+  /// Binds, listens, and starts the accept thread. The pipeline must
+  /// outlive the server; it is not owned. The pipeline should use the
+  /// registry-lease style exclusively — the server leases slots through
+  /// `TryAcquireProducerSlot` (see ingest_pipeline.h on not mixing
+  /// styles).
+  static Result<std::unique_ptr<EventServer>> Make(
+      pipeline::IngestPipeline* pipeline, const ServerOptions& options);
+
+  /// Stops and joins (`Stop`).
+  ~EventServer();
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  /// Shuts every connection down and joins the accept and connection
+  /// threads. Idempotent. In-flight batches finish their pipeline
+  /// submits; stop the server before draining the pipeline, and do not
+  /// stop it while the pipeline is paused with full queues (a blocked
+  /// `Submit` only unblocks on pipeline progress).
+  Status Stop();
+
+  /// The bound port (resolves an ephemeral bind).
+  uint16_t port() const { return port_; }
+
+  ServerStats Stats() const;
+
+ private:
+  /// Registry entry for one connection. The struct's address is stable
+  /// (held by unique_ptr) so the connection thread keeps a raw pointer to
+  /// its own entry; `fd` and `done` are written by the connection thread
+  /// and read by reapers, all under `conns_mu_`.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;
+  };
+
+  EventServer(pipeline::IngestPipeline* pipeline, const ServerOptions& options);
+
+  void RegisterMetrics();
+  void AcceptLoop();
+  /// Joins and destroys connections whose threads have finished (join
+  /// happens outside the lock; a done entry's thread exits imminently).
+  void ReapFinished();
+  /// Thread body: runs the protocol, then releases the slot and marks the
+  /// registry entry done.
+  void ConnectionLoop(Conn* conn, pipeline::ProducerSlot slot);
+  /// The framed protocol on one socket; returns when the peer says
+  /// goodbye, disconnects, misbehaves, or the server stops.
+  void RunConnection(int fd, pipeline::ProducerSlot* slot);
+  /// Reads one frame (header + payload) into `buf` (sized for the
+  /// largest frame). See socket_util.h ReadFull for the status contract;
+  /// partial reads and decode failures are counted here.
+  Status ReadFrame(int fd, uint8_t* buf, FrameHeader* header);
+  /// Encodes and sends a header+body frame, counting tx traffic.
+  Status SendFrame(int fd, FrameType type, uint64_t seq, const uint8_t* body,
+                   uint64_t body_len, uint8_t* scratch);
+  /// Current credit target for `slot` from live pipeline headroom; counts
+  /// a credit stall when headroom is exhausted.
+  uint64_t CreditTargetForSlot(uint64_t slot, uint64_t effective_window);
+
+  pipeline::IngestPipeline* pipeline_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: Stop() wakes the accept poll
+  uint64_t max_payload_ = 0;     ///< EventBatchPayloadSize(max_frame_events)
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  /// Connection registry. Held only for registry bookkeeping — never
+  /// across a submit, park, or join.
+  mutable Mutex conns_mu_ LOCK_LEVEL(5);
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_
+      GUARDED_BY(conns_mu_);
+  uint64_t next_conn_id_ GUARDED_BY(conns_mu_) = 0;
+
+  std::atomic<uint64_t> active_conns_{0};  ///< gauge mirror of live entries
+
+  /// Activity counters (striped, wait-free) backing both `Stats()` and,
+  /// under `enable_metrics`, the exported `countlib_net_*` series — one
+  /// source of truth, two surfaces (the obs README's inventory).
+  obs::Counter connections_total_;
+  obs::Counter connections_refused_;
+  obs::Counter frames_rx_;
+  obs::Counter frames_tx_;
+  obs::Counter bytes_rx_;
+  obs::Counter bytes_tx_;
+  obs::Counter events_rx_;
+  obs::Counter events_delivered_;
+  obs::Counter events_shed_;
+  obs::Counter decode_errors_;
+  obs::Counter partial_frames_;
+  obs::Counter credit_stalls_;
+
+  /// Registry handles; non-null only under `enable_metrics`. Declared
+  /// LAST so every Registration is released before the gauge-captured
+  /// members above start dying (the pipeline's ObsState pattern).
+  struct ObsState {
+    std::vector<obs::Registration> registrations;
+  };
+  std::unique_ptr<ObsState> obs_;
+};
+
+}  // namespace net
+}  // namespace countlib
+
+#endif  // COUNTLIB_NET_SERVER_H_

@@ -1,0 +1,241 @@
+#include "net/wire.h"
+
+namespace countlib {
+namespace net {
+namespace {
+
+// Every reject on the decode path is one of these preallocated constants,
+// so a flood of garbage frames never allocates (same discipline as the
+// pipeline's TrySubmit rejects). Distinct messages keep decode-error logs
+// actionable without carrying per-frame detail.
+const Status& BadMagicStatus() {
+  static const Status st =
+      Status::InvalidArgument("net wire: bad frame magic (not a CNW1 peer?)");
+  return st;
+}
+
+const Status& BadCrcStatus() {
+  static const Status st =
+      Status::InvalidArgument("net wire: frame header CRC mismatch");
+  return st;
+}
+
+const Status& BadFlagsStatus() {
+  static const Status st =
+      Status::InvalidArgument("net wire: nonzero header flags (v1 has none)");
+  return st;
+}
+
+const Status& OversizePayloadStatus() {
+  static const Status st = Status::InvalidArgument(
+      "net wire: payload_len exceeds the negotiated frame cap");
+  return st;
+}
+
+const Status& BadVersionStatus() {
+  static const Status st = Status::Unimplemented(
+      "net wire: unsupported protocol version (this build speaks v1)");
+  return st;
+}
+
+const Status& BadTypeStatus() {
+  static const Status st =
+      Status::Unimplemented("net wire: unknown frame type");
+  return st;
+}
+
+const Status& BadBodyStatus() {
+  static const Status st = Status::InvalidArgument(
+      "net wire: payload length does not match the frame type's body");
+  return st;
+}
+
+const Status& BadCountStatus() {
+  static const Status st = Status::InvalidArgument(
+      "net wire: batch count disagrees with payload length or exceeds the "
+      "receiver's record buffer");
+  return st;
+}
+
+const Status& BadReservedStatus() {
+  static const Status st =
+      Status::InvalidArgument("net wire: reserved hello bytes must be zero");
+  return st;
+}
+
+// Little-endian loads/stores, byte at a time: endian-safe everywhere and
+// plain moves after optimization on LE hosts.
+// HOTPATH: called per field on the frame encode/decode path.
+inline void StoreLE16(uint16_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+// HOTPATH
+inline void StoreLE32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// HOTPATH
+inline void StoreLE64(uint64_t v, uint8_t* p) {
+  StoreLE32(static_cast<uint32_t>(v), p);
+  StoreLE32(static_cast<uint32_t>(v >> 32), p + 4);
+}
+
+// HOTPATH
+inline uint16_t LoadLE16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               (static_cast<uint16_t>(p[1]) << 8));
+}
+
+// HOTPATH
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// HOTPATH
+inline uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) |
+         (static_cast<uint64_t>(LoadLE32(p + 4)) << 32);
+}
+
+bool KnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kGoodbye);
+}
+
+}  // namespace
+
+// HOTPATH: runs once per frame; bitwise over 20 bytes, no table state.
+uint32_t WireCrc32(const uint8_t* data, uint64_t len) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint64_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// HOTPATH
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out) {
+  StoreLE32(kWireMagic, out);
+  out[4] = header.version;
+  out[5] = static_cast<uint8_t>(header.type);
+  StoreLE16(header.flags, out + 6);
+  StoreLE32(header.payload_len, out + 8);
+  StoreLE64(header.seq, out + 12);
+  StoreLE32(WireCrc32(out, kFrameCrcCoverage), out + 20);
+}
+
+// HOTPATH
+Status DecodeFrameHeader(const uint8_t* buf, uint64_t len,
+                         uint64_t max_payload, FrameHeader* out) {
+  if (len < kFrameHeaderSize) return BadBodyStatus();
+  if (LoadLE32(buf) != kWireMagic) return BadMagicStatus();
+  // CRC before semantics: a corrupt header must not be interpreted, even
+  // its version byte.
+  if (LoadLE32(buf + 20) != WireCrc32(buf, kFrameCrcCoverage)) {
+    return BadCrcStatus();
+  }
+  if (buf[4] != kWireVersion) return BadVersionStatus();
+  if (!KnownFrameType(buf[5])) return BadTypeStatus();
+  if (LoadLE16(buf + 6) != 0) return BadFlagsStatus();
+  const uint32_t payload_len = LoadLE32(buf + 8);
+  if (payload_len > max_payload) return OversizePayloadStatus();
+  out->version = buf[4];
+  out->type = static_cast<FrameType>(buf[5]);
+  out->flags = 0;
+  out->payload_len = payload_len;
+  out->seq = LoadLE64(buf + 12);
+  return Status::OK();
+}
+
+// HOTPATH: the per-event encode cost of the client send path.
+void EncodeEventBatch(const EventRecord* records, uint32_t count,
+                      uint8_t* out) {
+  StoreLE32(count, out);
+  StoreLE32(0, out + 4);
+  uint8_t* p = out + kEventBatchPrefixSize;
+  for (uint32_t i = 0; i < count; ++i, p += kEventRecordSize) {
+    StoreLE64(records[i].key, p);
+    StoreLE64(records[i].weight, p + 8);
+  }
+}
+
+// HOTPATH: the per-event decode cost of the server receive path.
+Status DecodeEventBatch(const uint8_t* payload, uint64_t payload_len,
+                        EventRecord* out, uint32_t max_records,
+                        uint32_t* count) {
+  if (payload_len < kEventBatchPrefixSize) return BadBodyStatus();
+  const uint32_t n = LoadLE32(payload);
+  if (n > max_records) return BadCountStatus();
+  if (LoadLE32(payload + 4) != 0) return BadReservedStatus();
+  if (payload_len != EventBatchPayloadSize(n)) return BadCountStatus();
+  const uint8_t* p = payload + kEventBatchPrefixSize;
+  for (uint32_t i = 0; i < n; ++i, p += kEventRecordSize) {
+    out[i].key = LoadLE64(p);
+    out[i].weight = LoadLE64(p + 8);
+  }
+  *count = n;
+  return Status::OK();
+}
+
+void EncodeHelloBody(const HelloBody& body, uint8_t* out) {
+  StoreLE16(body.wire_version, out);
+  StoreLE16(body.reserved, out + 2);
+  StoreLE32(body.requested_window, out + 4);
+}
+
+Status DecodeHelloBody(const uint8_t* payload, uint64_t payload_len,
+                       HelloBody* out) {
+  if (payload_len != kHelloBodySize) return BadBodyStatus();
+  out->wire_version = LoadLE16(payload);
+  out->reserved = LoadLE16(payload + 2);
+  if (out->reserved != 0) return BadReservedStatus();
+  out->requested_window = LoadLE32(payload + 4);
+  return Status::OK();
+}
+
+void EncodeHelloAckBody(const HelloAckBody& body, uint8_t* out) {
+  StoreLE64(body.credit_grant_total, out);
+  StoreLE32(body.max_frame_events, out + 8);
+  StoreLE32(body.producer_slot, out + 12);
+}
+
+Status DecodeHelloAckBody(const uint8_t* payload, uint64_t payload_len,
+                          HelloAckBody* out) {
+  if (payload_len != kHelloAckBodySize) return BadBodyStatus();
+  out->credit_grant_total = LoadLE64(payload);
+  out->max_frame_events = LoadLE32(payload + 8);
+  out->producer_slot = LoadLE32(payload + 12);
+  return Status::OK();
+}
+
+// HOTPATH: one ack per batch on the server send path.
+void EncodeAckBody(const AckBody& body, uint8_t* out) {
+  StoreLE64(body.acked_seq, out);
+  StoreLE64(body.delivered_total, out + 8);
+  StoreLE64(body.shed_total, out + 16);
+  StoreLE64(body.credit_grant_total, out + 24);
+}
+
+// HOTPATH: one ack per batch on the client receive path.
+Status DecodeAckBody(const uint8_t* payload, uint64_t payload_len,
+                     AckBody* out) {
+  if (payload_len != kAckBodySize) return BadBodyStatus();
+  out->acked_seq = LoadLE64(payload);
+  out->delivered_total = LoadLE64(payload + 8);
+  out->shed_total = LoadLE64(payload + 16);
+  out->credit_grant_total = LoadLE64(payload + 24);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace countlib

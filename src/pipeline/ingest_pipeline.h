@@ -224,6 +224,41 @@ class IngestPipeline {
   /// The pipeline's overload policy (fixed at `Make`).
   OverloadPolicy overload_policy() const { return options_.overload.policy; }
 
+  /// Per-slot ring capacity (the power-of-two rounding of
+  /// `PipelineOptions::queue_capacity`; fixed at `Make`). The net server
+  /// sizes its credit windows from this plus `SpillHeadroom()`.
+  uint64_t queue_capacity() const {
+    return rings_.empty() ? 0 : rings_[0]->capacity();
+  }
+
+  /// Approximate depth of `producer`'s ring (0 for out-of-range slots).
+  /// Safe from any thread; same relaxed snapshot as `SpscRing::SizeApprox`.
+  uint64_t QueueDepth(uint64_t producer) const {
+    return producer < rings_.size() ? rings_[producer]->SizeApprox() : 0;
+  }
+
+  /// Cumulative events shed from `producer`'s slot — the same cells as
+  /// `PipelineStats::shed_per_slot`, readable without snapshotting every
+  /// slot. Always 0 under policies other than `kShed` and for
+  /// out-of-range slots. The net server diffs this around each submitted
+  /// batch to report exact per-connection shed counts in its acks.
+  uint64_t ShedCountForSlot(uint64_t producer) const {
+    if (shed_per_slot_ == nullptr || producer >= rings_.size()) return 0;
+    // mo: relaxed — monotone counter snapshot; a per-batch delta needs no
+    // ordering beyond the counter's own monotonicity (the reader already
+    // synchronized with the shedding thread via Submit's return).
+    return shed_per_slot_[producer].load(std::memory_order_relaxed);
+  }
+
+  /// Remaining spill-buffer headroom in events (0 unless the policy is
+  /// `kSpill`). Approximate, like the depth it derives from.
+  uint64_t SpillHeadroom() const {
+    if (spill_ == nullptr) return 0;
+    const uint64_t depth = spill_->SizeApprox();
+    const uint64_t cap = spill_->capacity();
+    return depth >= cap ? 0 : cap - depth;
+  }
+
  private:
   friend class ProducerSlot;
 

@@ -1,0 +1,308 @@
+// Chaos tests for the socket front-end: the three ways a deployment
+// actually hurts — a slow consumer (does flow control bound buffering, or
+// does the server buffer without limit?), a client dying mid-frame (is
+// the slot recycled and are the books still exact?), and a reconnect
+// storm (does anything leak — fds, slots, threads?). Each test asserts
+// the accounting invariants afterwards, because surviving chaos without
+// exact books is not surviving.
+
+#include <dirent.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+#include "net/wire.h"
+#include "pipeline/ingest_pipeline.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace net {
+namespace {
+
+analytics::ConcurrentCounterStore MakeExactStore() {
+  return analytics::ConcurrentCounterStore::Make(
+             /*stripes=*/8, CounterKind::kExact, /*slot_bits=*/32,
+             (uint64_t{1} << 32) - 1, /*seed=*/1)
+      .ValueOrDie();
+}
+
+// Open fds in this process, from /proc/self/fd. The DIR* itself adds one
+// entry, but the bias is identical across calls, so deltas are exact.
+uint64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  COUNTLIB_CHECK(dir != nullptr);
+  uint64_t n = 0;
+  while (struct dirent* e = readdir(dir)) {
+    if (e->d_name[0] != '.') ++n;
+  }
+  closedir(dir);
+  return n;
+}
+
+// Polls `pred` (a cheap, thread-safe snapshot) until true or ~5s.
+template <typename Pred>
+bool EventuallyTrue(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(NetChaosTest, SlowConsumerStallsTheClientInsteadOfBuffering) {
+  // Pipeline paused = the slowest possible consumer. The credit window
+  // must pin the client at ring capacity + the liveness floor; the server
+  // holds exactly one frame buffer, so events received can never outrun
+  // credits granted.
+  constexpr uint64_t kRing = 64;
+  constexpr uint64_t kTotal = 5000;
+
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions popt;
+  popt.num_producers = 1;
+  popt.queue_capacity = kRing;
+  popt.num_workers = 1;
+  auto pipe = pipeline::IngestPipeline::Make(&store, popt).ValueOrDie();
+  ASSERT_TRUE(pipe->SetWorkerCount(0).ok());  // pause: nothing drains
+
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  ClientStats cs;
+  std::thread producer([&] {
+    ClientOptions copt;
+    copt.port = server->port();
+    auto client = EventClient::Connect(copt).ValueOrDie();
+    for (uint64_t i = 0; i < kTotal; ++i) {
+      COUNTLIB_CHECK_OK(client->Submit(i % 97, 1));
+    }
+    COUNTLIB_CHECK_OK(client->Close());
+    cs = client->Stats();
+  });
+
+  // Wait until the first full window has landed, give the client every
+  // chance to overrun, then check it could not: with the pipeline paused
+  // the server can accept at most the ring plus the floor-grant trickle.
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return server->Stats().events_rx >= kRing; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const ServerStats paused = server->Stats();
+  EXPECT_LE(paused.events_rx, kRing + 4);
+  EXPECT_GE(paused.credit_stalls, 1u);  // acks went out at the floor
+
+  // Resume; the stalled client must finish losslessly.
+  ASSERT_TRUE(pipe->SetWorkerCount(1).ok());
+  producer.join();
+
+  EXPECT_EQ(cs.events_submitted, kTotal);
+  EXPECT_EQ(cs.events_delivered, kTotal);  // kBlock: nothing shed
+  EXPECT_EQ(cs.events_shed, 0u);
+  EXPECT_EQ(cs.events_lost_unacked, 0u);
+  EXPECT_EQ(cs.events_pending, 0u);
+  EXPECT_GE(cs.credit_stalls, 1u);  // it did park on credits
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  EXPECT_EQ(pipe->Stats().events_applied, kTotal);
+}
+
+TEST(NetChaosTest, ClientDeathMidFrameRecyclesTheSlotExactly) {
+  // A raw socket speaks just enough protocol to die at the worst moment:
+  // after a complete acked batch, mid-way through the next frame's
+  // payload. The partial frame must be discarded (counted), the slot
+  // released for the next tenant, and the books must cover exactly the
+  // complete frames.
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions popt;
+  popt.num_producers = 1;  // the dead client's slot is the only slot
+  popt.queue_capacity = 1024;
+  popt.num_workers = 1;
+  auto pipe = pipeline::IngestPipeline::Make(&store, popt).ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  const int fd = ConnectTcp("127.0.0.1", server->port(), 2000).ValueOrDie();
+  uint64_t got = 0;
+
+  // Handshake by hand.
+  {
+    uint8_t frame[kFrameHeaderSize + kHelloBodySize];
+    FrameHeader h;
+    h.type = FrameType::kHello;
+    h.payload_len = kHelloBodySize;
+    h.seq = 1;
+    EncodeFrameHeader(h, frame);
+    EncodeHelloBody(HelloBody{}, frame + kFrameHeaderSize);
+    ASSERT_TRUE(SendAll(fd, frame, sizeof(frame)).ok());
+
+    uint8_t ack[kFrameHeaderSize + kHelloAckBodySize];
+    ASSERT_TRUE(
+        ReadFull(fd, ack, sizeof(ack), 50, 2000, nullptr, &got).ok());
+    FrameHeader ah;
+    ASSERT_TRUE(DecodeFrameHeader(ack, kFrameHeaderSize, 64, &ah).ok());
+    ASSERT_EQ(ah.type, FrameType::kHelloAck);
+    HelloAckBody body;
+    ASSERT_TRUE(
+        DecodeHelloAckBody(ack + kFrameHeaderSize, kHelloAckBodySize, &body)
+            .ok());
+    ASSERT_GE(body.credit_grant_total, 1u);
+  }
+
+  // One complete, well-behaved batch of 3 events — and drain its ack so
+  // the eventual close() is an orderly FIN, not an RST that could discard
+  // the partial frame already in flight.
+  {
+    EventRecord records[3] = {{5, 10}, {6, 20}, {7, 30}};
+    const uint64_t payload_len = EventBatchPayloadSize(3);
+    std::vector<uint8_t> frame(kFrameHeaderSize + payload_len);
+    FrameHeader h;
+    h.type = FrameType::kEventBatch;
+    h.payload_len = static_cast<uint32_t>(payload_len);
+    h.seq = 2;
+    EncodeFrameHeader(h, frame.data());
+    EncodeEventBatch(records, 3, frame.data() + kFrameHeaderSize);
+    ASSERT_TRUE(SendAll(fd, frame.data(), frame.size()).ok());
+
+    uint8_t ack[kFrameHeaderSize + kAckBodySize];
+    ASSERT_TRUE(
+        ReadFull(fd, ack, sizeof(ack), 50, 2000, nullptr, &got).ok());
+    AckBody body;
+    ASSERT_TRUE(
+        DecodeAckBody(ack + kFrameHeaderSize, kAckBodySize, &body).ok());
+    EXPECT_EQ(body.acked_seq, 2u);
+    EXPECT_EQ(body.delivered_total + body.shed_total, 3u);
+  }
+
+  // A valid header promising 8 records, then die 12 bytes into the
+  // payload.
+  {
+    std::vector<uint8_t> frame(kFrameHeaderSize + 12);
+    FrameHeader h;
+    h.type = FrameType::kEventBatch;
+    h.payload_len = static_cast<uint32_t>(EventBatchPayloadSize(8));
+    h.seq = 3;
+    EncodeFrameHeader(h, frame.data());
+    ASSERT_TRUE(SendAll(fd, frame.data(), frame.size()).ok());
+  }
+  CloseFd(fd);
+
+  // The connection must fully unwind: entry reaped, slot back in the
+  // registry.
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return server->Stats().connections_active == 0; }));
+  const ServerStats after = server->Stats();
+  EXPECT_EQ(after.partial_frames, 1u);
+  EXPECT_EQ(after.decode_errors, 0u);  // death is not corruption
+  EXPECT_EQ(after.events_rx, 3u);      // only the complete frame counts
+
+  // The recycled slot serves the next tenant (Connect retries while the
+  // slot drains).
+  ClientOptions copt;
+  copt.port = server->port();
+  copt.max_reconnect_attempts = 50;
+  copt.backoff_initial_ms = 1;
+  copt.backoff_max_ms = 50;
+  auto client = EventClient::Connect(copt).ValueOrDie();
+  ASSERT_TRUE(client->Submit(8, 40).ok());
+  ASSERT_TRUE(client->Close().ok());
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  // Books: the 3 complete-frame events plus the new tenant's 1 — the
+  // partial frame contributed nothing.
+  EXPECT_EQ(pipe->Stats().events_applied, 4u);
+  EXPECT_EQ(store.Estimate(5).ValueOrDie(), 10.0);
+  EXPECT_EQ(store.Estimate(6).ValueOrDie(), 20.0);
+  EXPECT_EQ(store.Estimate(7).ValueOrDie(), 30.0);
+  EXPECT_EQ(store.Estimate(8).ValueOrDie(), 40.0);
+}
+
+TEST(NetChaosTest, ReconnectStormLeaksNoFdsOrSlots) {
+  // More churning clients than slots: every connect either lands a slot
+  // or is refused and retried with backoff. Afterwards nothing may leak —
+  // fd count back to baseline, both slots acquirable, zero connections
+  // active — and every submitted event must be applied.
+  constexpr uint64_t kThreads = 4;
+  constexpr uint64_t kRounds = 12;
+  constexpr uint64_t kPerRound = 10;
+
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions popt;
+  popt.num_producers = 2;  // half the storm is always being refused
+  popt.queue_capacity = 256;
+  popt.num_workers = 1;
+  auto pipe = pipeline::IngestPipeline::Make(&store, popt).ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  const uint64_t fd_baseline = CountOpenFds();
+
+  std::atomic<uint64_t> delivered{0};
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ClientOptions copt;
+      copt.port = server->port();
+      copt.max_reconnect_attempts = 200;
+      copt.backoff_initial_ms = 1;
+      copt.backoff_max_ms = 20;
+      for (uint64_t round = 0; round < kRounds; ++round) {
+        auto client = EventClient::Connect(copt).ValueOrDie();
+        for (uint64_t i = 0; i < kPerRound; ++i) {
+          COUNTLIB_CHECK_OK(client->Submit(/*key=*/3, /*weight=*/1));
+        }
+        COUNTLIB_CHECK_OK(client->Close());
+        const ClientStats s = client->Stats();
+        COUNTLIB_CHECK_EQ(s.events_lost_unacked, 0u);
+        delivered.fetch_add(s.events_delivered, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr uint64_t kTotal = kThreads * kRounds * kPerRound;
+  EXPECT_EQ(delivered.load(std::memory_order_relaxed), kTotal);
+
+  // Unwind: no live connections, no leased slots, no stray fds (the
+  // accept thread reaps finished connections on its poll cadence).
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return server->Stats().connections_active == 0; }));
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return pipe->Stats().slots_in_use == 0; }));
+  EXPECT_TRUE(EventuallyTrue([&] { return CountOpenFds() <= fd_baseline; }))
+      << "fd leak: " << CountOpenFds() << " open vs baseline "
+      << fd_baseline;
+
+  // Both slots must be simultaneously acquirable again over the wire.
+  ClientOptions copt;
+  copt.port = server->port();
+  copt.max_reconnect_attempts = 50;
+  copt.backoff_initial_ms = 1;
+  copt.backoff_max_ms = 50;
+  auto a = EventClient::Connect(copt).ValueOrDie();
+  auto b = EventClient::Connect(copt).ValueOrDie();
+  ASSERT_TRUE(a->Close().ok());
+  ASSERT_TRUE(b->Close().ok());
+
+  const ServerStats ss = server->Stats();
+  EXPECT_GE(ss.connections_accepted, kThreads * kRounds + 2);
+  EXPECT_EQ(ss.events_rx, kTotal);
+  EXPECT_EQ(ss.partial_frames, 0u);
+  EXPECT_EQ(ss.decode_errors, 0u);
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  EXPECT_EQ(pipe->Stats().events_applied, kTotal);
+  EXPECT_EQ(store.Estimate(3).ValueOrDie(), static_cast<double>(kTotal));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace countlib

@@ -1,0 +1,308 @@
+// End-to-end tests for the socket ingestion front-end: EventServer +
+// EventClient over real loopback sockets into a real pipeline and store.
+// The store uses exact counters so "no lost updates over TCP" is
+// checkable to the last unit of weight, and every suite asserts the books
+// — client-side submitted == delivered + shed + lost_unacked, server-side
+// delivered + shed <= rx — because exact accounting is the subsystem's
+// acceptance criterion, not a nice-to-have.
+
+#include "net/client.h"
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "analytics/concurrent_store.h"
+#include "pipeline/ingest_pipeline.h"
+#include "stream/trace.h"
+#include "util/logging.h"
+
+namespace countlib {
+namespace net {
+namespace {
+
+analytics::ConcurrentCounterStore MakeExactStore(uint64_t stripes = 8) {
+  return analytics::ConcurrentCounterStore::Make(
+             stripes, CounterKind::kExact, 32, (uint64_t{1} << 32) - 1, 1)
+      .ValueOrDie();
+}
+
+pipeline::PipelineOptions BaseOptions() {
+  pipeline::PipelineOptions opt;
+  opt.num_producers = 4;
+  opt.queue_capacity = 1024;
+  opt.num_workers = 2;
+  return opt;
+}
+
+ClientOptions ClientFor(const EventServer& server) {
+  ClientOptions copt;
+  copt.port = server.port();
+  return copt;
+}
+
+TEST(NetServerTest, MakeValidatesOptions) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  EXPECT_FALSE(EventServer::Make(nullptr, ServerOptions()).ok());
+  ServerOptions bad;
+  bad.max_frame_events = 0;
+  EXPECT_FALSE(EventServer::Make(pipe.get(), bad).ok());
+  bad = ServerOptions();
+  bad.max_credit_window = 0;
+  EXPECT_FALSE(EventServer::Make(pipe.get(), bad).ok());
+  bad = ServerOptions();
+  bad.poll_slice_ms = 0;
+  EXPECT_FALSE(EventServer::Make(pipe.get(), bad).ok());
+  bad = ServerOptions();
+  bad.bind_address = "not-an-address";
+  EXPECT_FALSE(EventServer::Make(pipe.get(), bad).ok());
+}
+
+TEST(NetServerTest, EphemeralPortAndIdempotentStop) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  EXPECT_GT(server->port(), 0);
+  EXPECT_TRUE(server->Stop().ok());
+  EXPECT_TRUE(server->Stop().ok());  // idempotent
+}
+
+TEST(NetServerTest, SingleClientRoundTripIsExact) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  auto client = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+  std::unordered_map<uint64_t, uint64_t> exact;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    const uint64_t key = i % 257;
+    const uint64_t weight = 1 + i % 3;
+    exact[key] += weight;
+    ASSERT_TRUE(client->Submit(key, weight).ok());
+  }
+  ASSERT_TRUE(client->Close().ok());
+
+  const ClientStats cs = client->Stats();
+  EXPECT_EQ(cs.events_submitted, 10000u);
+  EXPECT_EQ(cs.events_delivered, 10000u);
+  EXPECT_EQ(cs.events_shed, 0u);
+  EXPECT_EQ(cs.events_lost_unacked, 0u);
+  EXPECT_EQ(cs.events_pending, 0u);
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  for (const auto& [key, weight] : exact) {
+    EXPECT_EQ(store.Estimate(key).ValueOrDie(), static_cast<double>(weight))
+        << "key " << key;
+  }
+  const ServerStats ss = server->Stats();
+  EXPECT_EQ(ss.connections_accepted, 1u);
+  EXPECT_EQ(ss.events_rx, 10000u);
+  EXPECT_EQ(ss.events_delivered, 10000u);
+  EXPECT_EQ(ss.decode_errors, 0u);
+  EXPECT_EQ(ss.partial_frames, 0u);
+}
+
+TEST(NetServerTest, ClientValidatesArguments) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  auto client = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+  EXPECT_TRUE(client->Submit(1, 0).IsInvalidArgument());
+  ASSERT_TRUE(client->Close().ok());
+  EXPECT_TRUE(client->Submit(1, 1).IsFailedPrecondition());
+  EXPECT_TRUE(client->Flush().IsFailedPrecondition());
+  EXPECT_TRUE(client->Close().ok());  // idempotent
+}
+
+TEST(NetServerTest, RequestedWindowIsHonored) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  ClientOptions copt = ClientFor(*server);
+  copt.requested_window = 16;
+  auto client = EventClient::Connect(copt).ValueOrDie();
+  const ClientStats cs = client->Stats();
+  EXPECT_GE(cs.credits_available, 1u);
+  EXPECT_LE(cs.credits_available, 16u);
+  ASSERT_TRUE(client->Close().ok());
+}
+
+TEST(NetServerTest, WindowIsSizedFromRingAndSpillHeadroom) {
+  // A kSpill pipeline advertises ring + spill headroom; a small ring with
+  // a big spill should open a window larger than the ring alone.
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions opt = BaseOptions();
+  opt.queue_capacity = 64;
+  opt.overload.policy = pipeline::OverloadPolicy::kSpill;
+  opt.overload.spill_capacity = 1 << 12;
+  auto pipe = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  auto client = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+  EXPECT_GT(client->Stats().credits_available, 64u);
+  ASSERT_TRUE(client->Close().ok());
+}
+
+TEST(NetServerTest, RefusesWhenEverySlotIsLeased) {
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions opt = BaseOptions();
+  opt.num_producers = 1;  // one slot: the second connection must bounce
+  auto pipe = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  auto first = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+  ClientOptions copt = ClientFor(*server);
+  copt.max_reconnect_attempts = 1;
+  copt.backoff_initial_ms = 1;
+  auto second = EventClient::Connect(copt);
+  EXPECT_FALSE(second.ok());
+
+  // Releasing the slot (closing the first client) re-admits.
+  ASSERT_TRUE(first->Close().ok());
+  copt.max_reconnect_attempts = 20;
+  copt.backoff_max_ms = 100;
+  auto third = EventClient::Connect(copt);
+  EXPECT_TRUE(third.ok());
+  ASSERT_TRUE(third.ValueOrDie()->Close().ok());
+  EXPECT_GE(server->Stats().connections_refused, 1u);
+}
+
+TEST(NetServerTest, ShedPolicyIsReportedOverTheWire) {
+  // Paused kShed pipeline: everything past the ring capacity is shed with
+  // exact accounting, and the acks must carry those sheds back to the
+  // client's ledgers.
+  auto store = MakeExactStore();
+  pipeline::PipelineOptions opt = BaseOptions();
+  opt.num_producers = 1;
+  opt.queue_capacity = 64;
+  opt.overload.policy = pipeline::OverloadPolicy::kShed;
+  auto pipe = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  ASSERT_TRUE(pipe->SetWorkerCount(0).ok());  // pause: nothing drains
+
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  auto client = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(client->Submit(i, 1).ok());
+  }
+  ASSERT_TRUE(client->Close().ok());
+
+  const ClientStats cs = client->Stats();
+  EXPECT_EQ(cs.events_submitted, 1000u);
+  EXPECT_EQ(cs.events_delivered + cs.events_shed, 1000u);
+  EXPECT_GT(cs.events_shed, 0u);
+  EXPECT_EQ(cs.events_lost_unacked, 0u);
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->SetWorkerCount(1).ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  // The pipeline's own exact shed accounting must agree with the wire's.
+  const pipeline::PipelineStats ps = pipe->Stats();
+  EXPECT_EQ(ps.events_applied, cs.events_delivered);
+  EXPECT_EQ(ps.events_shed, cs.events_shed);
+}
+
+TEST(NetServerTest, LoopbackMillionEventsExactBooks) {
+  // The acceptance-criterion run: >= 1M events over loopback through
+  // multiple connections, with delivered + shed == submitted exactly and
+  // every weight landing in the store.
+  constexpr uint64_t kEvents = 1 << 20;  // 1,048,576
+  constexpr uint64_t kConnections = 4;
+
+  auto store = MakeExactStore(16);
+  pipeline::PipelineOptions opt = BaseOptions();
+  opt.num_producers = kConnections;
+  opt.enable_metrics = false;
+  auto pipe = pipeline::IngestPipeline::Make(&store, opt).ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+
+  auto trace =
+      stream::Trace::GenerateZipf(/*num_keys=*/4096, /*skew=*/1.0, kEvents,
+                                  /*seed=*/99)
+          .ValueOrDie();
+  const auto& events = trace.events();
+
+  std::vector<ClientStats> per_conn(kConnections);
+  std::vector<std::thread> threads;
+  for (uint64_t c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = EventClient::Connect(ClientFor(*server)).ValueOrDie();
+      for (uint64_t i = c; i < events.size(); i += kConnections) {
+        COUNTLIB_CHECK_OK(client->Submit(events[i].key, events[i].weight));
+      }
+      COUNTLIB_CHECK_OK(client->Close());
+      per_conn[c] = client->Stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t submitted = 0, delivered = 0, shed = 0, lost = 0, pending = 0;
+  for (const auto& s : per_conn) {
+    submitted += s.events_submitted;
+    delivered += s.events_delivered;
+    shed += s.events_shed;
+    lost += s.events_lost_unacked;
+    pending += s.events_pending;
+  }
+  EXPECT_EQ(submitted, kEvents);
+  EXPECT_EQ(delivered + shed + lost, submitted);  // the books, exactly
+  EXPECT_EQ(shed, 0u);   // kBlock policy: lossless
+  EXPECT_EQ(lost, 0u);   // clean closes: nothing unacked
+  EXPECT_EQ(pending, 0u);
+
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(pipe->Drain().ok());
+  EXPECT_EQ(pipe->Stats().events_applied, kEvents);
+
+  // Ground truth to the last unit of weight.
+  for (const auto& [key, weight] : trace.ExactCounts()) {
+    ASSERT_EQ(store.Estimate(key).ValueOrDie(), static_cast<double>(weight))
+        << "key " << key;
+  }
+  const ServerStats ss = server->Stats();
+  EXPECT_EQ(ss.events_rx, kEvents);
+  EXPECT_EQ(ss.events_delivered, kEvents);
+  EXPECT_EQ(ss.decode_errors, 0u);
+  EXPECT_EQ(ss.partial_frames, 0u);
+  EXPECT_EQ(ss.connections_active, 0u);
+}
+
+TEST(NetServerTest, ServerStopSurfacesAsClientError) {
+  auto store = MakeExactStore();
+  auto pipe = pipeline::IngestPipeline::Make(&store, BaseOptions())
+                  .ValueOrDie();
+  auto server = EventServer::Make(pipe.get(), ServerOptions()).ValueOrDie();
+  ClientOptions copt = ClientFor(*server);
+  copt.max_reconnect_attempts = 2;
+  copt.backoff_initial_ms = 1;
+  copt.backoff_max_ms = 5;
+  copt.ack_timeout_ms = 500;
+  auto client = EventClient::Connect(copt).ValueOrDie();
+  ASSERT_TRUE(server->Stop().ok());
+
+  // Eventually every reconnect attempt fails; the books still balance.
+  Status st = Status::OK();
+  for (uint64_t i = 0; i < 100000 && st.ok(); ++i) {
+    st = client->Submit(i, 1);
+  }
+  EXPECT_FALSE(st.ok());
+  const ClientStats cs = client->Stats();
+  EXPECT_EQ(cs.events_submitted,
+            cs.events_delivered + cs.events_shed + cs.events_lost_unacked +
+                cs.events_pending);
+  ASSERT_TRUE(pipe->Drain().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace countlib

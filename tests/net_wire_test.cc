@@ -1,0 +1,269 @@
+// Wire-format tests: header round-trips, CRC/corruption rejection,
+// version/flag policing, zero-copy batch decode into caller-owned
+// buffers, and the fixed-size body codecs. Everything a peer could send
+// that the decoder must refuse is pinned here byte-by-byte, because the
+// server trusts DecodeFrameHeader's verdict before believing a length
+// prefix.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace countlib {
+namespace net {
+namespace {
+
+FrameHeader RoundTripHeader(const FrameHeader& in, uint64_t max_payload,
+                            Status* st) {
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(in, buf);
+  FrameHeader out;
+  *st = DecodeFrameHeader(buf, sizeof(buf), max_payload, &out);
+  return out;
+}
+
+TEST(NetWireTest, HeaderRoundTrips) {
+  FrameHeader in;
+  in.type = FrameType::kEventBatch;
+  in.payload_len = 1032;
+  in.seq = 0x0123456789ABCDEFull;
+  Status st = Status::OK();
+  const FrameHeader out = RoundTripHeader(in, /*max_payload=*/4096, &st);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out.version, kWireVersion);
+  EXPECT_EQ(out.type, FrameType::kEventBatch);
+  EXPECT_EQ(out.flags, 0);
+  EXPECT_EQ(out.payload_len, 1032u);
+  EXPECT_EQ(out.seq, 0x0123456789ABCDEFull);
+}
+
+TEST(NetWireTest, HeaderLayoutIsLittleEndianAndStable) {
+  // The layout is a wire contract (docs/net_protocol.md), not an
+  // implementation detail: magic, version, type, flags, payload_len, seq,
+  // crc — all little-endian at fixed offsets.
+  FrameHeader in;
+  in.type = FrameType::kAck;
+  in.payload_len = 0x01020304;
+  in.seq = 0x1122334455667788ull;
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(in, buf);
+  EXPECT_EQ(buf[0], 'C');
+  EXPECT_EQ(buf[1], 'N');
+  EXPECT_EQ(buf[2], 'W');
+  EXPECT_EQ(buf[3], '1');
+  EXPECT_EQ(buf[4], kWireVersion);
+  EXPECT_EQ(buf[5], static_cast<uint8_t>(FrameType::kAck));
+  EXPECT_EQ(buf[6], 0);  // flags lo
+  EXPECT_EQ(buf[7], 0);  // flags hi
+  EXPECT_EQ(buf[8], 0x04);  // payload_len LE
+  EXPECT_EQ(buf[11], 0x01);
+  EXPECT_EQ(buf[12], 0x88);  // seq LE
+  EXPECT_EQ(buf[19], 0x11);
+}
+
+TEST(NetWireTest, CrcIsTheIeeeReflectedPolynomial) {
+  // Known-answer vector: CRC32("123456789") == 0xCBF43926 for the
+  // standard reflected 0xEDB88320 polynomial every other tool computes.
+  const uint8_t kCheck[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(WireCrc32(kCheck, sizeof(kCheck)), 0xCBF43926u);
+}
+
+TEST(NetWireTest, CorruptionIsRejected) {
+  FrameHeader in;
+  in.type = FrameType::kEventBatch;
+  in.payload_len = 8;
+  in.seq = 7;
+  uint8_t good[kFrameHeaderSize];
+  EncodeFrameHeader(in, good);
+  FrameHeader out;
+
+  // Any flipped bit in the CRC-covered region must be caught.
+  for (uint64_t byte = 0; byte < kFrameCrcCoverage; ++byte) {
+    uint8_t bad[kFrameHeaderSize];
+    for (uint64_t i = 0; i < kFrameHeaderSize; ++i) bad[i] = good[i];
+    bad[byte] ^= 0x10;
+    EXPECT_FALSE(
+        DecodeFrameHeader(bad, sizeof(bad), 4096, &out).ok())
+        << "flip at byte " << byte;
+  }
+  // A flipped CRC itself as well.
+  uint8_t bad_crc[kFrameHeaderSize];
+  for (uint64_t i = 0; i < kFrameHeaderSize; ++i) bad_crc[i] = good[i];
+  bad_crc[21] ^= 0x01;
+  EXPECT_TRUE(DecodeFrameHeader(bad_crc, sizeof(bad_crc), 4096, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(NetWireTest, TruncatedHeaderIsRejected) {
+  FrameHeader in;
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(in, buf);
+  FrameHeader out;
+  EXPECT_TRUE(DecodeFrameHeader(buf, kFrameHeaderSize - 1, 4096, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(NetWireTest, WrongVersionIsUnimplementedNotGarbage) {
+  // A valid frame from a future version must be distinguishable from
+  // corruption: the CRC passes, the version check reports kUnimplemented
+  // (the versioning rule: breaking changes bump the byte, peers refuse).
+  FrameHeader in;
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(in, buf);
+  buf[4] = kWireVersion + 1;
+  // Re-seal the CRC so only the version is "wrong".
+  const uint32_t crc = WireCrc32(buf, kFrameCrcCoverage);
+  buf[20] = static_cast<uint8_t>(crc);
+  buf[21] = static_cast<uint8_t>(crc >> 8);
+  buf[22] = static_cast<uint8_t>(crc >> 16);
+  buf[23] = static_cast<uint8_t>(crc >> 24);
+  FrameHeader out;
+  EXPECT_TRUE(
+      DecodeFrameHeader(buf, sizeof(buf), 4096, &out).IsUnimplemented());
+}
+
+TEST(NetWireTest, NonzeroFlagsAndUnknownTypesAreRejected) {
+  FrameHeader in;
+  uint8_t buf[kFrameHeaderSize];
+
+  in.flags = 1;  // v1 defines no flags
+  EncodeFrameHeader(in, buf);
+  FrameHeader out;
+  EXPECT_TRUE(
+      DecodeFrameHeader(buf, sizeof(buf), 4096, &out).IsInvalidArgument());
+
+  in.flags = 0;
+  in.type = static_cast<FrameType>(99);
+  EncodeFrameHeader(in, buf);
+  EXPECT_TRUE(
+      DecodeFrameHeader(buf, sizeof(buf), 4096, &out).IsUnimplemented());
+}
+
+TEST(NetWireTest, OversizePayloadIsRejectedBeforeTrustingTheLength) {
+  FrameHeader in;
+  in.type = FrameType::kEventBatch;
+  in.payload_len = 4097;
+  uint8_t buf[kFrameHeaderSize];
+  EncodeFrameHeader(in, buf);
+  FrameHeader out;
+  EXPECT_TRUE(
+      DecodeFrameHeader(buf, sizeof(buf), 4096, &out).IsInvalidArgument());
+  EXPECT_TRUE(DecodeFrameHeader(buf, sizeof(buf), 4097, &out).ok());
+}
+
+TEST(NetWireTest, EventBatchRoundTripsZeroCopy) {
+  std::vector<EventRecord> in(300);
+  for (uint64_t i = 0; i < in.size(); ++i) {
+    in[i].key = i * 1000003;
+    in[i].weight = i + 1;
+  }
+  std::vector<uint8_t> payload(EventBatchPayloadSize(in.size()));
+  EncodeEventBatch(in.data(), static_cast<uint32_t>(in.size()),
+                   payload.data());
+
+  // Decode into a caller-owned buffer sized for the connection's cap.
+  std::vector<EventRecord> out(512);
+  uint32_t count = 0;
+  ASSERT_TRUE(DecodeEventBatch(payload.data(), payload.size(), out.data(),
+                               static_cast<uint32_t>(out.size()), &count)
+                  .ok());
+  ASSERT_EQ(count, in.size());
+  for (uint64_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].key, in[i].key);
+    EXPECT_EQ(out[i].weight, in[i].weight);
+  }
+}
+
+TEST(NetWireTest, BatchCountMismatchesAreRejected) {
+  std::vector<EventRecord> records(4);
+  std::vector<uint8_t> payload(EventBatchPayloadSize(4));
+  EncodeEventBatch(records.data(), 4, payload.data());
+  std::vector<EventRecord> out(16);
+  uint32_t count = 0;
+
+  // Count prefix promising more records than the payload carries.
+  payload[0] = 5;
+  EXPECT_TRUE(DecodeEventBatch(payload.data(), payload.size(), out.data(), 16,
+                               &count)
+                  .IsInvalidArgument());
+  // Count exceeding the receiver's buffer, even with a matching payload.
+  EncodeEventBatch(records.data(), 4, payload.data());
+  EXPECT_TRUE(DecodeEventBatch(payload.data(), payload.size(), out.data(), 3,
+                               &count)
+                  .IsInvalidArgument());
+  // Truncated payload.
+  EXPECT_TRUE(DecodeEventBatch(payload.data(), payload.size() - 1, out.data(),
+                               16, &count)
+                  .IsInvalidArgument());
+  // Nonzero reserved word.
+  payload[4] = 1;
+  EXPECT_TRUE(DecodeEventBatch(payload.data(), payload.size(), out.data(), 16,
+                               &count)
+                  .IsInvalidArgument());
+}
+
+TEST(NetWireTest, EmptyBatchIsValid) {
+  std::vector<uint8_t> payload(EventBatchPayloadSize(0));
+  EncodeEventBatch(nullptr, 0, payload.data());
+  EventRecord out[1];
+  uint32_t count = 99;
+  ASSERT_TRUE(
+      DecodeEventBatch(payload.data(), payload.size(), out, 1, &count).ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(NetWireTest, BodiesRoundTrip) {
+  uint8_t buf[kAckBodySize];
+
+  HelloBody hello;
+  hello.requested_window = 777;
+  EncodeHelloBody(hello, buf);
+  HelloBody hello_out;
+  ASSERT_TRUE(DecodeHelloBody(buf, kHelloBodySize, &hello_out).ok());
+  EXPECT_EQ(hello_out.wire_version, kWireVersion);
+  EXPECT_EQ(hello_out.requested_window, 777u);
+  EXPECT_TRUE(DecodeHelloBody(buf, kHelloBodySize - 1, &hello_out)
+                  .IsInvalidArgument());
+
+  HelloAckBody hack;
+  hack.credit_grant_total = 1ull << 40;
+  hack.max_frame_events = 4096;
+  hack.producer_slot = 3;
+  EncodeHelloAckBody(hack, buf);
+  HelloAckBody hack_out;
+  ASSERT_TRUE(DecodeHelloAckBody(buf, kHelloAckBodySize, &hack_out).ok());
+  EXPECT_EQ(hack_out.credit_grant_total, 1ull << 40);
+  EXPECT_EQ(hack_out.max_frame_events, 4096u);
+  EXPECT_EQ(hack_out.producer_slot, 3u);
+
+  AckBody ack;
+  ack.acked_seq = 12;
+  ack.delivered_total = 1000;
+  ack.shed_total = 17;
+  ack.credit_grant_total = 2048;
+  EncodeAckBody(ack, buf);
+  AckBody ack_out;
+  ASSERT_TRUE(DecodeAckBody(buf, kAckBodySize, &ack_out).ok());
+  EXPECT_EQ(ack_out.acked_seq, 12u);
+  EXPECT_EQ(ack_out.delivered_total, 1000u);
+  EXPECT_EQ(ack_out.shed_total, 17u);
+  EXPECT_EQ(ack_out.credit_grant_total, 2048u);
+  EXPECT_TRUE(DecodeAckBody(buf, kAckBodySize + 1, &ack_out)
+                  .IsInvalidArgument());
+}
+
+TEST(NetWireTest, HelloReservedMustBeZero) {
+  uint8_t buf[kHelloBodySize];
+  HelloBody hello;
+  EncodeHelloBody(hello, buf);
+  buf[2] = 1;
+  HelloBody out;
+  EXPECT_TRUE(DecodeHelloBody(buf, kHelloBodySize, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace countlib

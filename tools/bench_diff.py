@@ -23,6 +23,13 @@ parallel and judges the metrics it understands, direction-aware:
 Entries in ``configs[]`` are matched by (mode, producers). Everything else
 (counts, elapsed times, worker steps) is context, not judged.
 
+A section (or judged metric) present in the current document but absent
+from the committed baseline — a freshly added bench scenario, e.g. the
+``net`` section — is reported as a WARN row with a note instead of being
+silently dropped or failing the run: the new numbers cannot regress
+against nothing, and the note tells the author to refresh the baseline so
+the next PR *is* judged.
+
 Usage:
   tools/bench_diff.py --baseline bench/baselines/pipeline_throughput.json \
                       --current BENCH_pipeline_throughput.json
@@ -45,6 +52,25 @@ COST_FLOORS = {"cpu_seconds": 0.003, "wake_latency_s": 0.05}
 # current value must stay strictly below the ceiling.
 CEILING_KEYS = {"overhead_pct": 5.0}
 
+JUDGED_KEYS = RATE_KEYS | COST_KEYS | ZERO_KEYS | set(CEILING_KEYS)
+
+NEW_SECTION_NOTE = ("not in baseline — refresh the committed baseline to "
+                    "judge it")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def contains_judged(node):
+    """True when `node`'s subtree holds at least one judgeable metric."""
+    if isinstance(node, dict):
+        return any((key in JUDGED_KEYS and is_number(value)) or
+                   contains_judged(value) for key, value in node.items())
+    if isinstance(node, list):
+        return any(contains_judged(e) for e in node)
+    return False
+
 
 def walk(baseline, current, path, rows):
     """Recursively pair up the two documents, collecting judged metrics."""
@@ -52,6 +78,16 @@ def walk(baseline, current, path, rows):
         for key in baseline:
             if key in current:
                 walk(baseline[key], current[key], f"{path}.{key}", rows)
+        for key in current:
+            # A judged section/metric the baseline has never seen: WARN
+            # with a note, never a hard error — a new bench scenario must
+            # be able to land together with its baseline refresh.
+            if key in baseline:
+                continue
+            if (key in JUDGED_KEYS and is_number(current[key])) or \
+                    contains_judged(current[key]):
+                rows.append((f"{path}.{key}", None, None, "WARN",
+                             NEW_SECTION_NOTE))
         return
     if isinstance(baseline, list) and isinstance(current, list):
         # configs[] entries are keyed by (mode, producers); other lists
@@ -61,11 +97,16 @@ def walk(baseline, current, path, rows):
                 else None
         current_by_key = {entry_key(e): e for e in current
                           if entry_key(e) is not None}
+        baseline_keys = {entry_key(e) for e in baseline}
         for entry in baseline:
             key = entry_key(entry)
             if key is not None and key in current_by_key:
                 walk(entry, current_by_key[key],
                      f"{path}[{key[0]}/p{key[1]}]", rows)
+        for key, entry in current_by_key.items():
+            if key not in baseline_keys and contains_judged(entry):
+                rows.append((f"{path}[{key[0]}/p{key[1]}]", None, None,
+                             "WARN", NEW_SECTION_NOTE))
         return
     leaf = path.rsplit(".", 1)[-1]
     if not isinstance(baseline, (int, float)) or isinstance(baseline, bool):
@@ -147,10 +188,15 @@ def main():
 
     width = max(len(r[0]) for r in rows)
     regressions = 0
+    warnings = 0
     for path, base, cur, verdict, note in rows:
         if verdict == "REGRESSION":
             regressions += 1
-        print(f"{path:<{width}}  base={base:<14.6g} cur={cur:<14.6g} "
+        elif verdict == "WARN":
+            warnings += 1
+        base_s = f"{base:<14.6g}" if base is not None else f"{'-':<14}"
+        cur_s = f"{cur:<14.6g}" if cur is not None else f"{'-':<14}"
+        print(f"{path:<{width}}  base={base_s} cur={cur_s} "
               f"{verdict:<10} {note}")
     # Always end on an explicit one-line verdict, so a green run is
     # greppable in CI logs and a human skimming the step sees the outcome
@@ -161,8 +207,11 @@ def main():
         verdict = "WARN (not gating)"
     else:
         verdict = "FAIL"
-    print(f"\nbench_diff: {verdict} — {len(rows)} metrics judged, "
-          f"{regressions} regression(s) at threshold {ARGS.threshold:.0%}")
+    new_note = (f", {warnings} new section(s) awaiting a baseline"
+                if warnings else "")
+    print(f"\nbench_diff: {verdict} — {len(rows) - warnings} metrics judged, "
+          f"{regressions} regression(s) at threshold {ARGS.threshold:.0%}"
+          f"{new_note}")
     if regressions and not ARGS.warn_only:
         return 1
     return 0

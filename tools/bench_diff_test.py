@@ -120,11 +120,60 @@ class WalkAndJudgeTest(unittest.TestCase):
                          "REGRESSION")
 
     def test_baseline_entry_missing_from_current_is_skipped(self):
+        # The baseline-only entry (p8) is judged against nothing — skipped;
+        # the current-only entry (p1) is new coverage — a WARN row, never a
+        # bogus comparison between different configs.
         baseline = {"configs": [
             {"mode": "direct", "producers": 8, "events_per_sec": 1000.0}]}
         current = {"configs": [
             {"mode": "direct", "producers": 1, "events_per_sec": 1.0}]}
-        self.assertEqual(judge(baseline, current), [])
+        rows = judge(baseline, current)
+        self.assertEqual(verdicts(rows), {"$.configs[direct/p1]": "WARN"})
+
+    def test_new_section_in_current_warns_with_note(self):
+        # A bench scenario landing in the same PR as its first numbers (the
+        # net section) has no baseline yet: WARN row, not an error and not
+        # silence.
+        baseline = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0}]}
+        current = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0}],
+            "net": {"events_per_sec": 500000.0, "lost_events": 0}}
+        rows = judge(baseline, current)
+        self.assertEqual(verdicts(rows)["$.net"], "WARN")
+        (_, base, cur, _, note), = [r for r in rows if r[0] == "$.net"]
+        self.assertIsNone(base)
+        self.assertIsNone(cur)
+        self.assertIn("not in baseline", note)
+
+    def test_new_section_without_judged_metrics_stays_silent(self):
+        # Context-only additions (counts, timestamps) are not worth a row.
+        rows = judge({"events_per_sec": 1.0},
+                     {"events_per_sec": 1.0, "meta": {"elapsed_s": 3.0}})
+        self.assertNotIn("$.meta", verdicts(rows))
+
+    def test_new_judged_leaf_in_current_warns(self):
+        rows = judge({"events_per_sec": 1.0},
+                     {"events_per_sec": 1.0, "submits_per_sec": 2.0})
+        self.assertEqual(verdicts(rows)["$.submits_per_sec"], "WARN")
+
+    def test_new_configs_entry_in_current_warns(self):
+        baseline = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0}]}
+        current = {"configs": [
+            {"mode": "direct", "producers": 1, "events_per_sec": 1000.0},
+            {"mode": "net", "producers": 4, "events_per_sec": 2000.0}]}
+        v = verdicts(judge(baseline, current))
+        self.assertEqual(v["$.configs[direct/p1].events_per_sec"], "ok")
+        self.assertEqual(v["$.configs[net/p4]"], "WARN")
+
+    def test_new_section_does_not_mask_real_regressions(self):
+        baseline = {"events_per_sec": 1000.0}
+        current = {"events_per_sec": 100.0,
+                   "net": {"events_per_sec": 500000.0}}
+        v = verdicts(judge(baseline, current))
+        self.assertEqual(v["$.events_per_sec"], "REGRESSION")
+        self.assertEqual(v["$.net"], "WARN")
 
     def test_nested_sections_are_walked(self):
         baseline = {"overload": {"shed": {"unaccounted_events": 0},
@@ -189,6 +238,16 @@ class CliTest(unittest.TestCase):
         bad["lost_events"] = 7
         proc = self.run_cli_full(self.GOOD, bad, "--warn-only")
         self.assertIn("bench_diff: WARN (not gating)", proc.stdout)
+
+    def test_new_section_alone_does_not_fail_the_run(self):
+        # WARN rows gate nothing: exit 0, and the verdict line flags the
+        # sections still awaiting a baseline refresh.
+        cur = copy.deepcopy(self.GOOD)
+        cur["net"] = {"events_per_sec": 500000.0, "lost_events": 0}
+        proc = self.run_cli_full(self.GOOD, cur)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("bench_diff: PASS", proc.stdout)
+        self.assertIn("1 new section(s) awaiting a baseline", proc.stdout)
 
     def test_schema_mismatch_exits_two(self):
         self.assertEqual(self.run_cli({"unrelated": 1}, {"other": 2}), 2)
