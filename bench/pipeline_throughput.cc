@@ -37,6 +37,21 @@
 ///    into the same pipeline config, against the in-process Submit
 ///    ceiling. The gap is the wire tax; the exact-books invariants are
 ///    asserted and the lost/unaccounted counts judged as must-stay-zero.
+///  - **sharded**: the merge-on-read store redesign's headline number.
+///    The same exact-kind trace goes through (a) direct stripe-locked
+///    `Increment` on the striped compatibility store and (b) the pipeline
+///    into a `ShardedCounterStore` with one private shard per worker, at
+///    1, 2, and 4 producers. The striped direct path degrades as producers
+///    contend for stripe locks while the sharded `IncrementBatch` takes no
+///    lock and touches no shared cache line, so the pipeline-vs-direct
+///    ratio must *grow* with the producer count instead of flattening at
+///    the single-producer batching gain (asserted strictly increasing on
+///    hosts with >=4 hardware threads — fewer cores time-slice the
+///    producers and flatten the curve by construction, so the gate is
+///    logged-not-asserted there, like the backpressure scenario's
+///    few-core caveat). Books are asserted exact on every pipeline run: nothing shed under
+///    kBlock, applied == submitted, and the merged store total equals the
+///    trace's total weight — Remark 2.4's exactness, end to end.
 ///  - **overload**: the shed/spill policies against a paused pipeline.
 ///    Shed mode blasts a frozen ring and must balance its books exactly —
 ///    `delivered + shed == submitted`, asserted, with the shed Submit
@@ -54,7 +69,9 @@
 /// wakeups, cpu_seconds}`, `backpressure {attempts, accepted, rejected,
 /// elapsed_s, attempts_per_sec, rejects_per_sec, reject_attempts,
 /// reject_allocs, invalid_slot_attempts, invalid_slot_allocs}`,
-/// `net {events, connections, elapsed_s,
+/// `sharded {configs[] {mode, producers, events, events_per_sec, ...}}`
+/// (the sharded-pipeline entries carry `ratio`, `agg_factor`, and a
+/// must-stay-zero `unaccounted_events`), `net {events, connections, elapsed_s,
 /// events_per_sec, inproc_events_per_sec, frames_tx, bytes_tx,
 /// credit_stalls, reconnects, lost_events, unaccounted_events}`,
 /// `saturated_producer_cpu
@@ -90,6 +107,7 @@
 #include <vector>
 
 #include "analytics/concurrent_store.h"
+#include "analytics/sharded_counter_store.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/collector.h"
@@ -601,6 +619,168 @@ OverloadResult RunOverload() {
   return r;
 }
 
+struct ShardedRunResult {
+  uint64_t producers;
+  uint64_t events;
+  double direct_events_per_sec;   // striped exact store, stripe-locked
+  double sharded_events_per_sec;  // pipeline into per-worker private shards
+  double ratio;                   // sharded pipeline over striped direct
+  double agg_factor;              // events per store update, pipeline run
+};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];  // callers pass odd-sized samples
+}
+
+/// One timed direct run: `passes` replays of the partitioned trace through
+/// contended stripe-locked `Increment` on the compat store.
+double MeasureShardedDirect(
+    const std::vector<std::vector<pipeline::Event>>& parts, uint64_t stripes,
+    uint64_t n_max, int passes, uint64_t total_events) {
+  auto striped = analytics::ConcurrentCounterStore::Make(
+                     stripes, CounterKind::kExact, 32, n_max, 7)
+                     .ValueOrDie();
+  const double start = Now();
+  std::vector<std::thread> threads;
+  for (const auto& part : parts) {
+    threads.emplace_back([&striped, &part, passes] {
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const pipeline::Event& e : part) {
+          COUNTLIB_CHECK_OK(striped.Increment(e.key, e.weight));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total_events) / (Now() - start);
+}
+
+/// One timed pipeline run into private shards — one shard (= lane) per
+/// worker, one worker per producer, so writer concurrency scales with the
+/// load — with the exact books asserted on every run.
+double MeasureShardedPipeline(
+    const std::vector<std::vector<pipeline::Event>>& parts, uint64_t n_max,
+    int passes, uint64_t total_events, uint64_t total_weight,
+    double* agg_factor) {
+  const uint64_t producers = parts.size();
+  auto sharded = analytics::ShardedCounterStore::Make(
+                     producers, CounterKind::kExact, 32, n_max, 7)
+                     .ValueOrDie();
+  pipeline::PipelineOptions opt;
+  opt.num_producers = producers;
+  opt.num_workers = producers;
+  opt.queue_capacity = 8192;
+  opt.max_batch = 2048;
+  auto ingest =
+      pipeline::IngestPipeline::Make(sharded.get(), opt).ValueOrDie();
+  const double start = Now();
+  std::vector<std::thread> threads;
+  for (uint64_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&ingest, &parts, p, passes] {
+      for (int pass = 0; pass < passes; ++pass) {
+        for (const pipeline::Event& e : parts[p]) {
+          COUNTLIB_CHECK_OK(ingest->Submit(p, e.key, e.weight));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  COUNTLIB_CHECK_OK(ingest->Drain());
+  const double elapsed = Now() - start;
+  const pipeline::PipelineStats stats = ingest->Stats();
+  // Exact books: kBlock is lossless — delivered + shed == submitted with
+  // shed identically zero.
+  COUNTLIB_CHECK_EQ(stats.events_submitted, total_events);
+  COUNTLIB_CHECK_EQ(stats.events_applied + stats.events_shed, total_events);
+  COUNTLIB_CHECK_EQ(stats.events_shed, uint64_t{0});
+  // Remark 2.4, end to end: the merged exact-kind store accounts for the
+  // trace's total weight to the last unit.
+  double merged_total = 0.0;
+  COUNTLIB_CHECK_OK(sharded->ForEach(
+      [&merged_total](uint64_t, double est) { merged_total += est; }));
+  COUNTLIB_CHECK_EQ(static_cast<uint64_t>(merged_total), total_weight);
+  *agg_factor = static_cast<double>(stats.events_applied) /
+                static_cast<double>(stats.updates_applied);
+  return static_cast<double>(total_events) / elapsed;
+}
+
+/// The store redesign's acceptance number: with the striped store the
+/// pipeline-vs-direct ratio flattens at the batching gain (~2.3x) because
+/// workers still serialize on stripe locks; with one private shard per
+/// worker there is nothing left to serialize on, while the direct path
+/// keeps paying more for its stripe locks as producers are added. Both
+/// sides run the exact counter kind so the merged totals can be checked to
+/// the last unit.
+///
+/// Noise discipline (the strictly-increasing assertion must hold on loaded
+/// single-core CI runners): each rep times a *pair* of back-to-back runs —
+/// direct then pipeline — so machine drift hits both sides of each ratio
+/// sample; every timed run replays the trace `kPasses` times to stretch
+/// the window past scheduler-quantum noise; and the judged ratio is the
+/// median of the per-rep paired ratios, immune to a couple of outlier
+/// reps in either direction.
+std::vector<ShardedRunResult> RunShardedScaling(
+    const std::vector<stream::KeyEvent>& events, uint64_t stripes) {
+  constexpr uint64_t kNMax = (uint64_t{1} << 32) - 1;
+  constexpr int kReps = 5;    // odd, for the median
+  constexpr int kPasses = 2;  // trace replays per timed run
+  uint64_t trace_weight = 0;
+  for (const auto& e : events) trace_weight += e.weight;
+  const uint64_t total_events = events.size() * kPasses;
+  const uint64_t total_weight = trace_weight * kPasses;
+  std::vector<ShardedRunResult> out;
+  for (uint64_t producers : {uint64_t{1}, uint64_t{2}, uint64_t{4}}) {
+    const auto parts = Partition(events, producers);
+    ShardedRunResult r{};
+    r.producers = producers;
+    r.events = total_events;
+    std::vector<double> direct_eps, pipeline_eps, ratios;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double d = MeasureShardedDirect(parts, stripes, kNMax, kPasses,
+                                            total_events);
+      const double p = MeasureShardedPipeline(parts, kNMax, kPasses,
+                                              total_events, total_weight,
+                                              &r.agg_factor);
+      direct_eps.push_back(d);
+      pipeline_eps.push_back(p);
+      ratios.push_back(p / d);
+    }
+    r.direct_events_per_sec = Median(direct_eps);
+    r.sharded_events_per_sec = Median(pipeline_eps);
+    r.ratio = Median(ratios);
+    out.push_back(r);
+  }
+  // The acceptance gate: no plateau — the pipeline-vs-direct ratio grows
+  // strictly with every producer-count step. Log the medians first so a
+  // gate trip in CI still shows the whole curve.
+  for (const ShardedRunResult& r : out) {
+    std::printf("# sharded[p=%llu]: direct %.2fM ev/s, pipeline %.2fM ev/s, "
+                "ratio %.3f\n",
+                static_cast<unsigned long long>(r.producers),
+                r.direct_events_per_sec / 1e6, r.sharded_events_per_sec / 1e6,
+                r.ratio);
+  }
+  std::fflush(stdout);  // the curve must survive a gate abort in CI logs
+  // The acceptance gate needs real parallelism to be physical: on a box
+  // with fewer hardware threads than the widest configuration, producers
+  // time-slice one core, stripe locks are never truly contended, and the
+  // ratio is flat by construction (same few-core caveat as the
+  // backpressure scenario). The exact-books invariants above are asserted
+  // unconditionally either way.
+  if (std::thread::hardware_concurrency() >= 4) {
+    for (size_t i = 1; i < out.size(); ++i) {
+      COUNTLIB_CHECK_GT(out[i].ratio, out[i - 1].ratio);
+    }
+  } else {
+    std::printf(
+        "# sharded: %u hardware thread(s) < 4 — ratio-growth gate skipped "
+        "(needs real parallelism), exact books still asserted\n",
+        std::thread::hardware_concurrency());
+  }
+  return out;
+}
+
 struct NetResult {
   uint64_t events;
   uint64_t connections;
@@ -852,6 +1032,7 @@ std::string ToJson(const std::vector<RunResult>& results,
                    const AutoscaleResult& autoscale,
                    const OverloadResult& overload,
                    const ObservabilityResult& obs, const NetResult& net,
+                   const std::vector<ShardedRunResult>& sharded,
                    uint64_t keys, double skew) {
   std::string out = "{\"bench\":\"pipeline_throughput\",\"keys\":" +
                     std::to_string(keys) + ",\"skew\":" + std::to_string(skew) +
@@ -984,6 +1165,30 @@ std::string ToJson(const std::vector<RunResult>& results,
       static_cast<unsigned long long>(net.lost_events),
       static_cast<unsigned long long>(net.unaccounted_events));
   out += buf;
+  // The sharded section mirrors configs[]' (mode, producers) keying so
+  // bench_diff judges its rates once the baseline carries it; the pipeline
+  // entries also carry the ratio (context) and a must-stay-zero
+  // unaccounted_events.
+  out += ",\"sharded\":{\"configs\":[";
+  for (size_t i = 0; i < sharded.size(); ++i) {
+    const ShardedRunResult& r = sharded[i];
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"mode\":\"sharded-direct\",\"producers\":%llu,"
+                  "\"events\":%llu,\"events_per_sec\":%.1f},"
+                  "{\"mode\":\"sharded-pipeline\",\"producers\":%llu,"
+                  "\"events\":%llu,\"events_per_sec\":%.1f,"
+                  "\"agg_factor\":%.3f,\"ratio\":%.3f,"
+                  "\"unaccounted_events\":0}",
+                  static_cast<unsigned long long>(r.producers),
+                  static_cast<unsigned long long>(r.events),
+                  r.direct_events_per_sec,
+                  static_cast<unsigned long long>(r.producers),
+                  static_cast<unsigned long long>(r.events),
+                  r.sharded_events_per_sec, r.agg_factor, r.ratio);
+    out += buf;
+  }
+  out += "]}";
   out += "}";
   return out;
 }
@@ -1125,6 +1330,29 @@ int Main(int argc, const char* const* argv) {
       static_cast<unsigned long long>(obs.latency_samples),
       static_cast<unsigned long long>(obs.series_points));
 
+  const std::vector<ShardedRunResult> sharded =
+      RunShardedScaling(trace.events(), flags.GetUint64("stripes"));
+  for (const ShardedRunResult& r : sharded) {
+    table.BeginRow() << "sharded-direct" << r.producers
+                     << r.direct_events_per_sec
+                     << static_cast<double>(r.events) / r.direct_events_per_sec
+                     << 1.0;
+    COUNTLIB_CHECK_OK(table.EndRow());
+    table.BeginRow() << "sharded-pipeline" << r.producers
+                     << r.sharded_events_per_sec
+                     << static_cast<double>(r.events) / r.sharded_events_per_sec
+                     << r.agg_factor;
+    COUNTLIB_CHECK_OK(table.EndRow());
+  }
+  std::printf("# sharded: pipeline-vs-direct ratio");
+  for (const ShardedRunResult& r : sharded) {
+    std::printf(" %.2fx@%llup", r.ratio,
+                static_cast<unsigned long long>(r.producers));
+  }
+  std::printf(
+      " — strictly increasing (asserted on >=4 hardware threads), exact "
+      "books\n");
+
   const NetResult net = RunNet(
       flags.GetUint64("net_events"), keys, skew, flags.GetUint64("stripes"),
       flags.GetUint64("net_connections"), flags.GetUint64("queue_capacity"),
@@ -1144,7 +1372,7 @@ int Main(int argc, const char* const* argv) {
 
   const std::string json =
       ToJson(results, elastic, worker_steps, idle, bp, sat, autoscale,
-             overload, obs, net, keys, skew);
+             overload, obs, net, sharded, keys, skew);
   std::printf("%s\n", json.c_str());
   const std::string json_out = flags.GetString("json_out");
   if (!json_out.empty()) {

@@ -12,18 +12,28 @@
 /// and a fully healthy run (no kill, no shed policy) additionally shows
 /// lost_unacked == 0. Any imbalance exits nonzero.
 ///
+/// With `--metrics_out=FILE` the settled client-side ledgers are exported
+/// as a Prometheus text dump (`countlib_loadgen_*`) so CI's promcheck can
+/// assert the producer half of the smoke's books the same way it asserts
+/// the server half — the server's own `--metrics_out` dump is where the
+/// store-side read path (`countlib_store_shard_merge_latency_ns`) shows
+/// up.
+///
 ///   ./build/example_analytics_loadgen --port=N [--host=ADDR]
 ///       [--connections=N] [--events=N] [--keys=N] [--skew=F] [--batch=N]
-///       [--window=N] [--expect_lossless]
+///       [--window=N] [--expect_lossless] [--metrics_out=FILE]
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/client.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "stream/trace.h"
 #include "util/cli.h"
 #include "util/logging.h"
@@ -42,6 +52,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("window", 0, "requested credit window (0 = server default)");
   flags.AddBool("expect_lossless", true,
                 "fail if any event lands in the lost_unacked ledger");
+  flags.AddString("metrics_out", "",
+                  "write the settled countlib_loadgen_* ledgers as a "
+                  "Prometheus text dump here (optional)");
   COUNTLIB_CHECK_OK(flags.Parse(argc, argv));
   if (flags.help_requested()) {
     std::fputs(flags.HelpText().c_str(), stdout);
@@ -116,6 +129,48 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(sum.events_pending),
       static_cast<unsigned long long>(sum.credit_stalls),
       static_cast<unsigned long long>(sum.reconnects));
+
+  const std::string metrics_out = flags.GetString("metrics_out");
+  if (!metrics_out.empty()) {
+    // The settled ledgers as Prometheus counters: registered, snapshotted
+    // once, and released — the loadgen has no live series to track, so the
+    // dump is a one-shot book report promcheck can gate on.
+    obs::Counter submitted, delivered, shed, lost, frames_tx, bytes_tx,
+        credit_stalls, reconnects;
+    submitted.Add(sum.events_submitted);
+    delivered.Add(sum.events_delivered);
+    shed.Add(sum.events_shed);
+    lost.Add(sum.events_lost_unacked);
+    frames_tx.Add(sum.frames_tx);
+    bytes_tx.Add(sum.bytes_tx);
+    credit_stalls.Add(sum.credit_stalls);
+    reconnects.Add(sum.reconnects);
+    obs::Registry& reg = obs::Registry::Default();
+    const std::vector<obs::Registration> regs = [&] {
+      std::vector<obs::Registration> r;
+      r.push_back(reg.RegisterCounter("countlib_loadgen_events_submitted_total",
+                                      &submitted));
+      r.push_back(reg.RegisterCounter("countlib_loadgen_events_delivered_total",
+                                      &delivered));
+      r.push_back(
+          reg.RegisterCounter("countlib_loadgen_events_shed_total", &shed));
+      r.push_back(
+          reg.RegisterCounter("countlib_loadgen_events_lost_total", &lost));
+      r.push_back(reg.RegisterCounter("countlib_loadgen_frames_tx_total",
+                                      &frames_tx));
+      r.push_back(
+          reg.RegisterCounter("countlib_loadgen_bytes_tx_total", &bytes_tx));
+      r.push_back(reg.RegisterCounter("countlib_loadgen_credit_stalls_total",
+                                      &credit_stalls));
+      r.push_back(reg.RegisterCounter("countlib_loadgen_reconnects_total",
+                                      &reconnects));
+      return r;
+    }();
+    std::ofstream f(metrics_out);
+    f << obs::ToPrometheusText(obs::GlobalSnapshot());
+    std::printf("analytics_loadgen: Prometheus ledgers at %s\n",
+                metrics_out.c_str());
+  }
 
   // The books: every submitted event must be in exactly one ledger.
   if (sum.events_submitted != sum.events_delivered + sum.events_shed +

@@ -2,10 +2,12 @@
 /// \brief The §1 analytics system as a *service*: an `EventServer`
 /// (src/net/server.h) listens on TCP, leases a pipeline producer slot per
 /// connection, and feeds remote page-visit events through the async
-/// batched path into a striped `ConcurrentCounterStore`. Point the
-/// companion loadgen (`example_analytics_loadgen`) at it for a loopback
-/// end-to-end run — that pair is also CI's smoke test for the net
-/// subsystem.
+/// batched path into a `ShardedCounterStore` — each drain worker owns a
+/// private shard (no stripe locks on the write path), and a dashboard
+/// thread reads merged cross-shard cuts once a second while the load is
+/// live (docs/store_api.md). Point the companion loadgen
+/// (`example_analytics_loadgen`) at it for a loopback end-to-end run —
+/// that pair is also CI's smoke test for the net subsystem.
 ///
 /// Overload policy works exactly as in-process (`--overload`, see
 /// overload.h); the wire adds credit-based flow control on top, so a
@@ -14,22 +16,27 @@
 ///
 /// With `--metrics_out=FILE` the run is instrumented through the obs
 /// layer and the final Prometheus dump includes the `countlib_net_*`
-/// inventory (src/obs/README.md) — CI validates it with
+/// inventory plus the `countlib_store_*` shard metrics — in particular
+/// `countlib_store_shard_merge_latency_ns`, fed by the dashboard's
+/// merge-on-read snapshots (src/obs/README.md) — CI validates it with
 /// tools/promcheck.py.
 ///
 ///   ./build/example_analytics_server [--port=N] [--bind=ADDR]
-///       [--slots=N] [--queue_capacity=N] [--workers=N]
+///       [--slots=N] [--queue_capacity=N] [--workers=N] [--shards=N]
 ///       [--overload=block|shed|spill] [--run_seconds=N]
 ///       [--metrics_out=FILE]
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
-#include "analytics/concurrent_store.h"
+#include "analytics/sharded_counter_store.h"
 #include "net/server.h"
 #include "obs/collector.h"
 #include "obs/export.h"
@@ -66,6 +73,9 @@ int main(int argc, char** argv) {
   flags.AddUint64("slots", 8, "producer slots == max concurrent connections");
   flags.AddUint64("queue_capacity", 4096, "per-slot ring capacity");
   flags.AddUint64("workers", 2, "drain worker threads");
+  flags.AddUint64("shards", 0,
+                  "private store shards (0 = one per drain worker); the "
+                  "pipeline clamps the worker pool to this many lanes");
   flags.AddString("overload", "block", "block|shed|spill");
   flags.AddUint64("run_seconds", 30, "serve this long, then drain and exit");
   flags.AddString("metrics_out", "", "final Prometheus dump path (optional)");
@@ -76,18 +86,25 @@ int main(int argc, char** argv) {
   }
 
   const bool metrics = !flags.GetString("metrics_out").empty();
-  auto store = analytics::ConcurrentCounterStore::Make(
-                   /*stripes=*/16, CounterKind::kExact, /*slot_bits=*/32,
+  const uint64_t workers = std::max<uint64_t>(flags.GetUint64("workers"), 1);
+  uint64_t shards = flags.GetUint64("shards");
+  if (shards == 0) shards = workers;  // one private shard per drain worker
+  auto store = analytics::ShardedCounterStore::Make(
+                   shards, CounterKind::kExact, /*state_bits=*/32,
                    (uint64_t{1} << 32) - 1, /*seed=*/1)
                    .ValueOrDie();
+  // Registered only once the store sits at its final address (the gauges
+  // capture `this`); the handles release before the store dies.
+  std::vector<obs::Registration> store_metrics;
+  if (metrics) store_metrics = store->RegisterMetrics();
 
   pipeline::PipelineOptions popt;
   popt.num_producers = flags.GetUint64("slots");
   popt.queue_capacity = flags.GetUint64("queue_capacity");
-  popt.num_workers = flags.GetUint64("workers");
+  popt.num_workers = workers;
   popt.overload.policy = ParsePolicy(flags.GetString("overload"));
   popt.enable_metrics = metrics;
-  auto pipe = pipeline::IngestPipeline::Make(&store, popt).ValueOrDie();
+  auto pipe = pipeline::IngestPipeline::Make(store.get(), popt).ValueOrDie();
 
   net::ServerOptions sopt;
   sopt.bind_address = flags.GetString("bind");
@@ -100,8 +117,34 @@ int main(int argc, char** argv) {
               pipeline::OverloadPolicyName(popt.overload.policy));
   std::fflush(stdout);
 
+  // The dashboard: a merged cross-shard cut once a second while the load
+  // is live — the new read path under real ingest, and (under
+  // --metrics_out) the feed for countlib_store_shard_merge_latency_ns.
+  std::atomic<bool> serving{true};
+  std::thread dashboard([&serving, &store] {
+    while (serving.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+      auto top = store->TopK(5);
+      if (!top.ok()) continue;
+      double total = 0.0;
+      COUNTLIB_CHECK_OK(
+          store->ForEach([&total](uint64_t, double est) { total += est; }));
+      std::printf("analytics_server: dashboard cut — %llu keys, %.0f total "
+                  "weight, top key %llu (~%.0f)\n",
+                  static_cast<unsigned long long>(store->NumKeys()), total,
+                  top.ValueOrDie().empty()
+                      ? 0ull
+                      : static_cast<unsigned long long>(
+                            top.ValueOrDie().front().key),
+                  top.ValueOrDie().empty() ? 0.0
+                                           : top.ValueOrDie().front().estimate);
+    }
+  });
+
   std::this_thread::sleep_for(
       std::chrono::seconds(flags.GetUint64("run_seconds")));
+  serving.store(false, std::memory_order_release);
+  dashboard.join();
 
   COUNTLIB_CHECK_OK(server->Stop());
   const net::ServerStats net_stats = server->Stats();
@@ -124,6 +167,13 @@ int main(int argc, char** argv) {
   std::printf("analytics_server: pipeline applied %llu events (%llu shed)\n",
               static_cast<unsigned long long>(pipe_stats.events_applied),
               static_cast<unsigned long long>(pipe_stats.events_shed));
+  const analytics::StoreStats store_stats = store->Stats();
+  std::printf(
+      "analytics_server: store holds %llu keys across %llu private shards; "
+      "%llu merged reads served\n",
+      static_cast<unsigned long long>(store->NumKeys()),
+      static_cast<unsigned long long>(store->num_shards()),
+      static_cast<unsigned long long>(store_stats.merge_reads));
 
   // Server-side books: every event from an acked-or-complete frame is
   // either delivered or shed — nothing vanishes inside the server.

@@ -2,11 +2,14 @@
 /// \brief The §1 analytics system end to end, elastic edition: a pool of
 /// transient producer threads leases slots from the `IngestPipeline`'s
 /// producer-slot registry and feeds page-visit events through the async
-/// batched path into a striped bit-packed `ConcurrentCounterStore`, while
-/// an `Autoscaler` watches queue pressure and drives `SetWorkerCount` for
+/// batched path into a `ShardedCounterStore` — every drain worker writes a
+/// private bit-packed shard, no locks on the hot path — while an
+/// `Autoscaler` watches queue pressure and drives `SetWorkerCount` for
 /// us — the pool starts at one drain thread, grows under the burst, and
-/// shrinks back once the producers finish. A dashboard then reads the
-/// results with one `TopK` snapshot call.
+/// shrinks back once the producers finish (shard = lane ownership migrates
+/// with ring ownership at the resize barriers, docs/store_api.md). A
+/// dashboard then reads the results with one merged `TopK` snapshot call —
+/// an exact cross-shard cut per Remark 2.4.
 ///
 /// The registry replaces the old static slot-per-thread contract: there
 /// are more worker-pool threads than producer slots, so each thread
@@ -56,7 +59,7 @@
 #include <thread>
 #include <vector>
 
-#include "analytics/concurrent_store.h"
+#include "analytics/sharded_counter_store.h"
 #include "obs/collector.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -115,15 +118,17 @@ int main(int argc, char** argv) {
   const uint64_t metrics_period_ms = flags.GetUint64("metrics_period_ms");
   const bool metrics = !metrics_out.empty();
 
-  // Zipf page popularity, 16 bits of packed counter state per page.
+  // Zipf page popularity, 16 bits of packed counter state per page, one
+  // private shard per producer slot (the autoscaler's worker ceiling is
+  // the slot count, and the pipeline clamps workers to the store's lanes).
   auto trace = stream::Trace::GenerateZipf(pages, 1.05, visits, 99).ValueOrDie();
-  auto store = analytics::ConcurrentCounterStore::Make(
-                   16, CounterKind::kSampling, 16, visits, 1)
+  auto store = analytics::ShardedCounterStore::Make(
+                   slots, CounterKind::kSampling, 16, visits, 1)
                    .ValueOrDie();
   // Registered only now that the store sits at its final address (the
   // gauges capture `this`); the handles release before the store dies.
   std::vector<obs::Registration> store_metrics;
-  if (metrics) store_metrics = store.RegisterMetrics();
+  if (metrics) store_metrics = store->RegisterMetrics();
 
   pipeline::PipelineOptions options;
   options.num_producers = slots;
@@ -140,7 +145,8 @@ int main(int argc, char** argv) {
   } else {
     COUNTLIB_CHECK(overload == "block") << "unknown --overload: " << overload;
   }
-  auto ingest = pipeline::IngestPipeline::Make(&store, options).ValueOrDie();
+  auto ingest =
+      pipeline::IngestPipeline::Make(store.get(), options).ValueOrDie();
 
   // The elastic control loop, as policy instead of hand-placed
   // SetWorkerCount calls: sample queue pressure (ring depth plus spill
@@ -216,17 +222,16 @@ int main(int argc, char** argv) {
   COUNTLIB_CHECK_OK(ingest->Drain());
 
   if (metrics) {
-    // Final dump with everything drained: the must-stay-zero metrics
-    // (events_dropped, resize_errors, unaccounted_events) are now settled,
-    // which is exactly what tools/promcheck.py asserts in CI.
+    // Stop the live rewriter; the final dump waits until after the
+    // dashboard's merged TopK read below, so the validated file carries a
+    // populated countlib_store_shard_merge_latency_ns histogram alongside
+    // the settled must-stay-zero metrics (events_dropped, resize_errors,
+    // unaccounted_events) that tools/promcheck.py asserts in CI.
     if (dump_thread.joinable()) {
       dumping.store(false, std::memory_order_release);
       dump_thread.join();
     }
-    DumpMetrics(metrics_out);
     collector->Stop();
-    std::printf("metrics: Prometheus text at %s, JSON at %s.json\n",
-                metrics_out.c_str(), metrics_out.c_str());
   }
 
   const pipeline::PipelineStats stats = ingest->Stats();
@@ -272,20 +277,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(w.wakeups));
   }
 
-  const analytics::StoreStats store_stats = store.Stats();
+  const analytics::StoreStats store_stats = store->Stats();
   std::printf(
-      "store: %llu pages at 16 bits/page packed state; "
-      "%llu batch calls carried %llu updates\n",
-      static_cast<unsigned long long>(store.NumKeys()),
+      "store: %llu pages at 16 bits/page packed state across %llu private "
+      "shards; %llu batch calls carried %llu updates\n",
+      static_cast<unsigned long long>(store->NumKeys()),
+      static_cast<unsigned long long>(store->num_shards()),
       static_cast<unsigned long long>(store_stats.batch_calls),
       static_cast<unsigned long long>(store_stats.batch_updates));
 
-  // The dashboard read path: one snapshot call, no per-key round trips.
-  auto top = store.TopK(10).ValueOrDie();
+  // The dashboard read path: one merged snapshot call — an exact
+  // cross-shard cut — no per-key round trips.
+  auto top = store->TopK(10).ValueOrDie();
   std::printf("\ntop %zu pages by estimated visits:\n", top.size());
   for (const auto& [key, estimate] : top) {
     std::printf("  page %8llu  ~%.0f visits\n",
                 static_cast<unsigned long long>(key), estimate);
+  }
+
+  if (metrics) {
+    DumpMetrics(metrics_out);
+    std::printf("metrics: Prometheus text at %s, JSON at %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
   }
   return 0;
 }

@@ -105,16 +105,7 @@ Result<std::vector<KeyEstimate>> ConcurrentCounterStore::TopK(size_t k) const {
   COUNTLIB_RETURN_NOT_OK(ForEach([&all](uint64_t key, double estimate) {
     all.push_back(KeyEstimate{key, estimate});
   }));
-  const auto by_estimate_desc = [](const KeyEstimate& a, const KeyEstimate& b) {
-    if (a.estimate != b.estimate) return a.estimate > b.estimate;
-    return a.key < b.key;
-  };
-  if (k < all.size()) {
-    std::partial_sort(all.begin(), all.begin() + k, all.end(), by_estimate_desc);
-    all.resize(k);
-  } else {
-    std::sort(all.begin(), all.end(), by_estimate_desc);
-  }
+  SortTopKByContract(&all, k);
   return all;
 }
 

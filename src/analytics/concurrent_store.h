@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analytics/counter_store.h"
+#include "analytics/store_interface.h"
 #include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -23,21 +24,13 @@
 namespace countlib {
 namespace analytics {
 
-/// \brief Monotonic ingest counters for a ConcurrentCounterStore — the
-/// store-side half of the pipeline's observability surface (the pipeline's
-/// `PipelineStats` counts what reached the queues; this counts what reached
-/// the packed slots). Taken with `ConcurrentCounterStore::Stats`.
-struct StoreStats {
-  uint64_t increments = 0;     ///< successful single-key Increment calls
-  uint64_t batch_calls = 0;    ///< IncrementBatch invocations with n > 0
-  /// Key-weight updates applied through fully successful batches. A batch
-  /// that errors mid-way may have committed a prefix that is not counted
-  /// here, so treat this as a lower bound under store errors.
-  uint64_t batch_updates = 0;
-};
-
-/// \brief Striped, mutex-guarded collection of CounterStores.
-class ConcurrentCounterStore {
+/// \brief Striped, mutex-guarded collection of CounterStores — the
+/// compatibility implementation of the `CounterReader` / `CounterWriter`
+/// store contract (store_interface.h). Its `IncrementBatch` is internally
+/// synchronized (stripe locks), so it reports `kUnboundedLanes`; prefer
+/// `ShardedCounterStore` on the pipeline hot path, where private per-lane
+/// shards make the write path lock-free and reads exactly consistent.
+class ConcurrentCounterStore : public CounterReader, public CounterWriter {
  public:
   /// `stripes` should be ~2-4x the ingest thread count; per-key counters
   /// are `kind` calibrated to `state_bits` for counts up to `n_max`.
@@ -50,26 +43,39 @@ class ConcurrentCounterStore {
 
   /// Thread-safe batched ingest: routes the updates to their stripes and
   /// takes each touched stripe's lock ONCE for all of its updates, instead
-  /// of once per event — the pipeline workers' fast path. Updates for a
-  /// stripe are applied contiguously; updates of distinct stripes may
-  /// interleave with concurrent writers. Stops at the first error.
+  /// of once per event. Updates for a stripe are applied contiguously;
+  /// updates of distinct stripes may interleave with concurrent writers.
+  /// Stops at the first error.
   Status IncrementBatch(const KeyWeight* updates, size_t n);
 
+  /// `CounterWriter`: internally synchronized, any lane value is valid.
+  uint64_t num_lanes() const override { return kUnboundedLanes; }
+
+  /// `CounterWriter` write path: the lane is ignored (stripe locks already
+  /// serialize), the batch goes through the striped `IncrementBatch`.
+  Status IncrementBatch(uint64_t lane, const KeyWeight* updates,
+                        size_t n) override {
+    (void)lane;
+    return IncrementBatch(updates, n);
+  }
+
   /// Thread-safe: the key's estimate (NotFound if never incremented).
-  Result<double> Estimate(uint64_t key) const;
+  Result<double> Estimate(uint64_t key) const override;
 
   /// Thread-safe snapshot iteration: invokes `fn(key, estimate)` for every
   /// key. Locks one stripe at a time, so the view is per-stripe consistent
   /// but not a global atomic snapshot. Do not call store methods from `fn`.
-  Status ForEach(const std::function<void(uint64_t, double)>& fn) const;
+  Status ForEach(
+      const std::function<void(uint64_t, double)>& fn) const override;
 
-  /// Thread-safe: the `k` keys with the largest estimates, descending
-  /// (ties broken by key, ascending). Built on ForEach — one slot decode
-  /// per key, no per-key Estimate() round trips.
-  Result<std::vector<KeyEstimate>> TopK(size_t k) const;
+  /// Thread-safe: the `k` keys with the largest estimates, per the
+  /// `CounterReader` ordering contract (descending by estimate, ties
+  /// broken by key ascending). Built on ForEach — one slot decode per key,
+  /// no per-key Estimate() round trips.
+  Result<std::vector<KeyEstimate>> TopK(size_t k) const override;
 
   /// Thread-safe snapshot of the ingest activity counters.
-  StoreStats Stats() const;
+  StoreStats Stats() const override;
 
   /// Registers this store's counters and gauges (`countlib_store_*`, see
   /// obs/README.md) with `obs::Registry::Default()`. Call once, after the
@@ -80,10 +86,10 @@ class ConcurrentCounterStore {
   [[nodiscard]] std::vector<obs::Registration> RegisterMetrics();
 
   /// Total distinct keys across stripes (takes all locks; O(stripes)).
-  uint64_t NumKeys() const;
+  uint64_t NumKeys() const override;
 
   /// Total packed counter bits across stripes.
-  uint64_t TotalStateBits() const;
+  uint64_t TotalStateBits() const override;
 
   uint64_t num_stripes() const { return stripes_.size(); }
 

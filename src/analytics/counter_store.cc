@@ -60,12 +60,16 @@ Result<CounterStore> CounterStore::MakeWithAccuracy(CounterKind kind,
   return FromScratchCounter(std::move(scratch));
 }
 
-Status CounterStore::LoadSlot(uint64_t slot) const {
+Status CounterStore::LoadSlotInto(uint64_t slot, Counter* into) const {
   const uint64_t bit_off = slot * static_cast<uint64_t>(stride_bits_);
   slot_buf_.assign((static_cast<size_t>(stride_bits_) + 7) / 8, 0);
   CopyBits(pool_.data(), bit_off, slot_buf_.data(), 0, stride_bits_);
   BitReader reader(slot_buf_.data(), stride_bits_);
-  return scratch_->DeserializeState(&reader);
+  return into->DeserializeState(&reader);
+}
+
+Status CounterStore::LoadSlot(uint64_t slot) const {
+  return LoadSlotInto(slot, scratch_.get());
 }
 
 Status CounterStore::StoreSlot(uint64_t slot) {
@@ -120,6 +124,56 @@ Result<double> CounterStore::Estimate(uint64_t key) const {
   }
   COUNTLIB_RETURN_NOT_OK(LoadSlot(it->second));
   return scratch_->Estimate();
+}
+
+Result<bool> CounterStore::ReadKeyState(uint64_t key, Counter* into) const {
+  if (into->StateBits() != stride_bits_) {
+    return Status::FailedPrecondition(
+        "ReadKeyState: counter StateBits (" +
+        std::to_string(into->StateBits()) + ") != store stride (" +
+        std::to_string(stride_bits_) + ")");
+  }
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  COUNTLIB_RETURN_NOT_OK(LoadSlotInto(it->second, into));
+  return true;
+}
+
+Status CounterStore::MergeFrom(const CounterStore& donor) {
+  if (&donor == this) {
+    return Status::InvalidArgument("CounterStore::MergeFrom: self-merge");
+  }
+  if (donor.stride_bits_ != stride_bits_) {
+    return Status::FailedPrecondition(
+        "CounterStore::MergeFrom: stride mismatch (" +
+        std::to_string(donor.stride_bits_) + " vs " +
+        std::to_string(stride_bits_) + " bits/key)");
+  }
+  for (const auto& [key, donor_slot] : donor.index_) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      // Key only the donor has seen: its packed state is already
+      // distributed as one counter over that key's whole stream, so a raw
+      // bit copy IS the merge.
+      COUNTLIB_ASSIGN_OR_RETURN(uint64_t slot, GetOrCreateSlot(key));
+      CopyBits(donor.pool_.data(),
+               donor_slot * static_cast<uint64_t>(stride_bits_), pool_.data(),
+               slot * static_cast<uint64_t>(stride_bits_), stride_bits_);
+      continue;
+    }
+    // Both sides hold state: decode each into its store's scratch counter
+    // and merge per Remark 2.4. Decoding through the donor's scratch is
+    // within the single-caller-at-a-time contract both stores already
+    // carry (the sharded store only merges frozen shards).
+    COUNTLIB_RETURN_NOT_OK(donor.LoadSlot(donor_slot));
+    COUNTLIB_RETURN_NOT_OK(LoadSlot(it->second));
+    Status st = scratch_->MergeFrom(*donor.scratch_);
+    if (!st.ok()) {
+      return st.WithContext("merging key " + std::to_string(key));
+    }
+    COUNTLIB_RETURN_NOT_OK(StoreSlot(it->second));
+  }
+  return Status::OK();
 }
 
 namespace {

@@ -73,6 +73,23 @@ class CounterStore {
   /// The key's current estimate; NotFound if never incremented.
   Result<double> Estimate(uint64_t key) const;
 
+  /// Decodes `key`'s packed state into `into`, which must be an
+  /// identically-configured counter (same algorithm and calibration, so its
+  /// `StateBits()` equals this store's stride). Returns false (with `into`
+  /// untouched) when the key was never incremented. The cross-shard
+  /// per-key read path: merge-on-read stores decode each shard's state
+  /// into scratch counters and `Counter::MergeFrom` them together.
+  Result<bool> ReadKeyState(uint64_t key, Counter* into) const;
+
+  /// Merges every key of `donor` into this store (Remark 2.4: each merged
+  /// per-key counter is distributed exactly as one counter over the
+  /// concatenated per-key streams). Both stores must be identically
+  /// configured — the stride is checked, the algorithm is the caller's
+  /// contract (as with LoadFromFile). Keys new to this store are copied
+  /// bit-for-bit; keys present in both are merged via `Counter::MergeFrom`.
+  /// Stops at the first error; already-merged keys stay merged.
+  Status MergeFrom(const CounterStore& donor);
+
   /// Invokes `fn(key, estimate)` for every key in the store, decoding each
   /// packed slot once. Iteration order is unspecified.
   Status ForEach(const std::function<void(uint64_t, double)>& fn) const;
@@ -115,6 +132,8 @@ class CounterStore {
 
   static Result<CounterStore> FromScratchCounter(std::unique_ptr<Counter> scratch);
 
+  /// Decodes slot bits into `into` (any identically-configured counter).
+  Status LoadSlotInto(uint64_t slot, Counter* into) const;
   /// Loads slot bits into the scratch counter.
   Status LoadSlot(uint64_t slot) const;
   /// Stores the scratch counter's state back into the slot.

@@ -1,0 +1,147 @@
+/// \file store_interface.h
+/// \brief The store contract behind the ingest pipeline: a read-side
+/// snapshot interface (`CounterReader`) and an ownership-based write
+/// contract (`CounterWriter`).
+///
+/// The redesign this file anchors: the paper's counters are mergeable
+/// (Remark 2.4 — a merged counter is distributionally exactly one counter
+/// over the concatenated stream), so the hot write path never needs a
+/// shared, lock-striped store. A `CounterWriter` exposes numbered **lanes**;
+/// each lane is a single-writer channel, and implementations are free to
+/// back every lane with completely private state (see
+/// `ShardedCounterStore`, whose `IncrementBatch` takes no lock and touches
+/// no shared cache line). Reads go through `CounterReader`, where
+/// merge-on-read implementations reconstruct the global view — exactly,
+/// per Remark 2.4 — at snapshot time.
+///
+/// `ConcurrentCounterStore` (the original striped design) implements both
+/// interfaces as the compatibility path; see docs/store_api.md for the
+/// contract details and the migration notes for pre-interface signatures.
+
+#ifndef COUNTLIB_ANALYTICS_STORE_INTERFACE_H_
+#define COUNTLIB_ANALYTICS_STORE_INTERFACE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analytics/counter_store.h"
+#include "util/status.h"
+
+namespace countlib {
+namespace analytics {
+
+/// \brief Monotonic ingest counters for a concurrent store — the
+/// store-side half of the pipeline's observability surface (the pipeline's
+/// `PipelineStats` counts what reached the queues; this counts what reached
+/// the packed slots). Taken with `CounterReader::Stats`.
+struct StoreStats {
+  uint64_t increments = 0;     ///< successful single-key Increment calls
+  uint64_t batch_calls = 0;    ///< IncrementBatch invocations with n > 0
+  /// Key-weight updates applied through fully successful batches. A batch
+  /// that errors mid-way may have committed a prefix that is not counted
+  /// here, so treat this as a lower bound under store errors.
+  uint64_t batch_updates = 0;
+  /// Merged snapshot reads (`ForEach` / `TopK` / merged `Snapshot` calls).
+  /// Stays 0 for implementations whose reads never merge (striped store).
+  uint64_t merge_reads = 0;
+};
+
+/// \brief Read-side interface of a concurrent multi-counter store.
+///
+/// All methods are thread-safe against concurrent writers. How consistent
+/// the view is depends on the implementation:
+///  - `ShardedCounterStore` reads are **exact cross-shard cuts**: the
+///    snapshot equals a quiesced store that processed some prefix of every
+///    writer's stream (frozen at whole applied batches).
+///  - `ConcurrentCounterStore` reads are per-stripe consistent only.
+class CounterReader {
+ public:
+  virtual ~CounterReader() = default;
+
+  /// The key's current estimate; NotFound if never incremented.
+  virtual Result<double> Estimate(uint64_t key) const = 0;
+
+  /// Snapshot iteration: invokes `fn(key, estimate)` for every key.
+  /// Iteration order is unspecified. Do not call store methods from `fn`.
+  virtual Status ForEach(
+      const std::function<void(uint64_t, double)>& fn) const = 0;
+
+  /// The `k` keys with the largest estimates.
+  ///
+  /// Ordering contract (pinned here, identical for every implementation;
+  /// the test suite asserts striped and merged-shard stores agree):
+  /// descending by estimate, **ties broken by key, ascending**. The result
+  /// is therefore deterministic given the key→estimate multiset.
+  virtual Result<std::vector<KeyEstimate>> TopK(size_t k) const = 0;
+
+  /// Snapshot of the ingest activity counters.
+  virtual StoreStats Stats() const = 0;
+
+  /// Total distinct keys.
+  virtual uint64_t NumKeys() const = 0;
+
+  /// Total packed counter state across the store, in bits.
+  virtual uint64_t TotalStateBits() const = 0;
+};
+
+/// \brief Write-side contract of a concurrent multi-counter store.
+///
+/// Writes are addressed to a **lane**. The caller contract:
+///
+///  - At any instant, at most one thread writes a given lane. Lane
+///    ownership may migrate between threads, but only across a
+///    happens-before edge (the pipeline migrates lane ownership with ring
+///    ownership at `SetWorkerCount` join barriers, which provide exactly
+///    that edge).
+///  - Different lanes are fully concurrent — implementations must not make
+///    one lane's progress wait on another's.
+///
+/// `num_lanes()` returns how many such channels exist. Implementations
+/// with genuinely private per-lane state (`ShardedCounterStore`) return
+/// their shard count, and callers must spread writers across lanes
+/// `0..num_lanes()-1`; implementations whose `IncrementBatch` is safe from
+/// any thread (`ConcurrentCounterStore`) return `kUnboundedLanes` and
+/// accept any lane value.
+class CounterWriter {
+ public:
+  /// `num_lanes()` value meaning "any lane id is valid; writes are
+  /// internally synchronized."
+  static constexpr uint64_t kUnboundedLanes = ~uint64_t{0};
+
+  virtual ~CounterWriter() = default;
+
+  /// Number of single-writer lanes, or `kUnboundedLanes`.
+  virtual uint64_t num_lanes() const = 0;
+
+  /// Applies `n` updates through `lane` in one pass — the one write entry
+  /// point. Callers that pre-aggregate duplicate keys (the ingestion
+  /// pipeline does) pay one packed-slot rewrite per *distinct* key. Stops
+  /// at the first error; already-applied updates stay applied.
+  virtual Status IncrementBatch(uint64_t lane, const KeyWeight* updates,
+                                size_t n) = 0;
+};
+
+/// \brief The one implementation of the `TopK` ordering contract:
+/// descending by estimate, ties broken by key ascending. Implementations
+/// sort (or partial-sort to `k`) through this helper so they cannot drift
+/// from the pinned contract.
+inline void SortTopKByContract(std::vector<KeyEstimate>* all, size_t k) {
+  const auto by_estimate_desc = [](const KeyEstimate& a, const KeyEstimate& b) {
+    if (a.estimate != b.estimate) return a.estimate > b.estimate;
+    return a.key < b.key;
+  };
+  if (k < all->size()) {
+    std::partial_sort(all->begin(), all->begin() + k, all->end(),
+                      by_estimate_desc);
+    all->resize(k);
+  } else {
+    std::sort(all->begin(), all->end(), by_estimate_desc);
+  }
+}
+
+}  // namespace analytics
+}  // namespace countlib
+
+#endif  // COUNTLIB_ANALYTICS_STORE_INTERFACE_H_

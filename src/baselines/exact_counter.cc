@@ -39,4 +39,19 @@ Status ExactCounter::DeserializeState(BitReader* in) {
   return Status::OK();
 }
 
+Status ExactCounter::MergeFrom(const Counter& donor) {
+  const auto* other = dynamic_cast<const ExactCounter*>(&donor);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        "ExactCounter::MergeFrom: donor is not an exact counter");
+  }
+  if (other->n_cap_ != n_cap_) {
+    return Status::InvalidArgument(
+        "ExactCounter::MergeFrom: donor n_cap differs");
+  }
+  // Exact counters merge by addition (saturating, like IncrementMany).
+  IncrementMany(other->count_);
+  return Status::OK();
+}
+
 }  // namespace countlib

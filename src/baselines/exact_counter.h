@@ -30,6 +30,7 @@ class ExactCounter : public Counter {
   std::string Name() const override;
   Status SerializeState(BitWriter* out) const override;
   Status DeserializeState(BitReader* in) override;
+  Status MergeFrom(const Counter& donor) override;
 
   uint64_t count() const { return count_; }
   uint64_t n_cap() const { return n_cap_; }

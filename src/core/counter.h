@@ -68,6 +68,19 @@ class Counter {
 
   /// Restores program state previously written by `SerializeState`.
   virtual Status DeserializeState(BitReader* in) = 0;
+
+  /// Merges `donor`'s state into this counter. Per Remark 2.4 the merged
+  /// state is distributed exactly as a single counter over the
+  /// concatenation of both streams — nothing is lost in (ε, δ) — which is
+  /// what makes per-shard counting plus merge-on-read exact
+  /// (analytics/sharded_counter_store.h). Requires `donor` to be the same
+  /// algorithm with identical parameters (`kInvalidArgument` otherwise).
+  /// The default returns `kUnimplemented`; mergeable counters override it
+  /// by delegating to the typed merges in core/merge.h.
+  virtual Status MergeFrom(const Counter& donor) {
+    (void)donor;
+    return Status::Unimplemented(Name() + ": MergeFrom not supported");
+  }
 };
 
 }  // namespace countlib

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "random/geometric.h"
+#include "core/merge.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -90,6 +91,15 @@ Status MorrisCounter::DeserializeState(BitReader* in) {
   p_current_ = LevelProbability(x_);
   saturated_ = false;
   return Status::OK();
+}
+
+Status MorrisCounter::MergeFrom(const Counter& donor) {
+  const auto* other = dynamic_cast<const MorrisCounter*>(&donor);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        "MorrisCounter::MergeFrom: donor is not a Morris counter");
+  }
+  return MergeInto(this, *other);
 }
 
 }  // namespace countlib

@@ -48,6 +48,7 @@ class MorrisCounter : public Counter {
   std::string Name() const override { return params_.ToString(); }
   Status SerializeState(BitWriter* out) const override;
   Status DeserializeState(BitReader* in) override;
+  Status MergeFrom(const Counter& donor) override;
 
   /// The level register X (exposed for experiments and exact-law checks).
   uint64_t x() const { return x_; }

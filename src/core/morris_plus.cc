@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/merge.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -72,6 +73,15 @@ Status MorrisPlusCounter::DeserializeState(BitReader* in) {
   }
   prefix_ = prefix;
   return morris_.DeserializeState(in);
+}
+
+Status MorrisPlusCounter::MergeFrom(const Counter& donor) {
+  const auto* other = dynamic_cast<const MorrisPlusCounter*>(&donor);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        "MorrisPlusCounter::MergeFrom: donor is not a Morris+ counter");
+  }
+  return MergeInto(this, *other);
 }
 
 }  // namespace countlib

@@ -47,6 +47,7 @@ class MorrisPlusCounter : public Counter {
   std::string Name() const override;
   Status SerializeState(BitWriter* out) const override;
   Status DeserializeState(BitReader* in) override;
+  Status MergeFrom(const Counter& donor) override;
 
   /// The saturating deterministic prefix register.
   uint64_t prefix() const { return prefix_; }

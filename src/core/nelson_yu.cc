@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "random/geometric.h"
+#include "core/merge.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -233,6 +234,15 @@ Status NelsonYuCounter::DeserializeState(BitReader* in) {
   threshold_ = sched.threshold;
   saturated_ = false;
   return Status::OK();
+}
+
+Status NelsonYuCounter::MergeFrom(const Counter& donor) {
+  const auto* other = dynamic_cast<const NelsonYuCounter*>(&donor);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        "NelsonYuCounter::MergeFrom: donor is not a Nelson-Yu counter");
+  }
+  return MergeInto(this, *other);
 }
 
 }  // namespace countlib

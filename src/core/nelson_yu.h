@@ -61,6 +61,7 @@ class NelsonYuCounter : public Counter {
   std::string Name() const override { return params_.ToString(); }
   Status SerializeState(BitWriter* out) const override;
   Status DeserializeState(BitReader* in) override;
+  Status MergeFrom(const Counter& donor) override;
 
   /// Level register (== X0 + current epoch index).
   uint64_t x() const { return x_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "random/geometric.h"
+#include "core/merge.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -112,6 +113,15 @@ Status SamplingCounter::DeserializeState(BitReader* in) {
   t_ = static_cast<uint32_t>(t);
   saturated_ = false;
   return Status::OK();
+}
+
+Status SamplingCounter::MergeFrom(const Counter& donor) {
+  const auto* other = dynamic_cast<const SamplingCounter*>(&donor);
+  if (other == nullptr) {
+    return Status::InvalidArgument(
+        "SamplingCounter::MergeFrom: donor is not a sampling counter");
+  }
+  return MergeInto(this, *other);
 }
 
 }  // namespace countlib

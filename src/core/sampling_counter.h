@@ -49,6 +49,7 @@ class SamplingCounter : public Counter {
   std::string Name() const override { return params_.ToString(); }
   Status SerializeState(BitWriter* out) const override;
   Status DeserializeState(BitReader* in) override;
+  Status MergeFrom(const Counter& donor) override;
 
   uint64_t y() const { return y_; }
   uint32_t t() const { return t_; }

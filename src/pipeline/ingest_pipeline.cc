@@ -99,9 +99,12 @@ const Status& PausedFlushStatus() {
 }  // namespace
 
 Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
-    analytics::ConcurrentCounterStore* store, const PipelineOptions& options) {
+    analytics::CounterWriter* store, const PipelineOptions& options) {
   if (store == nullptr) {
     return Status::InvalidArgument("IngestPipeline: store must not be null");
+  }
+  if (store->num_lanes() == 0) {
+    return Status::InvalidArgument("IngestPipeline: store has no lanes");
   }
   if (options.num_producers < 1 || options.num_producers > 4096) {
     return Status::InvalidArgument("IngestPipeline: num_producers in [1, 4096]");
@@ -136,7 +139,7 @@ Result<std::unique_ptr<IngestPipeline>> IngestPipeline::Make(
   return std::unique_ptr<IngestPipeline>(new IngestPipeline(store, options));
 }
 
-IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
+IngestPipeline::IngestPipeline(analytics::CounterWriter* store,
                                const PipelineOptions& options)
     : store_(store), options_(options) {
   rings_.reserve(options_.num_producers);
@@ -159,8 +162,12 @@ IngestPipeline::IngestPipeline(analytics::ConcurrentCounterStore* store,
   slot_leased_.assign(options_.num_producers, 0);
   sample_mask_ = (uint64_t{1} << options_.latency_sample_shift) - 1;
   if (options_.enable_metrics) RegisterMetrics();
-  // Clamp before spawning: more workers than rings is never useful.
+  // Clamp before spawning: more workers than rings is never useful, and
+  // worker w writes store lane w, so the pool must fit the store's lanes
+  // (no-op for kUnboundedLanes stores — the min saturates on the left).
   options_.num_workers = std::min(options_.num_workers, options_.num_producers);
+  options_.num_workers =
+      std::min<uint64_t>(options_.num_workers, store_->num_lanes());
   MutexLock lock(&workers_mu_);
   SpawnWorkersLocked(options_.num_workers);
 }
@@ -490,6 +497,9 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
   // mo: acquire — refuse resizes once Drain has published closed_.
   if (closed_.load(std::memory_order_acquire)) return DrainingStatus();
   n = std::min<uint64_t>(n, rings_.size());
+  // Worker w of the new generation writes store lane w; shard ownership
+  // migrates with ring ownership across the join barrier below.
+  n = std::min<uint64_t>(n, store_->num_lanes());
   if (n == workers_.size()) return Status::OK();
   // Retire the current generation and join it. The join IS the safe
   // barrier: afterwards no ring has a live consumer, so ownership can be
@@ -508,7 +518,7 @@ Status IngestPipeline::SetWorkerCount(uint64_t n) {
 }
 
 uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
-                                   uint64_t start_ring,
+                                   uint64_t start_ring, uint64_t lane,
                                    std::vector<Event>* raw,
                                    std::unordered_map<uint64_t, uint64_t>* agg,
                                    std::vector<analytics::KeyWeight>* batch,
@@ -559,7 +569,7 @@ uint64_t IngestPipeline::DrainOnce(const std::vector<uint64_t>& ring_ids,
       batch->push_back(analytics::KeyWeight{key, weight});
     }
 
-    Status st = store_->IncrementBatch(batch->data(), batch->size());
+    Status st = store_->IncrementBatch(lane, batch->data(), batch->size());
     if (st.ok()) {
       applied_.Add(count);
       updates_.Add(batch->size());
@@ -646,7 +656,8 @@ void IngestPipeline::WorkerLoop(uint64_t w, uint64_t gen,
     // mo: acquire — pairs with Drain's release store; once stop_ is seen,
     // the queues are closed and an empty pass is proof of full drain.
     const bool saw_stop = stop_.load(std::memory_order_acquire);
-    const uint64_t n = DrainOnce(owned, pass++, &raw, &agg, &batch, cells);
+    // Worker w's single-writer store lane is w (see the file comment).
+    const uint64_t n = DrainOnce(owned, pass++, w, &raw, &agg, &batch, cells);
     if (n > 0) {
       idle_streak = 0;
       continue;
@@ -779,7 +790,10 @@ Status IngestPipeline::Drain() {
     std::unordered_map<uint64_t, uint64_t> agg;
     std::vector<analytics::KeyWeight> batch;
     uint64_t pass = 0;
-    while (DrainOnce(all_rings, pass++, &raw, &agg, &batch, nullptr) > 0) {
+    // Lane 0 is safe here: every worker has been joined above, so the
+    // sweep is the only store writer (the join is the happens-before edge
+    // that migrates lane ownership to this thread).
+    while (DrainOnce(all_rings, pass++, 0, &raw, &agg, &batch, nullptr) > 0) {
     }
     drain_result_ = LastError();
   });

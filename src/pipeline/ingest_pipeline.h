@@ -1,6 +1,6 @@
 /// \file ingest_pipeline.h
 /// \brief Asynchronous batched ingestion between event producers and a
-/// `ConcurrentCounterStore` — the serving path of the paper's §1 analytics
+/// `CounterWriter` store — the serving path of the paper's §1 analytics
 /// system.
 ///
 /// Producers get private bounded SPSC queues and a non-blocking
@@ -10,8 +10,22 @@
 /// duplicate keys within each batch** — one packed-slot
 /// deserialize/serialize per *distinct* key instead of per event, which is
 /// exactly where the store's cycles go under a Zipfian workload — and apply
-/// the result through `ConcurrentCounterStore::IncrementBatch`, which takes
-/// each stripe lock once per batch rather than once per event.
+/// the result through `CounterWriter::IncrementBatch(lane, ...)`.
+///
+/// ## Lanes: worker w writes lane w
+///
+/// The store contract (analytics/store_interface.h) makes each lane a
+/// single-writer channel. The pipeline satisfies it structurally: worker
+/// `w` of a generation submits only through lane `w`, worker generations
+/// never overlap (`SetWorkerCount` joins the old generation before
+/// spawning the new — the same barrier that re-deals ring ownership also
+/// migrates lane ownership, with the join as the happens-before edge), and
+/// `Drain`'s final sweep runs after every worker has been joined, so its
+/// use of lane 0 cannot race a worker. Against a `ShardedCounterStore`
+/// this means the whole drain path is lock-free: each worker writes its
+/// own private shard and never touches another worker's cache lines. The
+/// worker count is clamped to `store->num_lanes()` (no-op for stores
+/// reporting `kUnboundedLanes`, e.g. the striped compat store).
 ///
 /// Lifecycle: `Make` starts the workers; `Flush` quiesces (everything
 /// accepted so far is applied); `Drain` closes submission, flushes, and
@@ -114,7 +128,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "analytics/concurrent_store.h"
+#include "analytics/store_interface.h"
 #include "obs/metrics.h"
 #include "pipeline/event.h"
 #include "pipeline/overload.h"
@@ -128,14 +142,15 @@
 namespace countlib {
 namespace pipeline {
 
-/// \brief Async batched ingest front-end for a ConcurrentCounterStore.
+/// \brief Async batched ingest front-end for any `CounterWriter` store.
 class IngestPipeline {
  public:
   /// Starts the pipeline: one SPSC queue per producer slot and
-  /// `options.num_workers` drain threads over `store`. The store must
-  /// outlive the pipeline; it is not owned.
+  /// `options.num_workers` drain threads over `store` (clamped to
+  /// `store->num_lanes()` when the store's lanes are bounded). The store
+  /// must outlive the pipeline; it is not owned.
   static Result<std::unique_ptr<IngestPipeline>> Make(
-      analytics::ConcurrentCounterStore* store, const PipelineOptions& options);
+      analytics::CounterWriter* store, const PipelineOptions& options);
 
   /// Drains and stops the workers (`Drain`).
   ~IngestPipeline();
@@ -175,7 +190,8 @@ class IngestPipeline {
   Result<ProducerSlot> TryAcquireProducerSlot();
 
   /// Grows or shrinks the worker pool to `n` threads (clamped to the
-  /// number of producer slots), re-partitioning ring ownership at a safe
+  /// number of producer slots and to the store's lane count),
+  /// re-partitioning ring — and store-lane — ownership at a safe
   /// barrier. Concurrent submissions keep queueing during the switch; no
   /// accepted event is lost. Serialized with concurrent resizes; returns
   /// `kFailedPrecondition` once draining has begun and `kInvalidArgument`
@@ -271,7 +287,7 @@ class IngestPipeline {
     std::atomic<uint64_t> wakeups{0};
   };
 
-  IngestPipeline(analytics::ConcurrentCounterStore* store,
+  IngestPipeline(analytics::CounterWriter* store,
                  const PipelineOptions& options);
 
   /// Drain loop for worker `w` of generation `gen`, owning rings where
@@ -282,17 +298,20 @@ class IngestPipeline {
   /// Drains up to `max_batch` events from the rings named by `ring_ids`
   /// into `raw` (sized `max_batch` by the caller, reused across passes),
   /// tops the batch up from the spill buffer when one exists,
-  /// pre-aggregates via the reused `agg` map into `batch`, and applies.
+  /// pre-aggregates via the reused `agg` map into `batch`, and applies
+  /// through store lane `lane` (the caller's single-writer channel:
+  /// worker `w` passes `w`; Drain's post-join sweep passes 0).
   /// The scan begins at `ring_ids[start_ring % ring_ids.size()]` — callers
   /// advance it each pass for fairness. Pops that transition a ring
   /// full→nonfull notify the ring's not-full eventcount shard (waking
   /// producers parked in `Submit`). Returns the number of raw events
   /// consumed, attributing the work to `cells` when non-null. The
   /// worker-owned scratch keeps the drain loop itself allocation-light;
-  /// the store's batch call still allocates its stripe-routing scratch
-  /// internally.
+  /// a striped store's batch call still allocates its stripe-routing
+  /// scratch internally (a sharded store's does not).
   uint64_t DrainOnce(const std::vector<uint64_t>& ring_ids,
-                     uint64_t start_ring, std::vector<Event>* raw,
+                     uint64_t start_ring, uint64_t lane,
+                     std::vector<Event>* raw,
                      std::unordered_map<uint64_t, uint64_t>* agg,
                      std::vector<analytics::KeyWeight>* batch,
                      WorkerStatCells* cells);
@@ -326,7 +345,7 @@ class IngestPipeline {
 
   void RecordError(const Status& st);
 
-  analytics::ConcurrentCounterStore* store_;
+  analytics::CounterWriter* store_;
   PipelineOptions options_;
   std::vector<std::unique_ptr<SpscRing>> rings_;
 
